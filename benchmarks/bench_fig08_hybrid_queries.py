@@ -1,0 +1,40 @@
+"""Fig. 8 — H-query evaluation time of GM, TM and JM on em, ep, hu.
+
+Micro-benchmarks time each matcher on a representative hybrid query (one
+acyclic, one cyclic instance); the regeneration benchmark runs the full
+Fig. 8 driver and writes ``results/fig8.txt``.
+"""
+
+import pytest
+
+from conftest import BENCH_SCALE_FAST, matcher_benchmark, representative_query, write_report
+from repro.bench.experiments import fig08_hybrid_queries
+
+
+@pytest.mark.parametrize("matcher", ["GM", "TM", "JM"])
+def test_hybrid_acyclic_query_em(benchmark, matcher, em_graph, em_context, fast_budget):
+    query = representative_query(em_graph, kind="H", template="HQ3")
+    matcher_benchmark(benchmark, matcher, em_graph, em_context, query, fast_budget)
+
+
+@pytest.mark.parametrize("matcher", ["GM", "TM", "JM"])
+def test_hybrid_cyclic_query_ep(benchmark, matcher, ep_graph, ep_context, fast_budget):
+    query = representative_query(ep_graph, kind="H", template="HQ8")
+    matcher_benchmark(benchmark, matcher, ep_graph, ep_context, query, fast_budget)
+
+
+@pytest.mark.parametrize("matcher", ["GM", "TM", "JM"])
+def test_hybrid_combo_query_hu(benchmark, matcher, hu_graph, hu_context, fast_budget):
+    query = representative_query(hu_graph, kind="H", template="HQ10")
+    matcher_benchmark(benchmark, matcher, hu_graph, hu_context, query, fast_budget)
+
+
+def test_regenerate_fig8(benchmark, fast_budget):
+    report = benchmark.pedantic(
+        lambda: fig08_hybrid_queries(datasets=("em", "ep"), scale=BENCH_SCALE_FAST, budget=fast_budget),
+        rounds=1,
+        iterations=1,
+    )
+    path = write_report(report)
+    benchmark.extra_info["rows"] = len(report.rows)
+    benchmark.extra_info["table_path"] = str(path)

@@ -1,0 +1,29 @@
+"""Fig. 9 — C-query evaluation time of GM, TM, JM and ISO on ep, bs, hu."""
+
+import pytest
+
+from conftest import BENCH_SCALE_FAST, matcher_benchmark, representative_query, write_report
+from repro.bench.experiments import fig09_child_queries
+
+
+@pytest.mark.parametrize("matcher", ["GM", "TM", "JM", "ISO"])
+def test_child_cyclic_query_ep(benchmark, matcher, ep_graph, ep_context, fast_budget):
+    query = representative_query(ep_graph, kind="C", template="HQ8")
+    matcher_benchmark(benchmark, matcher, ep_graph, ep_context, query, fast_budget)
+
+
+@pytest.mark.parametrize("matcher", ["GM", "TM", "JM", "ISO"])
+def test_child_clique_query_hu(benchmark, matcher, hu_graph, hu_context, fast_budget):
+    query = representative_query(hu_graph, kind="C", template="HQ11")
+    matcher_benchmark(benchmark, matcher, hu_graph, hu_context, query, fast_budget)
+
+
+def test_regenerate_fig9(benchmark, fast_budget):
+    report = benchmark.pedantic(
+        lambda: fig09_child_queries(datasets=("ep", "hu"), scale=BENCH_SCALE_FAST, budget=fast_budget),
+        rounds=1,
+        iterations=1,
+    )
+    path = write_report(report)
+    benchmark.extra_info["rows"] = len(report.rows)
+    benchmark.extra_info["table_path"] = str(path)

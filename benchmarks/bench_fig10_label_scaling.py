@@ -1,0 +1,39 @@
+"""Fig. 10 — query time as the number of data labels varies on em."""
+
+import pytest
+
+from conftest import BENCH_SCALE_FAST, matcher_benchmark, write_report
+from repro.bench.experiments import fig10_label_scaling
+from repro.graph.generators import with_label_count
+from repro.query.generators import instantiate_template
+from repro.simulation.context import MatchContext
+
+
+@pytest.mark.parametrize("num_labels", [5, 20])
+def test_gm_query_time_by_label_count(benchmark, num_labels, em_graph, fast_budget):
+    graph = with_label_count(em_graph, num_labels, seed=5)
+    context = MatchContext(graph)
+    query = instantiate_template("HQ4", graph, seed=31)
+    matcher_benchmark(benchmark, "GM", graph, context, query, fast_budget)
+    benchmark.extra_info["labels"] = num_labels
+
+
+@pytest.mark.parametrize("matcher", ["TM", "JM"])
+def test_baseline_query_time_few_labels(benchmark, matcher, em_graph, fast_budget):
+    graph = with_label_count(em_graph, 5, seed=5)
+    context = MatchContext(graph)
+    query = instantiate_template("HQ4", graph, seed=31)
+    matcher_benchmark(benchmark, matcher, graph, context, query, fast_budget)
+
+
+def test_regenerate_fig10(benchmark, fast_budget):
+    report = benchmark.pedantic(
+        lambda: fig10_label_scaling(
+            label_counts=(5, 10, 20), scale=BENCH_SCALE_FAST, budget=fast_budget
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    path = write_report(report)
+    benchmark.extra_info["rows"] = len(report.rows)
+    benchmark.extra_info["table_path"] = str(path)

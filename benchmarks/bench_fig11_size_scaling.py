@@ -1,0 +1,34 @@
+"""Fig. 11 — query time on increasingly larger subsets of the dblp graph."""
+
+import pytest
+
+from conftest import BENCH_SCALE_FAST, matcher_benchmark, write_report
+from repro.bench.experiments import fig11_size_scaling
+from repro.bench.workloads import bench_graph
+from repro.graph.transform import node_prefix_subgraph
+from repro.query.generators import instantiate_template
+from repro.simulation.context import MatchContext
+
+
+@pytest.mark.parametrize("fraction", [0.5, 1.0])
+@pytest.mark.parametrize("matcher", ["GM", "TM"])
+def test_query_time_by_graph_size(benchmark, fraction, matcher, fast_budget):
+    full = bench_graph("db", scale=BENCH_SCALE_FAST)
+    graph = node_prefix_subgraph(full, int(full.num_nodes * fraction))
+    context = MatchContext(graph)
+    query = instantiate_template("HQ8", graph, seed=41)
+    matcher_benchmark(benchmark, matcher, graph, context, query, fast_budget)
+    benchmark.extra_info["nodes"] = graph.num_nodes
+
+
+def test_regenerate_fig11(benchmark, fast_budget):
+    report = benchmark.pedantic(
+        lambda: fig11_size_scaling(
+            fractions=(0.5, 1.0), scale=BENCH_SCALE_FAST, budget=fast_budget
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    path = write_report(report)
+    benchmark.extra_info["rows"] = len(report.rows)
+    benchmark.extra_info["table_path"] = str(path)

@@ -1,0 +1,35 @@
+"""Fig. 13 — RIG size, construction time and query time for GM, GM-S, GM-F, TM."""
+
+import pytest
+
+from conftest import BENCH_SCALE_FAST, matcher_benchmark, representative_query, write_report
+from repro.bench.experiments import fig13_rig_size
+from repro.matching.gm import GMVariant, GraphMatcher
+from repro.rig.stats import rig_statistics
+
+
+@pytest.mark.parametrize("variant", [GMVariant.GM, GMVariant.GM_S, GMVariant.GM_F],
+                         ids=["GM", "GM-S", "GM-F"])
+def test_rig_construction_by_variant(benchmark, variant, ep_graph, ep_context):
+    query = representative_query(ep_graph, kind="H", template="HQ10")
+    matcher = GraphMatcher(ep_graph, context=ep_context, variant=variant)
+    report = benchmark(lambda: matcher.build_rig(query))
+    stats = rig_statistics(report.rig, ep_graph)
+    benchmark.extra_info["rig_size_ratio_pct"] = round(stats.ratio_percent(), 3)
+
+
+@pytest.mark.parametrize("matcher", ["GM", "GM-F", "TM"])
+def test_query_time_by_variant(benchmark, matcher, ep_graph, ep_context, fast_budget):
+    query = representative_query(ep_graph, kind="H", template="HQ10")
+    matcher_benchmark(benchmark, matcher, ep_graph, ep_context, query, fast_budget)
+
+
+def test_regenerate_fig13(benchmark, fast_budget):
+    report = benchmark.pedantic(
+        lambda: fig13_rig_size(scale=BENCH_SCALE_FAST, budget=fast_budget),
+        rounds=1,
+        iterations=1,
+    )
+    path = write_report(report)
+    benchmark.extra_info["rows"] = len(report.rows)
+    benchmark.extra_info["table_path"] = str(path)

@@ -1,0 +1,32 @@
+"""Fig. 15 — pattern transitive reduction: GM vs GM-NR vs TM on redundant D-queries."""
+
+import pytest
+
+from conftest import BENCH_SCALE_FAST, matcher_benchmark, write_report
+from repro.bench.experiments import _queries_with_redundant_edges, fig15_transitive_reduction
+from repro.query.transitive import transitive_reduction
+
+
+@pytest.mark.parametrize("matcher", ["GM", "GM-NR", "TM"])
+def test_redundant_descendant_query(benchmark, matcher, em_graph, em_context, fast_budget):
+    queries = _queries_with_redundant_edges(em_graph, ("HQ3",))
+    query = next(iter(queries.values()))
+    matcher_benchmark(benchmark, matcher, em_graph, em_context, query, fast_budget)
+
+
+def test_transitive_reduction_cost(benchmark, em_graph):
+    queries = _queries_with_redundant_edges(em_graph, ("HQ3", "HQ9", "HQ5"))
+    benchmark(lambda: [transitive_reduction(query) for query in queries.values()])
+
+
+def test_regenerate_fig15(benchmark, fast_budget):
+    report = benchmark.pedantic(
+        lambda: fig15_transitive_reduction(
+            datasets=("em",), scale=BENCH_SCALE_FAST, budget=fast_budget
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    path = write_report(report)
+    benchmark.extra_info["rows"] = len(report.rows)
+    benchmark.extra_info["table_path"] = str(path)

@@ -1,0 +1,46 @@
+"""Fig. 16 — GF catalog build time and GM-vs-GF C-query evaluation."""
+
+import pytest
+
+from conftest import BENCH_SCALE_FAST, matcher_benchmark, representative_query, write_report
+from repro.bench.experiments import fig16_wcoj_engine
+from repro.bench.workloads import bench_graph
+from repro.engines.wcoj import build_catalog
+from repro.simulation.context import MatchContext
+
+
+@pytest.mark.parametrize("dataset", ["am", "hu", "em"])
+def test_catalog_build_time(benchmark, dataset):
+    graph = bench_graph(dataset, scale=BENCH_SCALE_FAST)
+    catalog = benchmark(lambda: build_catalog(graph))
+    benchmark.extra_info["path_entries"] = len(catalog.path_counts)
+
+
+@pytest.mark.parametrize("matcher", ["GM", "GF"])
+def test_child_query_on_few_label_graph(benchmark, matcher, fast_budget):
+    graph = bench_graph("am", scale=BENCH_SCALE_FAST)
+    context = MatchContext(graph)
+    query = representative_query(graph, kind="C", template="HQ17")
+    matcher_benchmark(benchmark, matcher, graph, context, query, fast_budget)
+
+
+@pytest.mark.parametrize("matcher", ["GM", "GF"])
+def test_child_query_on_label_rich_graph(benchmark, matcher, hu_graph, hu_context, fast_budget):
+    query = representative_query(hu_graph, kind="C", template="HQ16")
+    matcher_benchmark(benchmark, matcher, hu_graph, hu_context, query, fast_budget)
+
+
+def test_regenerate_fig16(benchmark, fast_budget):
+    report = benchmark.pedantic(
+        lambda: fig16_wcoj_engine(
+            catalog_datasets=("em", "hu", "am", "bs"),
+            query_datasets=("am", "hu"),
+            scale=BENCH_SCALE_FAST,
+            budget=fast_budget,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    path = write_report(report)
+    benchmark.extra_info["rows"] = len(report.rows)
+    benchmark.extra_info["table_path"] = str(path)

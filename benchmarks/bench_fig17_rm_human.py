@@ -1,0 +1,44 @@
+"""Fig. 17 — GM-JO / GM-RI vs RM on dense and sparse query sets (Human graph)."""
+
+import pytest
+
+from conftest import BENCH_SCALE_FAST, matcher_benchmark, write_report
+from repro.bench.experiments import fig17_rm_human
+from repro.bench.workloads import bench_graph, random_query_set
+from repro.graph.transform import undirected_double
+from repro.simulation.context import MatchContext
+
+
+@pytest.fixture(scope="module")
+def human_undirected():
+    return undirected_double(bench_graph("hu", scale=BENCH_SCALE_FAST))
+
+
+@pytest.fixture(scope="module")
+def human_context(human_undirected):
+    return MatchContext(human_undirected)
+
+
+@pytest.mark.parametrize("matcher", ["GM-JO", "GM-RI", "RM"])
+def test_dense_query(benchmark, matcher, human_undirected, human_context, fast_budget):
+    queries = random_query_set(human_undirected, (8,), kind="C", dense=True, per_size=1, seed=71)
+    query = next(iter(queries.values()))
+    matcher_benchmark(benchmark, matcher, human_undirected, human_context, query, fast_budget)
+
+
+@pytest.mark.parametrize("matcher", ["GM-JO", "GM-RI", "RM"])
+def test_sparse_query(benchmark, matcher, human_undirected, human_context, fast_budget):
+    queries = random_query_set(human_undirected, (8,), kind="C", dense=False, per_size=1, seed=71)
+    query = next(iter(queries.values()))
+    matcher_benchmark(benchmark, matcher, human_undirected, human_context, query, fast_budget)
+
+
+def test_regenerate_fig17(benchmark, fast_budget):
+    report = benchmark.pedantic(
+        lambda: fig17_rm_human(node_counts=(8, 12), per_size=1, scale=BENCH_SCALE_FAST, budget=fast_budget),
+        rounds=1,
+        iterations=1,
+    )
+    path = write_report(report)
+    benchmark.extra_info["rows"] = len(report.rows)
+    benchmark.extra_info["table_path"] = str(path)

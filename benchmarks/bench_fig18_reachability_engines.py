@@ -1,0 +1,50 @@
+"""Fig. 18 — reachability D-queries: index/catalog build times and GM vs GF vs Neo4j."""
+
+import pytest
+
+from conftest import BENCH_SCALE_FAST, matcher_benchmark, write_report
+from repro.bench.experiments import fig18_reachability_engines
+from repro.bench.workloads import bench_graph
+from repro.engines.wcoj import build_catalog
+from repro.graph.transform import node_prefix_subgraph
+from repro.query.generators import instantiate_template, to_descendant_only
+from repro.reachability.bfl import BloomFilterLabeling
+from repro.reachability.transitive_closure import TransitiveClosureIndex
+from repro.simulation.context import MatchContext
+
+
+@pytest.fixture(scope="module")
+def em_fragment():
+    return node_prefix_subgraph(bench_graph("em", scale=BENCH_SCALE_FAST), 250)
+
+
+def test_bfl_build_time(benchmark, em_fragment):
+    benchmark(lambda: BloomFilterLabeling(em_fragment))
+
+
+def test_transitive_closure_build_time(benchmark, em_fragment):
+    benchmark(lambda: TransitiveClosureIndex(em_fragment))
+
+
+def test_catalog_build_time(benchmark, em_fragment):
+    benchmark(lambda: build_catalog(em_fragment))
+
+
+@pytest.mark.parametrize("matcher", ["GM", "GF", "Neo4j"])
+def test_descendant_query_time(benchmark, matcher, em_fragment, fast_budget):
+    context = MatchContext(em_fragment)
+    query = to_descendant_only(instantiate_template("HQ4", em_fragment, seed=83))
+    matcher_benchmark(benchmark, matcher, em_fragment, context, query, fast_budget)
+
+
+def test_regenerate_fig18(benchmark, fast_budget):
+    report = benchmark.pedantic(
+        lambda: fig18_reachability_engines(
+            label_counts=(5, 20), node_counts=(150, 250), scale=BENCH_SCALE_FAST, budget=fast_budget
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    path = write_report(report)
+    benchmark.extra_info["rows"] = len(report.rows)
+    benchmark.extra_info["table_path"] = str(path)

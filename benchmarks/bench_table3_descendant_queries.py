@@ -1,0 +1,27 @@
+"""Table 3 — large D-queries on hu, hp, yt: solved counts and average times."""
+
+import pytest
+
+from conftest import BENCH_SCALE_FAST, matcher_benchmark, write_report
+from repro.bench.experiments import table3_descendant_queries
+from repro.bench.workloads import random_query_set
+
+
+@pytest.mark.parametrize("matcher", ["GM", "TM", "JM"])
+def test_descendant_random_query_hu(benchmark, matcher, hu_graph, hu_context, fast_budget):
+    queries = random_query_set(hu_graph, (8,), kind="D", per_size=1, seed=23)
+    query = next(iter(queries.values()))
+    matcher_benchmark(benchmark, matcher, hu_graph, hu_context, query, fast_budget)
+
+
+def test_regenerate_table3(benchmark, fast_budget):
+    report = benchmark.pedantic(
+        lambda: table3_descendant_queries(
+            datasets=("hu", "yt"), scale=BENCH_SCALE_FAST, budget=fast_budget, node_counts=(4, 8)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    path = write_report(report)
+    benchmark.extra_info["rows"] = len(report.rows)
+    benchmark.extra_info["table_path"] = str(path)

@@ -1,0 +1,39 @@
+"""Table 4 — search-order strategies: GM-RI vs GM-JO vs GM-BJ."""
+
+import pytest
+
+from conftest import BENCH_SCALE_FAST, matcher_benchmark, representative_query, write_report
+from repro.bench.experiments import table4_search_order
+from repro.matching.ordering import OrderingMethod, bj_order, jo_order, ri_order
+from repro.rig.build import build_rig
+
+
+@pytest.mark.parametrize("matcher", ["GM-RI", "GM-JO", "GM-BJ"])
+def test_query_time_by_ordering(benchmark, matcher, em_graph, em_context, fast_budget):
+    query = representative_query(em_graph, kind="H", template="HQ18")
+    matcher_benchmark(benchmark, matcher, em_graph, em_context, query, fast_budget)
+
+
+@pytest.mark.parametrize("method", ["jo", "ri", "bj"])
+def test_ordering_computation_cost(benchmark, method, em_graph, em_context):
+    query = representative_query(em_graph, kind="H", template="HQ15")
+    rig = build_rig(em_context, query).rig
+    if method == "jo":
+        benchmark(lambda: jo_order(query, rig))
+    elif method == "ri":
+        benchmark(lambda: ri_order(query))
+    else:
+        benchmark(lambda: bj_order(query, rig))
+
+
+def test_regenerate_table4(benchmark, fast_budget):
+    report = benchmark.pedantic(
+        lambda: table4_search_order(
+            datasets=("em", "ep"), scale=BENCH_SCALE_FAST, budget=fast_budget
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    path = write_report(report)
+    benchmark.extra_info["rows"] = len(report.rows)
+    benchmark.extra_info["table_path"] = str(path)

@@ -1,0 +1,36 @@
+"""Table 5 — EH, Neo4j and GM on C-queries over em and ep."""
+
+import pytest
+
+from conftest import BENCH_SCALE_FAST, matcher_benchmark, representative_query, write_report
+from repro.bench.experiments import table5_engines
+from repro.engines.relational import RelationalEngine
+
+
+@pytest.mark.parametrize("matcher", ["EH", "Neo4j", "GM"])
+def test_child_acyclic_query_em(benchmark, matcher, em_graph, em_context, fast_budget):
+    query = representative_query(em_graph, kind="C", template="HQ0")
+    matcher_benchmark(benchmark, matcher, em_graph, em_context, query, fast_budget)
+
+
+@pytest.mark.parametrize("matcher", ["EH", "Neo4j", "GM"])
+def test_child_cyclic_query_ep(benchmark, matcher, ep_graph, ep_context, fast_budget):
+    query = representative_query(ep_graph, kind="C", template="HQ6")
+    matcher_benchmark(benchmark, matcher, ep_graph, ep_context, query, fast_budget)
+
+
+def test_eh_precomputation_cost(benchmark, ep_graph):
+    """EmptyHeaded's expensive load/index step, charged before any query runs."""
+    engine = benchmark(lambda: RelationalEngine(ep_graph))
+    benchmark.extra_info["precompute_seconds"] = engine.precompute_seconds
+
+
+def test_regenerate_table5(benchmark, fast_budget):
+    report = benchmark.pedantic(
+        lambda: table5_engines(datasets=("em", "ep"), scale=BENCH_SCALE_FAST, budget=fast_budget),
+        rounds=1,
+        iterations=1,
+    )
+    path = write_report(report)
+    benchmark.extra_info["rows"] = len(report.rows)
+    benchmark.extra_info["table_path"] = str(path)

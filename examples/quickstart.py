@@ -1,0 +1,59 @@
+"""Quickstart: build a small graph, write a hybrid pattern, run GM.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import GraphBuilder, GraphMatcher, parse_query
+
+
+def main() -> None:
+    # 1. Build a small data graph: people, the projects they lead, and the
+    #    tasks those projects (transitively) contain.
+    builder = GraphBuilder()
+    builder.add_node("ana", "Person")
+    builder.add_node("bob", "Person")
+    builder.add_node("atlas", "Project")
+    builder.add_node("hermes", "Project")
+    builder.add_node("design", "Task")
+    builder.add_node("review", "Task")
+    builder.add_node("deploy", "Task")
+
+    builder.add_edge("ana", "atlas")        # ana leads atlas
+    builder.add_edge("bob", "hermes")       # bob leads hermes
+    builder.add_edge("atlas", "design")     # atlas contains design
+    builder.add_edge("design", "review")    # design is followed by review
+    builder.add_edge("hermes", "deploy")    # hermes contains deploy
+    graph = builder.build(name="quickstart")
+    ids = builder.id_mapping()
+    names = {node_id: key for key, node_id in ids.items()}
+
+    # 2. A hybrid pattern: a person leading a project (direct edge ->) that
+    #    directly or indirectly contains a task (reachability edge =>).
+    query = parse_query(
+        """
+        node p Person
+        node proj Project
+        node t Task
+        edge p -> proj
+        edge proj => t
+        """,
+        name="person-project-task",
+    )
+
+    # 3. Evaluate with GM (double simulation + runtime index graph + MJoin).
+    matcher = GraphMatcher(graph)
+    report = matcher.match(query)
+
+    print(f"query '{query.name}': {report.num_matches} occurrences "
+          f"({report.total_seconds * 1000:.2f} ms, status={report.status.value})")
+    for person, project, task in sorted(report.occurrences):
+        print(f"  {names[person]:>4} -> {names[project]:<6} => {names[task]}")
+
+    # The reachability edge is what finds (ana, atlas, review): the task is
+    # two hops away from the project.  A child-only pattern would miss it.
+
+
+if __name__ == "__main__":
+    main()

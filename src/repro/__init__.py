@@ -1,0 +1,103 @@
+"""repro: hybrid graph pattern query evaluation with runtime index graphs.
+
+A from-scratch Python reproduction of "Evaluating Hybrid Graph Pattern
+Queries Using Runtime Index Graphs" (EDBT 2023).  The public API re-exports
+the pieces most applications need:
+
+* :class:`DataGraph` / :class:`GraphBuilder` — the data-graph substrate;
+* :class:`PatternQuery` / :func:`parse_query` — hybrid pattern queries
+  (direct ``->`` and reachability ``=>`` edges);
+* :class:`GraphMatcher` — the GM pipeline (double simulation + runtime
+  index graph + MJoin enumeration);
+* :class:`JMMatcher`, :class:`TMMatcher`, :class:`ISOMatcher` — the
+  baselines of the paper's evaluation;
+* :func:`build_reachability_index` — reachability indexes (BFL, intervals,
+  transitive closure);
+* :class:`Budget` / :class:`MatchReport` — per-query limits and outcomes.
+"""
+
+from repro.exceptions import (
+    ReproError,
+    GraphError,
+    QueryError,
+    QueryParseError,
+    ReachabilityError,
+    MatchingError,
+    BudgetExceeded,
+    TimeoutExceeded,
+    MemoryBudgetExceeded,
+    EngineError,
+)
+from repro.graph import DataGraph, GraphBuilder, load_dataset, available_datasets
+from repro.query import (
+    EdgeType,
+    PatternEdge,
+    PatternQuery,
+    parse_query,
+    format_query,
+    transitive_reduction,
+    template_query,
+    instantiate_template,
+    random_pattern_query,
+)
+from repro.reachability import build_reachability_index
+from repro.simulation import MatchContext, fbsim, fbsim_basic, fbsim_dag
+from repro.rig import build_rig, RIGOptions, RuntimeIndexGraph
+from repro.matching import (
+    Budget,
+    MatchReport,
+    MatchStatus,
+    GraphMatcher,
+    GMVariant,
+    OrderingMethod,
+    mjoin,
+)
+from repro.baselines import JMMatcher, TMMatcher, ISOMatcher, bruteforce_homomorphisms
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "QueryError",
+    "QueryParseError",
+    "ReachabilityError",
+    "MatchingError",
+    "BudgetExceeded",
+    "TimeoutExceeded",
+    "MemoryBudgetExceeded",
+    "EngineError",
+    "DataGraph",
+    "GraphBuilder",
+    "load_dataset",
+    "available_datasets",
+    "EdgeType",
+    "PatternEdge",
+    "PatternQuery",
+    "parse_query",
+    "format_query",
+    "transitive_reduction",
+    "template_query",
+    "instantiate_template",
+    "random_pattern_query",
+    "build_reachability_index",
+    "MatchContext",
+    "fbsim",
+    "fbsim_basic",
+    "fbsim_dag",
+    "build_rig",
+    "RIGOptions",
+    "RuntimeIndexGraph",
+    "Budget",
+    "MatchReport",
+    "MatchStatus",
+    "GraphMatcher",
+    "GMVariant",
+    "OrderingMethod",
+    "mjoin",
+    "JMMatcher",
+    "TMMatcher",
+    "ISOMatcher",
+    "bruteforce_homomorphisms",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Baseline matchers the paper compares GM against.
+
+* :func:`bruteforce_homomorphisms` — exhaustive oracle used by the tests;
+* :class:`JMMatcher` — the join-based approach: one relation per query edge,
+  joined pairwise along an optimised left-deep plan (the style of R-Join and
+  classic relational engines), with the characteristic intermediate-result
+  explosion;
+* :class:`TMMatcher` — the tree-based approach: evaluate a spanning tree of
+  the query, then filter tree matches against the non-tree edges;
+* :class:`ISOMatcher` — subgraph-isomorphism backtracking with label /
+  degree filtering (child-only queries).
+"""
+
+from repro.baselines.bruteforce import bruteforce_homomorphisms, bruteforce_isomorphisms
+from repro.baselines.jm import JMMatcher
+from repro.baselines.tm import TMMatcher
+from repro.baselines.iso import ISOMatcher
+
+__all__ = [
+    "bruteforce_homomorphisms",
+    "bruteforce_isomorphisms",
+    "JMMatcher",
+    "TMMatcher",
+    "ISOMatcher",
+]

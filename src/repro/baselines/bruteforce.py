@@ -1,0 +1,105 @@
+"""Exhaustive homomorphism / isomorphism enumeration (test oracle).
+
+These enumerators check every combination of candidate assignments with no
+pruning beyond label filtering, so they are only usable on small graphs and
+queries — which is exactly what the correctness tests need: an
+implementation simple enough to be obviously right.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.graph.digraph import DataGraph
+from repro.query.pattern import PatternQuery
+from repro.reachability.base import BFSReachability, ReachabilityIndex
+
+
+def _edge_ok(
+    graph: DataGraph,
+    reachability: ReachabilityIndex,
+    is_child: bool,
+    u: int,
+    v: int,
+) -> bool:
+    if is_child:
+        return graph.has_edge(u, v)
+    if u == v:
+        return reachability.reaches_strict(u, v)
+    return reachability.reaches(u, v)
+
+
+def _enumerate(
+    graph: DataGraph,
+    query: PatternQuery,
+    injective: bool,
+    reachability: Optional[ReachabilityIndex] = None,
+    limit: Optional[int] = None,
+) -> List[Tuple[int, ...]]:
+    reachability = reachability or BFSReachability(graph)
+    candidates: Dict[int, Tuple[int, ...]] = {
+        node: graph.inverted_list(query.label(node)) for node in query.nodes()
+    }
+    order = list(query.nodes())
+    results: List[Tuple[int, ...]] = []
+    assignment: List[Optional[int]] = [None] * query.num_nodes
+    used: Set[int] = set()
+
+    def consistent(position: int, value: int) -> bool:
+        node = order[position]
+        for earlier in range(position):
+            other = order[earlier]
+            other_value = assignment[other]
+            if query.has_edge(node, other):
+                edge = query.edge(node, other)
+                if not _edge_ok(graph, reachability, edge.is_child, value, other_value):
+                    return False
+            if query.has_edge(other, node):
+                edge = query.edge(other, node)
+                if not _edge_ok(graph, reachability, edge.is_child, other_value, value):
+                    return False
+        return True
+
+    def recurse(position: int) -> bool:
+        if position == len(order):
+            results.append(tuple(assignment))  # order == node ids, so direct
+            return limit is not None and len(results) >= limit
+        node = order[position]
+        for value in candidates[node]:
+            if injective and value in used:
+                continue
+            if not consistent(position, value):
+                continue
+            assignment[node] = value
+            if injective:
+                used.add(value)
+            stop = recurse(position + 1)
+            if injective:
+                used.discard(value)
+            assignment[node] = None
+            if stop:
+                return True
+        return False
+
+    recurse(0)
+    return results
+
+
+def bruteforce_homomorphisms(
+    graph: DataGraph,
+    query: PatternQuery,
+    reachability: Optional[ReachabilityIndex] = None,
+    limit: Optional[int] = None,
+) -> List[Tuple[int, ...]]:
+    """All homomorphic occurrences of ``query`` on ``graph`` (tuples by query node id)."""
+    return _enumerate(graph, query, injective=False, reachability=reachability, limit=limit)
+
+
+def bruteforce_isomorphisms(
+    graph: DataGraph,
+    query: PatternQuery,
+    reachability: Optional[ReachabilityIndex] = None,
+    limit: Optional[int] = None,
+) -> List[Tuple[int, ...]]:
+    """All injective (isomorphic) occurrences of ``query`` on ``graph``."""
+    return _enumerate(graph, query, injective=True, reachability=reachability, limit=limit)

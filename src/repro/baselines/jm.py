@@ -1,0 +1,346 @@
+"""JM: the join-based baseline (R-Join / binary-join style).
+
+JM evaluates a pattern query the way classic relational approaches do:
+
+1. materialise one relation per query edge, holding every data-node pair
+   matching the edge (edge-to-edge for direct edges, edge-to-path for
+   reachability edges);
+2. choose a left-deep join order over those relations (dynamic programming
+   when the query is small enough, a greedy connected order otherwise — the
+   paper notes the DP enumeration itself stops scaling past ~10 nodes);
+3. execute the plan as a sequence of binary hash joins over partial
+   occurrence tuples.
+
+The defining weakness the paper measures is the intermediate-result
+explosion: partial results can vastly exceed the final answer.  The
+executor counts intermediate tuples against the budget's
+``max_intermediate_results`` and reports ``OUT_OF_MEMORY`` when the cap is
+hit — the analogue of the JVM out-of-memory failures in the paper's tables.
+"""
+
+from __future__ import annotations
+
+import time
+from itertools import combinations
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import MemoryBudgetExceeded, TimeoutExceeded
+from repro.graph.digraph import DataGraph
+from repro.matching.result import Budget, MatchReport, MatchStatus
+from repro.query.pattern import PatternEdge, PatternQuery
+from repro.query.transitive import transitive_reduction
+from repro.simulation.context import MatchContext
+from repro.simulation.matchsets import node_prefilter
+
+EdgeRelation = List[Tuple[int, int]]
+
+
+class JMMatcher:
+    """Join-based pattern matcher (the JM baseline)."""
+
+    def __init__(
+        self,
+        graph: DataGraph,
+        context: Optional[MatchContext] = None,
+        reachability_kind: str = "bfl",
+        budget: Optional[Budget] = None,
+        prefilter: bool = True,
+        apply_transitive_reduction: bool = True,
+        dp_plan_node_limit: int = 10,
+    ) -> None:
+        self.graph = graph
+        self.context = context or MatchContext(graph, reachability_kind=reachability_kind)
+        self.budget = budget or Budget()
+        self.prefilter = prefilter
+        self.apply_transitive_reduction = apply_transitive_reduction
+        self.dp_plan_node_limit = dp_plan_node_limit
+
+    # ------------------------------------------------------------------ #
+    # edge relations
+    # ------------------------------------------------------------------ #
+
+    def _edge_relation(
+        self, edge: PatternEdge, candidates: Dict[int, Set[int]]
+    ) -> EdgeRelation:
+        """Materialise the match relation of one query edge."""
+        context = self.context
+        graph = self.graph
+        tails = candidates[edge.source]
+        heads = candidates[edge.target]
+        relation: EdgeRelation = []
+        if edge.is_child:
+            for tail in tails:
+                for head in graph.successor_set(tail) & heads:
+                    relation.append((tail, head))
+        else:
+            reachability = context.reachability
+            if len(heads) > 32:
+                for tail in tails:
+                    reachable = context.forward_reachable_set((tail,))
+                    for head in heads:
+                        if head in reachable:
+                            relation.append((tail, head))
+            else:
+                for tail in tails:
+                    for head in heads:
+                        if tail == head:
+                            if reachability.reaches_strict(tail, head):
+                                relation.append((tail, head))
+                        elif reachability.reaches(tail, head):
+                            relation.append((tail, head))
+        return relation
+
+    # ------------------------------------------------------------------ #
+    # plan selection
+    # ------------------------------------------------------------------ #
+
+    def _plan(
+        self, query: PatternQuery, relation_sizes: Dict[Tuple[int, int], int]
+    ) -> Tuple[List[PatternEdge], int]:
+        """Choose a left-deep edge order.  Returns (plan, plans_considered)."""
+        edges = list(query.edges())
+        if len(edges) <= 1:
+            return edges, 1
+        if query.num_nodes <= self.dp_plan_node_limit and len(edges) <= 12:
+            return self._dp_plan(query, edges, relation_sizes)
+        return self._greedy_plan(query, edges, relation_sizes), 1
+
+    def _greedy_plan(
+        self,
+        query: PatternQuery,
+        edges: List[PatternEdge],
+        relation_sizes: Dict[Tuple[int, int], int],
+    ) -> List[PatternEdge]:
+        remaining = list(edges)
+        remaining.sort(key=lambda edge: relation_sizes[edge.endpoints()])
+        plan = [remaining.pop(0)]
+        covered = set(plan[0].endpoints())
+        while remaining:
+            connected = [edge for edge in remaining if covered & set(edge.endpoints())]
+            pool = connected or remaining
+            chosen = min(pool, key=lambda edge: relation_sizes[edge.endpoints()])
+            plan.append(chosen)
+            covered.update(chosen.endpoints())
+            remaining.remove(chosen)
+        return plan
+
+    def _dp_plan(
+        self,
+        query: PatternQuery,
+        edges: List[PatternEdge],
+        relation_sizes: Dict[Tuple[int, int], int],
+    ) -> Tuple[List[PatternEdge], int]:
+        """Left-deep plan by subset DP with independence-based cost estimates."""
+        node_cardinality = {
+            node: max(len(self.graph.inverted_list(query.label(node))), 1)
+            for node in query.nodes()
+        }
+
+        def selectivity(edge: PatternEdge) -> float:
+            denom = node_cardinality[edge.source] * node_cardinality[edge.target]
+            return max(relation_sizes[edge.endpoints()], 1) / float(denom)
+
+        plans_considered = 0
+        # state: frozenset of edge indices -> (cost, estimated cardinality, plan tuple)
+        best: Dict[frozenset, Tuple[float, float, Tuple[int, ...]]] = {}
+        for index, edge in enumerate(edges):
+            best[frozenset((index,))] = (
+                float(relation_sizes[edge.endpoints()]),
+                float(max(relation_sizes[edge.endpoints()], 1)),
+                (index,),
+            )
+            plans_considered += 1
+
+        def covered_nodes(state: frozenset) -> Set[int]:
+            nodes: Set[int] = set()
+            for index in state:
+                nodes.update(edges[index].endpoints())
+            return nodes
+
+        for size in range(1, len(edges)):
+            for state in [s for s in list(best) if len(s) == size]:
+                cost, cardinality, plan = best[state]
+                nodes = covered_nodes(state)
+                for index, edge in enumerate(edges):
+                    if index in state:
+                        continue
+                    if not nodes & set(edge.endpoints()):
+                        continue
+                    plans_considered += 1
+                    new_nodes = set(edge.endpoints()) - nodes
+                    estimate = cardinality * selectivity(edge)
+                    for node in new_nodes:
+                        estimate *= node_cardinality[node]
+                    new_cost = cost + estimate
+                    new_state = state | {index}
+                    incumbent = best.get(new_state)
+                    if incumbent is None or new_cost < incumbent[0]:
+                        best[new_state] = (new_cost, estimate, plan + (index,))
+
+        full = frozenset(range(len(edges)))
+        if full not in best:
+            return self._greedy_plan(query, edges, relation_sizes), plans_considered
+        return [edges[index] for index in best[full][2]], plans_considered
+
+    # ------------------------------------------------------------------ #
+    # plan execution
+    # ------------------------------------------------------------------ #
+
+    def match(self, query: PatternQuery, budget: Optional[Budget] = None) -> MatchReport:
+        """Evaluate ``query`` with binary joins; see the class docstring."""
+        budget = budget or self.budget
+        clock = budget.start_clock()
+        start = time.perf_counter()
+        original_query = query
+        try:
+            if self.apply_transitive_reduction:
+                query = transitive_reduction(query)
+            candidates = (
+                node_prefilter(self.context, query)
+                if self.prefilter
+                else self.context.match_sets(query)
+            )
+            if query.num_edges == 0:
+                occurrences = [(value,) for value in sorted(candidates[0])]
+                return MatchReport(
+                    query_name=original_query.name,
+                    algorithm="JM",
+                    status=MatchStatus.OK,
+                    occurrences=occurrences,
+                    num_matches=len(occurrences),
+                    matching_seconds=time.perf_counter() - start,
+                )
+            relations: Dict[Tuple[int, int], EdgeRelation] = {}
+            for edge in query.edges():
+                clock.check_time()
+                relations[edge.endpoints()] = self._edge_relation(edge, candidates)
+            relation_sizes = {key: len(relation) for key, relation in relations.items()}
+            plan, plans_considered = self._plan(query, relation_sizes)
+            matching_seconds = time.perf_counter() - start
+
+            enumeration_start = time.perf_counter()
+            occurrences, hit_limit, peak_intermediate = self._execute(
+                query, plan, relations, budget, clock
+            )
+            enumeration_seconds = time.perf_counter() - enumeration_start
+            status = MatchStatus.MATCH_LIMIT if hit_limit else MatchStatus.OK
+            return MatchReport(
+                query_name=original_query.name,
+                algorithm="JM",
+                status=status,
+                occurrences=occurrences,
+                num_matches=len(occurrences),
+                matching_seconds=matching_seconds,
+                enumeration_seconds=enumeration_seconds,
+                extra={
+                    "plans_considered": plans_considered,
+                    "peak_intermediate": peak_intermediate,
+                },
+            )
+        except TimeoutExceeded:
+            return MatchReport(
+                query_name=original_query.name,
+                algorithm="JM",
+                status=MatchStatus.TIMEOUT,
+                matching_seconds=time.perf_counter() - start,
+            )
+        except MemoryBudgetExceeded:
+            return MatchReport(
+                query_name=original_query.name,
+                algorithm="JM",
+                status=MatchStatus.OUT_OF_MEMORY,
+                matching_seconds=time.perf_counter() - start,
+            )
+
+    def _execute(
+        self,
+        query: PatternQuery,
+        plan: Sequence[PatternEdge],
+        relations: Dict[Tuple[int, int], EdgeRelation],
+        budget: Budget,
+        clock,
+    ) -> Tuple[List[Tuple[int, ...]], bool, int]:
+        """Run the left-deep plan with binary hash joins over partial tuples."""
+        n = query.num_nodes
+        # Partial tuples: dict from query node -> data node, stored as tuples
+        # over the bound variable list for compactness.
+        first = plan[0]
+        bound: List[int] = list(first.endpoints())
+        current: List[Tuple[int, ...]] = [
+            (tail, head) for tail, head in relations[first.endpoints()]
+        ]
+        peak = len(current)
+        clock.check_intermediate(peak)
+
+        for edge in plan[1:]:
+            clock.check_time()
+            relation = relations[edge.endpoints()]
+            source, target = edge.endpoints()
+            source_bound = source in bound
+            target_bound = target in bound
+            next_bound = list(bound)
+            if not source_bound:
+                next_bound.append(source)
+            if not target_bound:
+                next_bound.append(target)
+            next_tuples: List[Tuple[int, ...]] = []
+
+            if source_bound and target_bound:
+                source_position = bound.index(source)
+                target_position = bound.index(target)
+                pair_set = set(relation)
+                for row in current:
+                    clock.check_time()
+                    if (row[source_position], row[target_position]) in pair_set:
+                        next_tuples.append(row)
+                        clock.check_intermediate(len(next_tuples))
+            elif source_bound:
+                source_position = bound.index(source)
+                by_tail: Dict[int, List[int]] = {}
+                for tail, head in relation:
+                    by_tail.setdefault(tail, []).append(head)
+                for row in current:
+                    clock.check_time()
+                    for head in by_tail.get(row[source_position], ()):
+                        next_tuples.append(row + (head,))
+                        clock.check_intermediate(len(next_tuples))
+            elif target_bound:
+                target_position = bound.index(target)
+                by_head: Dict[int, List[int]] = {}
+                for tail, head in relation:
+                    by_head.setdefault(head, []).append(tail)
+                for row in current:
+                    clock.check_time()
+                    for tail in by_head.get(row[target_position], ()):
+                        next_tuples.append(row + (tail,))
+                        clock.check_intermediate(len(next_tuples))
+            else:
+                # Cartesian product with a disconnected edge (avoided by the
+                # planner, but handled for completeness).
+                for row in current:
+                    clock.check_time()
+                    for tail, head in relation:
+                        next_tuples.append(row + (tail, head))
+                        clock.check_intermediate(len(next_tuples))
+
+            current = next_tuples
+            bound = next_bound
+            peak = max(peak, len(current))
+            if not current:
+                break
+
+        # Project partial tuples onto query-node order, deduplicate, cap.
+        occurrences: List[Tuple[int, ...]] = []
+        seen: Set[Tuple[int, ...]] = set()
+        hit_limit = False
+        position_of = {node: position for position, node in enumerate(bound)}
+        for row in current:
+            occurrence = tuple(row[position_of[node]] for node in range(n))
+            if occurrence in seen:
+                continue
+            seen.add(occurrence)
+            occurrences.append(occurrence)
+            if clock.check_matches(len(occurrences)):
+                hit_limit = True
+                break
+        return occurrences, hit_limit, peak

@@ -1,0 +1,274 @@
+"""TM: the tree-based baseline.
+
+TM evaluates a pattern query by (1) extracting a spanning tree of the query,
+(2) evaluating the tree pattern, and (3) filtering every tree solution
+against the query edges missing from the tree.  The tree evaluation follows
+the standard two-phase holistic style: a bottom-up + top-down candidate
+refinement over the tree (which is exact for trees) followed by a top-down
+enumeration of tree occurrences.
+
+The characteristic weakness the paper measures is that the number of tree
+solutions can vastly exceed the number of query solutions; every tree
+solution has to be checked against the non-tree edges, so TM's running time
+is driven by an intermediate result it cannot avoid.  Tree solutions are
+counted against the budget's intermediate cap and the wall-clock limit.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.exceptions import MemoryBudgetExceeded, TimeoutExceeded
+from repro.graph.digraph import DataGraph
+from repro.matching.result import Budget, MatchReport, MatchStatus
+from repro.query.pattern import PatternEdge, PatternQuery
+from repro.query.transitive import transitive_reduction
+from repro.simulation.context import MatchContext
+from repro.simulation.matchsets import node_prefilter
+
+
+class TMMatcher:
+    """Tree-based pattern matcher (the TM baseline)."""
+
+    def __init__(
+        self,
+        graph: DataGraph,
+        context: Optional[MatchContext] = None,
+        reachability_kind: str = "bfl",
+        budget: Optional[Budget] = None,
+        prefilter: bool = True,
+        apply_transitive_reduction: bool = True,
+    ) -> None:
+        self.graph = graph
+        self.context = context or MatchContext(graph, reachability_kind=reachability_kind)
+        self.budget = budget or Budget()
+        self.prefilter = prefilter
+        self.apply_transitive_reduction = apply_transitive_reduction
+
+    # ------------------------------------------------------------------ #
+    # spanning tree extraction
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def spanning_tree(query: PatternQuery) -> Tuple[List[PatternEdge], List[PatternEdge]]:
+        """Split the query edges into a spanning tree and the remaining edges.
+
+        The tree is grown over the undirected structure starting from node 0
+        (queries are connected); edge directions and types are preserved.
+        """
+        in_tree = {0}
+        tree_edges: List[PatternEdge] = []
+        remaining = list(query.edges())
+        changed = True
+        while changed and len(in_tree) < query.num_nodes:
+            changed = False
+            for edge in list(remaining):
+                source_in = edge.source in in_tree
+                target_in = edge.target in in_tree
+                if source_in ^ target_in:
+                    tree_edges.append(edge)
+                    remaining.remove(edge)
+                    in_tree.update(edge.endpoints())
+                    changed = True
+        non_tree = [edge for edge in query.edges() if edge not in tree_edges]
+        return tree_edges, non_tree
+
+    # ------------------------------------------------------------------ #
+    # tree evaluation
+    # ------------------------------------------------------------------ #
+
+    def _refine_tree_candidates(
+        self,
+        query: PatternQuery,
+        tree_edges: List[PatternEdge],
+        candidates: Dict[int, Set[int]],
+        clock,
+    ) -> Dict[int, Set[int]]:
+        """Bottom-up + top-down refinement over the tree edges (exact on trees)."""
+        context = self.context
+        changed = True
+        while changed:
+            changed = False
+            clock.check_time()
+            for edge in tree_edges:
+                tails = candidates[edge.source]
+                heads = candidates[edge.target]
+                allowed_tails = context.backward_sources(edge, heads) if heads else set()
+                new_tails = tails & allowed_tails
+                if len(new_tails) != len(tails):
+                    candidates[edge.source] = new_tails
+                    changed = True
+                allowed_heads = context.forward_targets(edge, tails) if tails else set()
+                new_heads = heads & allowed_heads
+                if len(new_heads) != len(heads):
+                    candidates[edge.target] = new_heads
+                    changed = True
+        return candidates
+
+    def _tree_adjacency(
+        self,
+        tree_edges: List[PatternEdge],
+        candidates: Dict[int, Set[int]],
+        clock,
+    ) -> Dict[Tuple[int, int], Dict[int, List[int]]]:
+        """Materialise, per tree edge, the matches restricted to candidates."""
+        context = self.context
+        graph = self.graph
+        adjacency: Dict[Tuple[int, int], Dict[int, List[int]]] = {}
+        for edge in tree_edges:
+            clock.check_time()
+            per_tail: Dict[int, List[int]] = {}
+            tails = candidates[edge.source]
+            heads = candidates[edge.target]
+            if edge.is_child:
+                for tail in tails:
+                    matched = graph.successor_set(tail) & heads
+                    if matched:
+                        per_tail[tail] = sorted(matched)
+            else:
+                reachability = context.reachability
+                use_bfs = len(heads) > 32
+                for tail in tails:
+                    if use_bfs:
+                        reachable = context.forward_reachable_set((tail,))
+                        matched = [head for head in heads if head in reachable]
+                    else:
+                        matched = [
+                            head
+                            for head in heads
+                            if (head != tail and reachability.reaches(tail, head))
+                            or (head == tail and reachability.reaches_strict(tail, head))
+                        ]
+                    if matched:
+                        per_tail[tail] = sorted(matched)
+            adjacency[edge.endpoints()] = per_tail
+        return adjacency
+
+    def _enumerate_tree(
+        self,
+        query: PatternQuery,
+        tree_edges: List[PatternEdge],
+        candidates: Dict[int, Set[int]],
+        adjacency: Dict[Tuple[int, int], Dict[int, List[int]]],
+        clock,
+    ) -> Iterator[Tuple[int, ...]]:
+        """Enumerate tree occurrences by backtracking along the tree structure."""
+        # Order nodes so each (after the first) is adjacent in the tree to an
+        # earlier node; record the connecting tree edge.
+        order: List[int] = [0]
+        placed = {0}
+        connecting: Dict[int, PatternEdge] = {}
+        while len(order) < query.num_nodes:
+            for edge in tree_edges:
+                if edge.source in placed and edge.target not in placed:
+                    connecting[edge.target] = edge
+                    order.append(edge.target)
+                    placed.add(edge.target)
+                elif edge.target in placed and edge.source not in placed:
+                    connecting[edge.source] = edge
+                    order.append(edge.source)
+                    placed.add(edge.source)
+
+        n = query.num_nodes
+        assignment: List[Optional[int]] = [None] * n
+
+        def options(position: int) -> List[int]:
+            node = order[position]
+            if position == 0:
+                return sorted(candidates[node])
+            edge = connecting[node]
+            if edge.target == node:
+                tail_value = assignment[edge.source]
+                return adjacency[edge.endpoints()].get(tail_value, [])
+            # node is the edge's source: need tails whose adjacency contains
+            # the already-assigned head.
+            head_value = assignment[edge.target]
+            per_tail = adjacency[edge.endpoints()]
+            return [tail for tail in candidates[node] if head_value in per_tail.get(tail, ())]
+
+        def recurse(position: int) -> Iterator[Tuple[int, ...]]:
+            clock.check_time()
+            if position == n:
+                yield tuple(assignment)  # indexed by query node id
+                return
+            node = order[position]
+            for value in options(position):
+                assignment[node] = value
+                yield from recurse(position + 1)
+                assignment[node] = None
+
+        yield from recurse(0)
+
+    # ------------------------------------------------------------------ #
+    # full evaluation
+    # ------------------------------------------------------------------ #
+
+    def match(self, query: PatternQuery, budget: Optional[Budget] = None) -> MatchReport:
+        """Evaluate ``query``: tree evaluation plus non-tree edge filtering."""
+        budget = budget or self.budget
+        clock = budget.start_clock()
+        start = time.perf_counter()
+        original_query = query
+        try:
+            if self.apply_transitive_reduction:
+                query = transitive_reduction(query)
+            candidates = (
+                node_prefilter(self.context, query)
+                if self.prefilter
+                else self.context.match_sets(query)
+            )
+            tree_edges, non_tree_edges = self.spanning_tree(query)
+            if tree_edges or query.num_edges == 0:
+                candidates = self._refine_tree_candidates(query, tree_edges, candidates, clock)
+            adjacency = self._tree_adjacency(tree_edges, candidates, clock)
+            matching_seconds = time.perf_counter() - start
+
+            enumeration_start = time.perf_counter()
+            occurrences: List[Tuple[int, ...]] = []
+            tree_solutions = 0
+            hit_limit = False
+            context = self.context
+            if all(candidates[node] for node in query.nodes()):
+                for tree_occurrence in self._enumerate_tree(
+                    query, tree_edges, candidates, adjacency, clock
+                ):
+                    tree_solutions += 1
+                    clock.check_intermediate(tree_solutions)
+                    satisfied = all(
+                        context.edge_match(
+                            edge, tree_occurrence[edge.source], tree_occurrence[edge.target]
+                        )
+                        for edge in non_tree_edges
+                    )
+                    if satisfied:
+                        occurrences.append(tree_occurrence)
+                        if clock.check_matches(len(occurrences)):
+                            hit_limit = True
+                            break
+            enumeration_seconds = time.perf_counter() - enumeration_start
+            status = MatchStatus.MATCH_LIMIT if hit_limit else MatchStatus.OK
+            return MatchReport(
+                query_name=original_query.name,
+                algorithm="TM",
+                status=status,
+                occurrences=occurrences,
+                num_matches=len(occurrences),
+                matching_seconds=matching_seconds,
+                enumeration_seconds=enumeration_seconds,
+                extra={"tree_solutions": tree_solutions, "non_tree_edges": len(non_tree_edges)},
+            )
+        except TimeoutExceeded:
+            return MatchReport(
+                query_name=original_query.name,
+                algorithm="TM",
+                status=MatchStatus.TIMEOUT,
+                matching_seconds=time.perf_counter() - start,
+            )
+        except MemoryBudgetExceeded:
+            return MatchReport(
+                query_name=original_query.name,
+                algorithm="TM",
+                status=MatchStatus.OUT_OF_MEMORY,
+                matching_seconds=time.perf_counter() - start,
+            )

@@ -1,0 +1,45 @@
+"""Plain-text rendering of benchmark tables and series."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = "") -> str:
+    """Render an aligned text table."""
+    rendered_rows: List[List[str]] = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(values: Sequence[str]) -> str:
+        return "  ".join(value.ljust(widths[index]) for index, value in enumerate(values))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append("  ".join("-" * width for width in widths))
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts)
+
+
+def format_series(
+    series: Mapping[str, Sequence[float]],
+    x_labels: Sequence[object],
+    title: str = "",
+    unit: str = "s",
+) -> str:
+    """Render one row per series with one column per x value (figure data)."""
+    headers = ["series"] + [str(label) for label in x_labels]
+    rows = []
+    for name, values in series.items():
+        rows.append([name] + [f"{value:.4f}{unit}" if value is not None else "-" for value in values])
+    return format_table(headers, rows, title=title)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)

@@ -1,0 +1,55 @@
+"""Run every experiment and print its table.
+
+Usage::
+
+    python -m repro.bench.run_all                 # all experiments
+    python -m repro.bench.run_all fig08 table5    # a subset
+    python -m repro.bench.run_all --output results.txt
+
+The drivers run at the default benchmark scale; pass ``--scale`` to shrink
+or enlarge the synthetic datasets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Command-line entry point."""
+    parser = argparse.ArgumentParser(description="Run the paper-reproduction experiments")
+    parser.add_argument("experiments", nargs="*", help="experiment ids (default: all)")
+    parser.add_argument("--scale", type=float, default=None, help="dataset scale override")
+    parser.add_argument("--output", type=str, default=None, help="also write the report to this file")
+    args = parser.parse_args(argv)
+
+    selected = args.experiments or list(ALL_EXPERIMENTS)
+    unknown = [name for name in selected if name not in ALL_EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {', '.join(unknown)}; available: {', '.join(ALL_EXPERIMENTS)}")
+
+    sections: List[str] = []
+    for name in selected:
+        driver = ALL_EXPERIMENTS[name]
+        start = time.perf_counter()
+        kwargs = {"scale": args.scale} if args.scale is not None else {}
+        report = driver(**kwargs)
+        elapsed = time.perf_counter() - start
+        section = report.text() + f"\n  (driver wall-clock: {elapsed:.1f}s)"
+        print(section)
+        print()
+        sections.append(section)
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write("\n\n".join(sections) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

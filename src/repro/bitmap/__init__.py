@@ -1,0 +1,33 @@
+"""Compressed bitmap substrate.
+
+The paper implements candidate occurrence sets and adjacency lists as
+RoaringBitmap instances and performs all direct-connectivity checks and
+multi-way joins as bitmap intersections (§6).  This package provides a
+pure-Python equivalent:
+
+* :class:`IntBitSet` — a thin wrapper over Python's arbitrary-precision
+  integers used as bit masks (the "bit vector" of Fig. 6);
+* :class:`RoaringBitmap` — a chunked container (array containers for sparse
+  chunks, bitmap containers for dense chunks) mirroring the original
+  Roaring design, including batch iteration;
+* aggregation helpers for multi-way intersection / union over either
+  representation (the ``FastAggregation`` utilities of the RoaringBitmap API).
+"""
+
+from repro.bitmap.intbitset import IntBitSet
+from repro.bitmap.roaring import RoaringBitmap
+from repro.bitmap.ops import (
+    intersect_many,
+    union_many,
+    intersection_size,
+    from_iterable,
+)
+
+__all__ = [
+    "IntBitSet",
+    "RoaringBitmap",
+    "intersect_many",
+    "union_many",
+    "intersection_size",
+    "from_iterable",
+]

@@ -1,0 +1,73 @@
+"""Multi-way aggregation helpers over bitmap sets.
+
+These mirror the ``FastAggregation`` utilities of the RoaringBitmap API the
+paper uses to implement multi-way intersections in MJoin (§6): the k-way
+intersection starts from the smallest operand and intersects pairwise in
+ascending size order, short-circuiting as soon as the running result is
+empty.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, TypeVar, Union
+
+from repro.bitmap.intbitset import IntBitSet
+from repro.bitmap.roaring import RoaringBitmap
+
+BitmapLike = Union[IntBitSet, RoaringBitmap]
+TBitmap = TypeVar("TBitmap", IntBitSet, RoaringBitmap)
+
+
+def from_iterable(items: Iterable[int], kind: str = "roaring") -> BitmapLike:
+    """Build a bitmap of the requested kind (``"roaring"`` or ``"int"``)."""
+    if kind == "roaring":
+        return RoaringBitmap(items)
+    if kind == "int":
+        return IntBitSet(items)
+    raise ValueError(f"unknown bitmap kind {kind!r}")
+
+
+def intersect_many(operands: Sequence[TBitmap]) -> TBitmap:
+    """Intersect all operands, smallest first, short-circuiting on empty.
+
+    Raises ``ValueError`` on an empty operand list because an empty
+    intersection is ill-defined (it would be the full universe).
+    """
+    if not operands:
+        raise ValueError("intersect_many needs at least one operand")
+    ordered = sorted(operands, key=len)
+    result = ordered[0].copy()
+    for operand in ordered[1:]:
+        result &= operand
+        if not result:
+            break
+    return result
+
+
+def union_many(operands: Sequence[TBitmap]) -> TBitmap:
+    """Union all operands; raises ``ValueError`` on an empty operand list."""
+    if not operands:
+        raise ValueError("union_many needs at least one operand")
+    result = operands[0].copy()
+    for operand in operands[1:]:
+        result |= operand
+    return result
+
+
+def intersection_size(left: BitmapLike, right: BitmapLike) -> int:
+    """Cardinality of ``left & right`` without materialising it."""
+    return left.intersection_size(right)  # type: ignore[arg-type]
+
+
+def intersect_iterables(sets: Sequence[Iterable[int]]) -> List[int]:
+    """Plain-Python k-way intersection used by the non-bitmap baselines."""
+    if not sets:
+        raise ValueError("intersect_iterables needs at least one operand")
+    materialised = [set(s) for s in sets]
+    materialised.sort(key=len)
+    result = materialised[0]
+    for other in materialised[1:]:
+        result = result & other
+        if not result:
+            break
+    return sorted(result)

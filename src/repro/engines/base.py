@@ -1,0 +1,147 @@
+"""Common scaffolding for the comparator query engines."""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import EngineError, MemoryBudgetExceeded, TimeoutExceeded
+from repro.graph.digraph import DataGraph
+from repro.matching.result import Budget, MatchReport, MatchStatus
+from repro.query.pattern import EdgeType, PatternEdge, PatternQuery
+from repro.reachability.transitive_closure import TransitiveClosureIndex
+
+
+@dataclass
+class EngineResult:
+    """Engine-level outcome: a :class:`MatchReport` plus precomputation cost."""
+
+    report: MatchReport
+    precompute_seconds: float = 0.0
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        """Query time excluding precomputation (the paper reports both)."""
+        return self.report.total_seconds
+
+
+def expand_descendant_edges(
+    graph: DataGraph, closure: Optional[TransitiveClosureIndex] = None
+) -> Tuple[DataGraph, float]:
+    """Materialise the transitive closure as extra edges of the data graph.
+
+    Engines that only support edge-to-edge semantics evaluate descendant
+    edges by first replacing the data graph with its transitive closure —
+    the indirect strategy the paper applies to GraphflowDB for D-queries
+    (§7.5).  Returns the expanded graph and the expansion time in seconds.
+    """
+    start = time.perf_counter()
+    closure = closure or TransitiveClosureIndex(graph)
+    edges = set(graph.edges())
+    edges.update(closure.closure_edges())
+    expanded = DataGraph(graph.labels, sorted(edges), name=f"{graph.name}-tc")
+    return expanded, time.perf_counter() - start
+
+
+class Engine(ABC):
+    """Base class for the comparator engines.
+
+    Engines natively support child-only queries.  If a query contains
+    descendant edges the engine either raises :class:`EngineError`
+    (``descendant_mode="reject"``), or rewrites the query against the
+    transitive-closure-expanded graph (``descendant_mode="closure"``),
+    charging the expansion to precomputation time.
+    """
+
+    name = "engine"
+
+    def __init__(
+        self,
+        graph: DataGraph,
+        budget: Optional[Budget] = None,
+        descendant_mode: str = "closure",
+    ) -> None:
+        self.graph = graph
+        self.budget = budget or Budget()
+        self.descendant_mode = descendant_mode
+        self._expanded_graph: Optional[DataGraph] = None
+        self._expansion_seconds = 0.0
+        self._precompute_seconds = 0.0
+        start = time.perf_counter()
+        self._precompute(graph)
+        self._precompute_seconds += time.perf_counter() - start
+
+    # ------------------------------------------------------------------ #
+    # hooks
+    # ------------------------------------------------------------------ #
+
+    def _precompute(self, graph: DataGraph) -> None:
+        """Per-engine precomputation (catalogs, indexes).  Default: none."""
+
+    @abstractmethod
+    def _evaluate(
+        self, graph: DataGraph, query: PatternQuery, budget: Budget
+    ) -> List[Tuple[int, ...]]:
+        """Enumerate occurrences of a child-only query on ``graph``."""
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+
+    @property
+    def precompute_seconds(self) -> float:
+        """Time spent on engine precomputation (catalog / index building)."""
+        return self._precompute_seconds
+
+    def _graph_for(self, query: PatternQuery) -> Tuple[DataGraph, PatternQuery]:
+        if not query.descendant_edges():
+            return self.graph, query
+        if self.descendant_mode == "reject":
+            raise EngineError(
+                f"{self.name} only supports child-only (edge-to-edge) queries"
+            )
+        if self._expanded_graph is None:
+            self._expanded_graph, self._expansion_seconds = expand_descendant_edges(self.graph)
+            self._precompute_seconds += self._expansion_seconds
+        rewritten_edges = [
+            PatternEdge(edge.source, edge.target, EdgeType.CHILD) for edge in query.edges()
+        ]
+        return self._expanded_graph, query.with_edges(rewritten_edges, name=query.name)
+
+    def match(self, query: PatternQuery, budget: Optional[Budget] = None) -> EngineResult:
+        """Evaluate ``query`` and wrap the outcome in an :class:`EngineResult`."""
+        budget = budget or self.budget
+        start = time.perf_counter()
+        try:
+            graph, rewritten = self._graph_for(query)
+            occurrences = self._evaluate(graph, rewritten, budget)
+            hit_limit = (
+                budget.max_matches is not None and len(occurrences) >= budget.max_matches
+            )
+            report = MatchReport(
+                query_name=query.name,
+                algorithm=self.name,
+                status=MatchStatus.MATCH_LIMIT if hit_limit else MatchStatus.OK,
+                occurrences=occurrences,
+                num_matches=len(occurrences),
+                matching_seconds=0.0,
+                enumeration_seconds=time.perf_counter() - start,
+            )
+        except TimeoutExceeded:
+            report = MatchReport(
+                query_name=query.name,
+                algorithm=self.name,
+                status=MatchStatus.TIMEOUT,
+                matching_seconds=time.perf_counter() - start,
+            )
+        except MemoryBudgetExceeded:
+            report = MatchReport(
+                query_name=query.name,
+                algorithm=self.name,
+                status=MatchStatus.OUT_OF_MEMORY,
+                matching_seconds=time.perf_counter() - start,
+            )
+        return EngineResult(report=report, precompute_seconds=self._precompute_seconds)

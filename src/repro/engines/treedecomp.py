@@ -1,0 +1,164 @@
+"""RapidMatch-like tree-decomposition engine.
+
+RapidMatch filters candidates along a spanning tree of the query, builds a
+relation per query edge restricted to the filtered candidates, and
+enumerates with worst-case-optimal joins whose order is derived from the
+query's dense substructure (nucleus decomposition).  The stand-in follows
+the same three steps with a degeneracy-style density order:
+
+1. candidate filtering: label filtering plus a bottom-up/top-down refinement
+   along a spanning tree of the query;
+2. edge-relation construction restricted to surviving candidates;
+3. WCO-style backtracking enumeration, visiting the densest query nodes
+   first (ties broken by candidate-set size).
+
+It supports child-only queries natively; descendant edges go through the
+transitive-closure expansion of the base class.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.graph.digraph import DataGraph
+from repro.matching.result import Budget
+from repro.query.pattern import PatternEdge, PatternQuery
+from repro.engines.base import Engine
+
+
+class TreeDecompEngine(Engine):
+    """Tree-filtered WCO enumeration engine (RapidMatch stand-in)."""
+
+    name = "RM"
+
+    # ------------------------------------------------------------------ #
+    # candidate filtering along a spanning tree
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _spanning_tree(query: PatternQuery) -> List[PatternEdge]:
+        in_tree = {0}
+        tree: List[PatternEdge] = []
+        remaining = list(query.edges())
+        progress = True
+        while progress and len(in_tree) < query.num_nodes:
+            progress = False
+            for edge in list(remaining):
+                if (edge.source in in_tree) ^ (edge.target in in_tree):
+                    tree.append(edge)
+                    in_tree.update(edge.endpoints())
+                    remaining.remove(edge)
+                    progress = True
+        return tree
+
+    def _filter_candidates(
+        self, graph: DataGraph, query: PatternQuery, clock
+    ) -> Dict[int, Set[int]]:
+        candidates = {
+            node: set(graph.inverted_set(query.label(node))) for node in query.nodes()
+        }
+        tree = self._spanning_tree(query)
+        changed = True
+        while changed:
+            changed = False
+            clock.check_time()
+            for edge in tree:
+                tails = candidates[edge.source]
+                heads = candidates[edge.target]
+                allowed_tails = set()
+                for head in heads:
+                    allowed_tails.update(graph.predecessors(head))
+                new_tails = tails & allowed_tails
+                if len(new_tails) != len(tails):
+                    candidates[edge.source] = new_tails
+                    changed = True
+                allowed_heads = set()
+                for tail in candidates[edge.source]:
+                    allowed_heads.update(graph.successors(tail))
+                new_heads = heads & allowed_heads
+                if len(new_heads) != len(heads):
+                    candidates[edge.target] = new_heads
+                    changed = True
+        return candidates
+
+    # ------------------------------------------------------------------ #
+    # density-driven ordering (nucleus-decomposition surrogate)
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _order(query: PatternQuery, candidates: Dict[int, Set[int]]) -> List[int]:
+        remaining = set(query.nodes())
+        start = max(
+            remaining, key=lambda node: (query.degree(node), -len(candidates[node]), -node)
+        )
+        order = [start]
+        remaining.discard(start)
+        while remaining:
+            frontier = [
+                node for node in remaining if any(n in order for n in query.neighbors(node))
+            ] or list(remaining)
+            chosen = max(
+                frontier,
+                key=lambda node: (
+                    sum(1 for n in query.neighbors(node) if n in order),
+                    query.degree(node),
+                    -len(candidates[node]),
+                    -node,
+                ),
+            )
+            order.append(chosen)
+            remaining.discard(chosen)
+        return order
+
+    # ------------------------------------------------------------------ #
+    # evaluation
+    # ------------------------------------------------------------------ #
+
+    def _evaluate(
+        self, graph: DataGraph, query: PatternQuery, budget: Budget
+    ) -> List[Tuple[int, ...]]:
+        clock = budget.start_clock()
+        candidates = self._filter_candidates(graph, query, clock)
+        if any(not candidate_set for candidate_set in candidates.values()):
+            return []
+        order = self._order(query, candidates)
+        n = query.num_nodes
+        assignment: List[Optional[int]] = [None] * n
+        occurrences: List[Tuple[int, ...]] = []
+        limit = budget.max_matches
+
+        def local_candidates(position: int) -> List[int]:
+            node = order[position]
+            operands: List[Set[int]] = []
+            for earlier in order[:position]:
+                value = assignment[earlier]
+                if query.has_edge(earlier, node):
+                    operands.append(graph.successor_set(value) & candidates[node])
+                if query.has_edge(node, earlier):
+                    operands.append(graph.predecessor_set(value) & candidates[node])
+            if not operands:
+                return list(candidates[node])
+            operands.sort(key=len)
+            result = operands[0]
+            for operand in operands[1:]:
+                result = result & operand
+                if not result:
+                    break
+            return list(result)
+
+        def recurse(position: int) -> bool:
+            clock.check_time()
+            if position == n:
+                occurrences.append(tuple(assignment))
+                return limit is not None and len(occurrences) >= limit
+            node = order[position]
+            for value in local_candidates(position):
+                assignment[node] = value
+                stop = recurse(position + 1)
+                assignment[node] = None
+                if stop:
+                    return True
+            return False
+
+        recurse(0)
+        return occurrences

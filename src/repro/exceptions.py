@@ -1,0 +1,71 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Raised for invalid data-graph construction or access."""
+
+
+class QueryError(ReproError):
+    """Raised for malformed pattern queries (bad edges, labels, parse errors)."""
+
+
+class QueryParseError(QueryError):
+    """Raised when the textual query DSL cannot be parsed."""
+
+
+class ReachabilityError(ReproError):
+    """Raised for invalid reachability-index construction or usage."""
+
+
+class MatchingError(ReproError):
+    """Raised for errors during pattern-matching execution."""
+
+
+class BudgetExceeded(MatchingError):
+    """Raised internally when a query exceeds its configured budget.
+
+    The budget can be a wall-clock time limit, a cap on the number of
+    enumerated matches, or a cap on intermediate-result size (the library's
+    stand-in for the out-of-memory failures reported in the paper).
+    Public APIs catch this exception and report the outcome through
+    :class:`repro.matching.result.MatchReport` rather than letting it escape.
+    """
+
+    def __init__(self, reason: str, detail: str = "") -> None:
+        super().__init__(f"budget exceeded: {reason}" + (f" ({detail})" if detail else ""))
+        self.reason = reason
+        self.detail = detail
+
+
+class TimeoutExceeded(BudgetExceeded):
+    """Raised when a query runs past its wall-clock budget."""
+
+    def __init__(self, limit_seconds: float) -> None:
+        super().__init__("timeout", f"limit={limit_seconds}s")
+        self.limit_seconds = limit_seconds
+
+
+class MemoryBudgetExceeded(BudgetExceeded):
+    """Raised when intermediate results exceed the configured cap.
+
+    This models the out-of-memory failures that the join-based baseline (JM)
+    and some engines exhibit in the paper's experiments.
+    """
+
+    def __init__(self, limit_items: int) -> None:
+        super().__init__("memory", f"limit={limit_items} intermediate tuples")
+        self.limit_items = limit_items
+
+
+class EngineError(ReproError):
+    """Raised by the comparator query engines for unsupported operations."""

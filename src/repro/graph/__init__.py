@@ -1,0 +1,68 @@
+"""Data-graph substrate: directed node-labelled graphs.
+
+The data model follows Definition 2.1 of the paper: a data graph is a
+directed graph whose nodes carry a single label from a finite alphabet.
+The package provides the core :class:`DataGraph` structure, a builder,
+file I/O, synthetic generators, structural transforms (SCC condensation,
+subgraph extraction) and synthetic stand-ins for the paper's datasets.
+"""
+
+from repro.graph.digraph import DataGraph
+from repro.graph.builder import GraphBuilder
+from repro.graph.generators import (
+    random_labeled_graph,
+    random_dag,
+    layered_graph,
+    power_law_graph,
+    clustered_graph,
+)
+from repro.graph.transform import (
+    condensation,
+    induced_subgraph,
+    node_prefix_subgraph,
+    relabel_nodes,
+    reverse_graph,
+    graph_statistics,
+    GraphStatistics,
+)
+from repro.graph.io import (
+    write_edge_list,
+    read_edge_list,
+    write_labels,
+    read_labels,
+    save_graph,
+    load_graph,
+)
+from repro.graph.datasets import (
+    DatasetSpec,
+    DATASET_SPECS,
+    load_dataset,
+    available_datasets,
+)
+
+__all__ = [
+    "DataGraph",
+    "GraphBuilder",
+    "random_labeled_graph",
+    "random_dag",
+    "layered_graph",
+    "power_law_graph",
+    "clustered_graph",
+    "condensation",
+    "induced_subgraph",
+    "node_prefix_subgraph",
+    "relabel_nodes",
+    "reverse_graph",
+    "graph_statistics",
+    "GraphStatistics",
+    "write_edge_list",
+    "read_edge_list",
+    "write_labels",
+    "read_labels",
+    "save_graph",
+    "load_graph",
+    "DatasetSpec",
+    "DATASET_SPECS",
+    "load_dataset",
+    "available_datasets",
+]

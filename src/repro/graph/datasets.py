@@ -1,0 +1,220 @@
+"""Synthetic stand-ins for the paper's datasets (Table 2).
+
+The paper evaluates on nine SNAP graphs.  This module exposes a registry of
+:class:`DatasetSpec` objects, one per paper dataset, that generates a graph
+with the same *shape* (label-alphabet size, density, broad topology) at a
+scale that runs comfortably on a laptop in pure Python.  The ``scale``
+argument of :func:`load_dataset` lets benchmarks trade fidelity for speed.
+
+Why this preserves the paper's behaviour: the relative performance of GM,
+JM and TM is governed by (a) inverted-list selectivity, driven by ``|L|``
+and ``|V|``; (b) per-node degree, which controls edge-match fan-out; and
+(c) reachability density, which controls descendant-edge match sizes.  Each
+generator is chosen to match the paper dataset on those axes; absolute node
+counts are scaled down, which scales absolute times but not the ordering of
+the algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.exceptions import GraphError
+from repro.graph.digraph import DataGraph
+from repro.graph.generators import (
+    clustered_graph,
+    layered_graph,
+    power_law_graph,
+    random_labeled_graph,
+)
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Description of a synthetic stand-in for a paper dataset.
+
+    Attributes
+    ----------
+    key:
+        Short name used in the paper (``yt``, ``hu``, ``hp``, ``ep``, ``db``,
+        ``em``, ``am``, ``bs``, ``go``).
+    domain:
+        Application domain reported in Table 2.
+    paper_nodes / paper_edges / paper_labels / paper_avg_degree:
+        The statistics of the original SNAP dataset, kept for reporting.
+    factory:
+        Callable ``(scale, seed) -> DataGraph`` building the synthetic graph.
+    """
+
+    key: str
+    domain: str
+    paper_nodes: int
+    paper_edges: int
+    paper_labels: int
+    paper_avg_degree: float
+    factory: Callable[[float, int], DataGraph]
+
+    def build(self, scale: float = 1.0, seed: int = 0) -> DataGraph:
+        """Build the synthetic graph at the given scale (1.0 = default size)."""
+        if scale <= 0:
+            raise GraphError("scale must be positive")
+        return self.factory(scale, seed)
+
+
+def _scaled(value: int, scale: float, minimum: int = 8) -> int:
+    return max(minimum, int(round(value * scale)))
+
+
+# Default synthetic sizes: ~1-3% of the paper sizes for the big graphs and
+# ~30-60% for the small biological ones, so that every benchmark completes in
+# seconds in pure Python while retaining the datasets' relative ordering.
+
+
+def _yeast(scale: float, seed: int) -> DataGraph:
+    return clustered_graph(
+        num_clusters=_scaled(40, scale, 4),
+        nodes_per_cluster=25,
+        intra_edges_per_node=4,
+        inter_edges_per_cluster=10,
+        num_labels=71,
+        seed=seed,
+        name="yt",
+    )
+
+
+def _human(scale: float, seed: int) -> DataGraph:
+    return clustered_graph(
+        num_clusters=_scaled(30, scale, 3),
+        nodes_per_cluster=30,
+        intra_edges_per_node=12,
+        inter_edges_per_cluster=40,
+        num_labels=44,
+        seed=seed,
+        name="hu",
+    )
+
+
+def _hprd(scale: float, seed: int) -> DataGraph:
+    return clustered_graph(
+        num_clusters=_scaled(60, scale, 6),
+        nodes_per_cluster=25,
+        intra_edges_per_node=4,
+        inter_edges_per_cluster=8,
+        num_labels=307,
+        seed=seed,
+        name="hp",
+    )
+
+
+def _epinions(scale: float, seed: int) -> DataGraph:
+    nodes = _scaled(2500, scale)
+    return power_law_graph(
+        num_nodes=nodes,
+        num_edges=int(nodes * 6.9),
+        num_labels=20,
+        exponent=1.6,
+        seed=seed,
+        name="ep",
+    )
+
+
+def _dblp(scale: float, seed: int) -> DataGraph:
+    nodes = _scaled(3000, scale)
+    return layered_graph(
+        num_layers=max(6, nodes // 400),
+        nodes_per_layer=400,
+        edges_per_node=3,
+        num_labels=20,
+        skip_probability=0.15,
+        seed=seed,
+        name="db",
+    )
+
+
+def _email(scale: float, seed: int) -> DataGraph:
+    nodes = _scaled(2600, scale)
+    return random_labeled_graph(
+        num_nodes=nodes,
+        num_edges=int(nodes * 2.6),
+        num_labels=20,
+        seed=seed,
+        name="em",
+    )
+
+
+def _amazon(scale: float, seed: int) -> DataGraph:
+    nodes = _scaled(3500, scale)
+    return power_law_graph(
+        num_nodes=nodes,
+        num_edges=int(nodes * 6.3),
+        num_labels=3,
+        exponent=1.4,
+        seed=seed,
+        name="am",
+    )
+
+
+def _berkstan(scale: float, seed: int) -> DataGraph:
+    nodes = _scaled(3500, scale)
+    return power_law_graph(
+        num_nodes=nodes,
+        num_edges=int(nodes * 8.0),
+        num_labels=5,
+        exponent=1.9,
+        seed=seed,
+        name="bs",
+    )
+
+
+def _google(scale: float, seed: int) -> DataGraph:
+    nodes = _scaled(4000, scale)
+    return power_law_graph(
+        num_nodes=nodes,
+        num_edges=int(nodes * 6.5),
+        num_labels=5,
+        exponent=1.7,
+        seed=seed,
+        name="go",
+    )
+
+
+DATASET_SPECS: Dict[str, DatasetSpec] = {
+    "yt": DatasetSpec("yt", "biology", 3_100, 12_000, 71, 8.05, _yeast),
+    "hu": DatasetSpec("hu", "biology", 4_600, 86_000, 44, 36.9, _human),
+    "hp": DatasetSpec("hp", "biology", 9_400, 35_000, 307, 7.4, _hprd),
+    "ep": DatasetSpec("ep", "social", 76_000, 509_000, 20, 6.87, _epinions),
+    "db": DatasetSpec("db", "social", 317_000, 1_049_000, 20, 6.62, _dblp),
+    "em": DatasetSpec("em", "communication", 265_000, 420_000, 20, 2.6, _email),
+    "am": DatasetSpec("am", "product", 403_000, 3_500_000, 3, 6.29, _amazon),
+    "bs": DatasetSpec("bs", "web", 685_000, 7_600_000, 5, 11.76, _berkstan),
+    "go": DatasetSpec("go", "web", 876_000, 5_100_000, 5, 6.47, _google),
+}
+
+
+def available_datasets() -> Tuple[str, ...]:
+    """Return the registered dataset keys in a stable order."""
+    return tuple(sorted(DATASET_SPECS))
+
+
+def load_dataset(key: str, scale: float = 1.0, seed: int = 0) -> DataGraph:
+    """Build the synthetic stand-in for the paper dataset ``key``.
+
+    Parameters
+    ----------
+    key:
+        One of the Table 2 abbreviations (``yt``, ``hu``, ``hp``, ``ep``,
+        ``db``, ``em``, ``am``, ``bs``, ``go``).
+    scale:
+        Size multiplier; 1.0 gives the default laptop-scale graph, smaller
+        values give faster benchmark graphs.
+    seed:
+        Seed for the deterministic generator.
+    """
+    try:
+        spec = DATASET_SPECS[key]
+    except KeyError as exc:
+        raise GraphError(
+            f"unknown dataset {key!r}; available: {', '.join(available_datasets())}"
+        ) from exc
+    return spec.build(scale=scale, seed=seed)

@@ -1,0 +1,288 @@
+"""Core directed, node-labelled data graph.
+
+:class:`DataGraph` is the immutable-after-construction structure that every
+algorithm in the library operates on.  Nodes are dense integer identifiers
+``0 .. n-1``; each node carries exactly one label.  The structure stores:
+
+* forward adjacency lists (``successors``) and backward adjacency lists
+  (``predecessors``), each sorted by node id;
+* the label of every node and the *inverted list* ``I_label`` (Definition 2.1
+  of the paper): the sorted list of nodes carrying a given label.
+
+Adjacency lists and inverted lists are exposed both as tuples (for ordered
+scans / binary search) and as frozensets (for O(1) membership tests), which
+is what the bitmap-free baselines use.  The bitmap-backed representations
+used by GM live in :mod:`repro.rig` and :mod:`repro.bitmap` and are built
+from this structure on demand.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+
+from repro.exceptions import GraphError
+
+
+class DataGraph:
+    """A directed node-labelled data graph with dense integer node ids.
+
+    Parameters
+    ----------
+    labels:
+        Sequence of labels, one per node; node ``i`` has label ``labels[i]``.
+    edges:
+        Iterable of ``(source, target)`` pairs.  Duplicate edges are
+        collapsed; self-loops are allowed (the paper's data graphs are
+        arbitrary directed graphs).
+    name:
+        Optional human-readable name (used by the dataset registry and the
+        benchmark reports).
+    """
+
+    __slots__ = (
+        "_labels",
+        "_succ",
+        "_pred",
+        "_succ_sets",
+        "_pred_sets",
+        "_inverted",
+        "_inverted_sets",
+        "_num_edges",
+        "name",
+    )
+
+    def __init__(
+        self,
+        labels: Sequence[str],
+        edges: Iterable[Tuple[int, int]],
+        name: str = "graph",
+    ) -> None:
+        n = len(labels)
+        self._labels: Tuple[str, ...] = tuple(str(label) for label in labels)
+        self.name = name
+
+        succ: List[List[int]] = [[] for _ in range(n)]
+        pred: List[List[int]] = [[] for _ in range(n)]
+        seen = set()
+        num_edges = 0
+        for u, v in edges:
+            if not (0 <= u < n) or not (0 <= v < n):
+                raise GraphError(f"edge ({u}, {v}) references a node outside 0..{n - 1}")
+            if (u, v) in seen:
+                continue
+            seen.add((u, v))
+            succ[u].append(v)
+            pred[v].append(u)
+            num_edges += 1
+
+        self._succ: Tuple[Tuple[int, ...], ...] = tuple(tuple(sorted(s)) for s in succ)
+        self._pred: Tuple[Tuple[int, ...], ...] = tuple(tuple(sorted(p)) for p in pred)
+        self._succ_sets: Tuple[frozenset, ...] = tuple(frozenset(s) for s in self._succ)
+        self._pred_sets: Tuple[frozenset, ...] = tuple(frozenset(p) for p in self._pred)
+        self._num_edges = num_edges
+
+        inverted: Dict[str, List[int]] = {}
+        for node, label in enumerate(self._labels):
+            inverted.setdefault(label, []).append(node)
+        self._inverted: Dict[str, Tuple[int, ...]] = {
+            label: tuple(nodes) for label, nodes in inverted.items()
+        }
+        self._inverted_sets: Dict[str, frozenset] = {
+            label: frozenset(nodes) for label, nodes in self._inverted.items()
+        }
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the graph."""
+        return len(self._labels)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of distinct directed edges in the graph."""
+        return self._num_edges
+
+    @property
+    def labels(self) -> Tuple[str, ...]:
+        """Tuple of node labels indexed by node id."""
+        return self._labels
+
+    def nodes(self) -> range:
+        """Iterate over node ids."""
+        return range(self.num_nodes)
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over all ``(source, target)`` edges."""
+        for u, targets in enumerate(self._succ):
+            for v in targets:
+                yield (u, v)
+
+    def label(self, node: int) -> str:
+        """Return the label of ``node``."""
+        return self._labels[node]
+
+    def label_alphabet(self) -> Tuple[str, ...]:
+        """Return the sorted tuple of distinct labels used in the graph."""
+        return tuple(sorted(self._inverted))
+
+    def num_labels(self) -> int:
+        """Return the number of distinct labels."""
+        return len(self._inverted)
+
+    # ------------------------------------------------------------------ #
+    # adjacency
+    # ------------------------------------------------------------------ #
+
+    def successors(self, node: int) -> Tuple[int, ...]:
+        """Sorted forward adjacency list (children) of ``node``."""
+        return self._succ[node]
+
+    def predecessors(self, node: int) -> Tuple[int, ...]:
+        """Sorted backward adjacency list (parents) of ``node``."""
+        return self._pred[node]
+
+    def successor_set(self, node: int) -> frozenset:
+        """Frozenset of children of ``node`` for O(1) membership tests."""
+        return self._succ_sets[node]
+
+    def predecessor_set(self, node: int) -> frozenset:
+        """Frozenset of parents of ``node`` for O(1) membership tests."""
+        return self._pred_sets[node]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return True if the directed edge ``(u, v)`` exists."""
+        return v in self._succ_sets[u]
+
+    def has_edge_binary_search(self, u: int, v: int) -> bool:
+        """Edge test by binary search over the sorted adjacency list.
+
+        This is the ``binSearch`` method compared in Fig. 12(a) of the paper;
+        :meth:`has_edge` (hash-set membership) and the bitmap-based methods in
+        :mod:`repro.rig` are the alternatives.
+        """
+        adjacency = self._succ[u]
+        index = bisect_left(adjacency, v)
+        return index < len(adjacency) and adjacency[index] == v
+
+    def out_degree(self, node: int) -> int:
+        """Number of outgoing edges of ``node``."""
+        return len(self._succ[node])
+
+    def in_degree(self, node: int) -> int:
+        """Number of incoming edges of ``node``."""
+        return len(self._pred[node])
+
+    def degree(self, node: int) -> int:
+        """Total (in + out) degree of ``node``."""
+        return len(self._succ[node]) + len(self._pred[node])
+
+    # ------------------------------------------------------------------ #
+    # inverted label lists
+    # ------------------------------------------------------------------ #
+
+    def inverted_list(self, label: str) -> Tuple[int, ...]:
+        """Sorted inverted list ``I_label``: nodes carrying ``label``."""
+        return self._inverted.get(label, ())
+
+    def inverted_set(self, label: str) -> frozenset:
+        """Frozenset variant of :meth:`inverted_list`."""
+        return self._inverted_sets.get(label, frozenset())
+
+    def inverted_lists(self) -> Mapping[str, Tuple[int, ...]]:
+        """Mapping from every label to its inverted list."""
+        return dict(self._inverted)
+
+    def max_inverted_list_size(self) -> int:
+        """Size of the largest inverted list (``|I_max|`` in the paper)."""
+        if not self._inverted:
+            return 0
+        return max(len(nodes) for nodes in self._inverted.values())
+
+    # ------------------------------------------------------------------ #
+    # traversal helpers
+    # ------------------------------------------------------------------ #
+
+    def bfs_forward(self, source: int) -> List[int]:
+        """Return all nodes reachable from ``source`` (including itself)."""
+        visited = [False] * self.num_nodes
+        visited[source] = True
+        order = [source]
+        frontier = [source]
+        while frontier:
+            next_frontier: List[int] = []
+            for node in frontier:
+                for child in self._succ[node]:
+                    if not visited[child]:
+                        visited[child] = True
+                        order.append(child)
+                        next_frontier.append(child)
+            frontier = next_frontier
+        return order
+
+    def bfs_backward(self, source: int) -> List[int]:
+        """Return all nodes that can reach ``source`` (including itself)."""
+        visited = [False] * self.num_nodes
+        visited[source] = True
+        order = [source]
+        frontier = [source]
+        while frontier:
+            next_frontier: List[int] = []
+            for node in frontier:
+                for parent in self._pred[node]:
+                    if not visited[parent]:
+                        visited[parent] = True
+                        order.append(parent)
+                        next_frontier.append(parent)
+            frontier = next_frontier
+        return order
+
+    def reaches_bfs(self, u: int, v: int) -> bool:
+        """Ground-truth reachability check by BFS (used by tests and oracles).
+
+        Node ``u`` reaches ``v`` if there is a non-empty path from ``u`` to
+        ``v`` or ``u == v`` — the paper's ``u ≺ v`` treats every node as
+        reaching itself through a trivial path only when an edge exists;
+        here we follow the common convention used by its reachability index
+        (BFL): ``reaches(u, u)`` is True.
+        """
+        if u == v:
+            return True
+        visited = [False] * self.num_nodes
+        visited[u] = True
+        frontier = [u]
+        while frontier:
+            next_frontier: List[int] = []
+            for node in frontier:
+                for child in self._succ[node]:
+                    if child == v:
+                        return True
+                    if not visited[child]:
+                        visited[child] = True
+                        next_frontier.append(child)
+            frontier = next_frontier
+        return False
+
+    # ------------------------------------------------------------------ #
+    # dunder helpers
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self.num_nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DataGraph(name={self.name!r}, nodes={self.num_nodes}, "
+            f"edges={self.num_edges}, labels={self.num_labels()})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DataGraph):
+            return NotImplemented
+        return self._labels == other._labels and self._succ == other._succ
+
+    def __hash__(self) -> int:
+        return hash((self._labels, self._succ))

@@ -1,0 +1,115 @@
+"""Plain-text persistence for data graphs.
+
+Two simple formats are supported:
+
+* **edge list** — one ``source target`` pair per line, ``#`` comments allowed
+  (the SNAP collection distributes its graphs this way);
+* **label file** — one ``node label`` pair per line.
+
+:func:`save_graph` / :func:`load_graph` bundle the two into a pair of files
+sharing a stem (``<stem>.edges`` and ``<stem>.labels``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Tuple
+
+from repro.exceptions import GraphError
+from repro.graph.digraph import DataGraph
+
+
+def write_edge_list(graph: DataGraph, path: str) -> None:
+    """Write the graph's edges to ``path`` in SNAP edge-list format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# {graph.name}: {graph.num_nodes} nodes, {graph.num_edges} edges\n")
+        for source, target in graph.edges():
+            handle.write(f"{source}\t{target}\n")
+
+
+def read_edge_list(path: str) -> List[Tuple[int, int]]:
+    """Read ``(source, target)`` pairs from an edge-list file."""
+    edges: List[Tuple[int, int]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            parts = stripped.split()
+            if len(parts) < 2:
+                raise GraphError(f"{path}:{line_number}: expected 'source target', got {line!r}")
+            edges.append((int(parts[0]), int(parts[1])))
+    return edges
+
+
+def write_labels(graph: DataGraph, path: str) -> None:
+    """Write node labels to ``path``, one ``node label`` pair per line."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# {graph.name}: labels for {graph.num_nodes} nodes\n")
+        for node in graph.nodes():
+            handle.write(f"{node}\t{graph.label(node)}\n")
+
+
+def read_labels(path: str) -> Dict[int, str]:
+    """Read a node-to-label mapping from a label file."""
+    labels: Dict[int, str] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            parts = stripped.split()
+            if len(parts) < 2:
+                raise GraphError(f"{path}:{line_number}: expected 'node label', got {line!r}")
+            labels[int(parts[0])] = parts[1]
+    return labels
+
+
+def save_graph(graph: DataGraph, stem: str) -> Tuple[str, str]:
+    """Persist ``graph`` as ``<stem>.edges`` and ``<stem>.labels``.
+
+    Returns the pair of file paths written.
+    """
+    edge_path = stem + ".edges"
+    label_path = stem + ".labels"
+    write_edge_list(graph, edge_path)
+    write_labels(graph, label_path)
+    return edge_path, label_path
+
+
+def load_graph(stem: str, name: str | None = None) -> DataGraph:
+    """Load a graph previously written by :func:`save_graph`."""
+    edge_path = stem + ".edges"
+    label_path = stem + ".labels"
+    if not os.path.exists(edge_path):
+        raise GraphError(f"missing edge file {edge_path}")
+    if not os.path.exists(label_path):
+        raise GraphError(f"missing label file {label_path}")
+    edges = read_edge_list(edge_path)
+    label_map = read_labels(label_path)
+    return graph_from_parts(label_map, edges, name=name or os.path.basename(stem))
+
+
+def graph_from_parts(
+    label_map: Dict[int, str], edges: Iterable[Tuple[int, int]], name: str = "graph"
+) -> DataGraph:
+    """Assemble a :class:`DataGraph` from a label mapping and an edge list.
+
+    Node ids referenced by edges but absent from ``label_map`` are rejected,
+    because every node of a data graph must carry a label (Definition 2.1).
+    """
+    if not label_map:
+        return DataGraph([], [], name=name)
+    max_node = max(label_map)
+    labels: List[str] = ["" for _ in range(max_node + 1)]
+    for node, label in label_map.items():
+        if node < 0:
+            raise GraphError(f"negative node id {node}")
+        labels[node] = label
+    missing = [node for node, label in enumerate(labels) if label == ""]
+    if missing:
+        raise GraphError(f"nodes without a label: {missing[:10]}")
+    for source, target in edges:
+        if source > max_node or target > max_node or source < 0 or target < 0:
+            raise GraphError(f"edge ({source}, {target}) references an unlabelled node")
+    return DataGraph(labels, edges, name=name)

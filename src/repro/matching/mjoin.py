@@ -1,0 +1,159 @@
+"""MJoin: multiway-intersection occurrence enumeration (Algorithm 5).
+
+Given a runtime index graph, MJoin enumerates the query's occurrences by a
+backtracking search that matches one query node per step.  At step ``i`` the
+local candidate set of the current query node is obtained by intersecting
+its RIG candidate set with the RIG adjacency lists of every already-matched
+neighbour — a node-at-a-time (worst-case-optimal-style) multiway join that
+never materialises intermediate relations.
+
+The enumerator supports the paper's match cap and wall-clock budget, and an
+``injective`` flag that adds the one-to-one constraint of subgraph
+isomorphism (the extension the paper calls "promising" in §7.2).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import TimeoutExceeded
+from repro.matching.ordering import OrderingMethod, search_order
+from repro.matching.result import Budget, BudgetClock
+from repro.rig.graph import RuntimeIndexGraph
+
+
+def _local_candidates(
+    rig: RuntimeIndexGraph,
+    order: Sequence[int],
+    assignment: List[Optional[int]],
+    position: int,
+) -> List[int]:
+    """Compute ``cos_i`` for the query node at ``order[position]``.
+
+    Intersects the node's RIG candidate set with the adjacency lists of the
+    already-matched neighbours, smallest operand first.
+    """
+    query = rig.query
+    current = order[position]
+    operands = []
+    for earlier_position in range(position):
+        previous = order[earlier_position]
+        value = assignment[earlier_position]
+        if query.has_edge(current, previous):
+            operands.append(rig.backward_adjacency(current, previous, value))
+        if query.has_edge(previous, current):
+            operands.append(rig.forward_adjacency(previous, current, value))
+    base = rig.candidates(current)
+    if not operands:
+        return list(base)
+    operands.sort(key=len)  # type: ignore[arg-type]
+    result = None
+    for operand in operands:
+        if result is None:
+            result = set(operand)
+        else:
+            result &= set(operand) if not isinstance(operand, (set, frozenset)) else operand
+        if not result:
+            return []
+    # Finally restrict to the candidate set (cheap when result is small).
+    if isinstance(base, (set, frozenset)):
+        return [value for value in result if value in base]
+    return [value for value in result if value in base]
+
+
+def mjoin_iter(
+    rig: RuntimeIndexGraph,
+    order: Optional[Sequence[int]] = None,
+    budget: Optional[Budget] = None,
+    injective: bool = False,
+) -> Iterator[Tuple[int, ...]]:
+    """Lazily enumerate occurrences from ``rig``.
+
+    Yields tuples indexed by *query node id* (not search-order position), so
+    the tuple layout is stable across orderings.  Raises
+    :class:`TimeoutExceeded` if the budget's time limit is hit; the match cap
+    is handled by the caller simply stopping iteration.
+    """
+    query = rig.query
+    if rig.is_empty():
+        return
+    if order is None:
+        order = search_order(query, rig, OrderingMethod.JO)
+    order = list(order)
+    n = query.num_nodes
+    clock = budget.start_clock() if budget is not None else None
+
+    assignment: List[Optional[int]] = [None] * n
+    used: set = set()
+    # Iterative backtracking: stack of candidate iterators per position.
+    iterators: List[Iterator[int]] = [iter(_local_candidates(rig, order, assignment, 0))]
+    position = 0
+    while position >= 0:
+        if clock is not None:
+            clock.check_time()
+        try:
+            candidate = next(iterators[position])
+        except StopIteration:
+            position -= 1
+            if position >= 0 and assignment[position] is not None and injective:
+                used.discard(assignment[position])
+            if position >= 0:
+                assignment[position] = None
+            iterators.pop()
+            continue
+        if injective and candidate in used:
+            continue
+        assignment[position] = candidate
+        if injective:
+            used.add(candidate)
+        if position + 1 == n:
+            occurrence = [0] * n
+            for index, query_node in enumerate(order):
+                occurrence[query_node] = assignment[index]  # type: ignore[assignment]
+            yield tuple(occurrence)
+            if injective:
+                used.discard(candidate)
+            assignment[position] = None
+            continue
+        position += 1
+        iterators.append(iter(_local_candidates(rig, order, assignment, position)))
+
+
+def mjoin(
+    rig: RuntimeIndexGraph,
+    order: Optional[Sequence[int]] = None,
+    budget: Optional[Budget] = None,
+    injective: bool = False,
+) -> Tuple[List[Tuple[int, ...]], bool, float]:
+    """Enumerate occurrences eagerly.
+
+    Returns ``(occurrences, hit_match_limit, elapsed_seconds)``.  A
+    :class:`TimeoutExceeded` exception propagates to the caller (GM converts
+    it into a timed-out :class:`MatchReport`).
+    """
+    start = time.perf_counter()
+    occurrences: List[Tuple[int, ...]] = []
+    hit_limit = False
+    clock = budget.start_clock() if budget is not None else None
+    for occurrence in mjoin_iter(rig, order=order, budget=budget, injective=injective):
+        occurrences.append(occurrence)
+        if clock is not None and clock.check_matches(len(occurrences)):
+            hit_limit = True
+            break
+    return occurrences, hit_limit, time.perf_counter() - start
+
+
+def count_matches(
+    rig: RuntimeIndexGraph,
+    order: Optional[Sequence[int]] = None,
+    budget: Optional[Budget] = None,
+) -> int:
+    """Count occurrences without materialising them (subject to the budget)."""
+    count = 0
+    clock = budget.start_clock() if budget is not None else None
+    for _ in mjoin_iter(rig, order=order, budget=budget):
+        count += 1
+        if clock is not None and clock.check_matches(count):
+            break
+    return count

@@ -1,0 +1,202 @@
+"""Search-order selection for occurrence enumeration (§5.2).
+
+Three strategies, matching the paper's experimental comparison (Table 4):
+
+* ``JO`` — greedy, RIG-statistics-driven: start from the query node with the
+  smallest candidate occurrence set, then repeatedly append the adjacent
+  query node with the smallest candidate set (connectivity enforced to avoid
+  Cartesian products).
+* ``RI`` — purely topological (Bonnici et al.): prefer nodes with the most
+  edges to already-ordered nodes, breaking ties by edges to unordered
+  neighbours of ordered nodes, then by degree; independent of the data.
+* ``BJ`` — dynamic programming over left-deep plans, minimising an estimated
+  intermediate-result cost derived from RIG candidate-set and edge
+  cardinalities.  Exponential in the number of query nodes, so it refuses
+  queries beyond a node limit (the paper observes it "does not scale to
+  large queries with tens of nodes").
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from itertools import combinations
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import MatchingError
+from repro.query.pattern import PatternQuery
+from repro.rig.graph import RuntimeIndexGraph
+
+
+class OrderingMethod(Enum):
+    """Available search-order strategies."""
+
+    JO = "jo"
+    RI = "ri"
+    BJ = "bj"
+
+
+def _connected_prefix_check(query: PatternQuery, order: Sequence[int]) -> bool:
+    """True if every prefix of ``order`` induces a connected subquery."""
+    placed = set()
+    for index, node in enumerate(order):
+        if index and not any(neighbor in placed for neighbor in query.neighbors(node)):
+            return False
+        placed.add(node)
+    return True
+
+
+# ---------------------------------------------------------------------- #
+# JO — greedy cardinality-based ordering
+# ---------------------------------------------------------------------- #
+
+
+def jo_order(query: PatternQuery, rig: RuntimeIndexGraph) -> List[int]:
+    """Greedy join ordering driven by RIG candidate-set cardinalities."""
+    remaining = set(query.nodes())
+    sizes = {node: rig.candidate_count(node) for node in query.nodes()}
+    start = min(remaining, key=lambda node: (sizes[node], node))
+    order = [start]
+    remaining.discard(start)
+    while remaining:
+        frontier = [
+            node
+            for node in remaining
+            if any(neighbor in order for neighbor in query.neighbors(node))
+        ]
+        if not frontier:
+            # Disconnected query (should not happen for paper queries); fall
+            # back to the globally smallest remaining node.
+            frontier = list(remaining)
+        chosen = min(frontier, key=lambda node: (sizes[node], node))
+        order.append(chosen)
+        remaining.discard(chosen)
+    return order
+
+
+# ---------------------------------------------------------------------- #
+# RI — topology-only ordering
+# ---------------------------------------------------------------------- #
+
+
+def ri_order(query: PatternQuery) -> List[int]:
+    """RI ordering: maximise constraints introduced early, data-independent."""
+    remaining = set(query.nodes())
+    start = max(remaining, key=lambda node: (query.degree(node), -node))
+    order = [start]
+    ordered = {start}
+    remaining.discard(start)
+    while remaining:
+        def score(node: int) -> Tuple[int, int, int, int]:
+            neighbors = set(query.neighbors(node))
+            # Edges to already-ordered nodes (the constraints this node adds).
+            to_ordered = len(neighbors & ordered)
+            # Neighbours of ordered nodes that are also neighbours of node
+            # (RI's second criterion: "lookahead" connectivity).
+            ordered_frontier = {
+                other
+                for placed in ordered
+                for other in query.neighbors(placed)
+                if other not in ordered
+            }
+            lookahead = len(neighbors & ordered_frontier)
+            return (to_ordered, lookahead, query.degree(node), -node)
+
+        candidates = [node for node in remaining if set(query.neighbors(node)) & ordered]
+        if not candidates:
+            candidates = list(remaining)
+        chosen = max(candidates, key=score)
+        order.append(chosen)
+        ordered.add(chosen)
+        remaining.discard(chosen)
+    return order
+
+
+# ---------------------------------------------------------------------- #
+# BJ — dynamic programming over left-deep plans
+# ---------------------------------------------------------------------- #
+
+
+def _edge_selectivity(rig: RuntimeIndexGraph, source: int, target: int) -> float:
+    """Estimated fraction of candidate pairs connected under a query edge."""
+    tail = rig.candidate_count(source)
+    head = rig.candidate_count(target)
+    if tail == 0 or head == 0:
+        return 0.0
+    return rig.edge_candidate_count(source, target) / float(tail * head)
+
+
+def bj_order(
+    query: PatternQuery, rig: RuntimeIndexGraph, max_nodes: int = 18
+) -> List[int]:
+    """Optimal left-deep ordering by subset dynamic programming.
+
+    The cost of an order is the estimated total number of intermediate
+    tuples produced when extending the partial match node by node, using
+    independence-assumption selectivity estimates from the RIG.  Raises
+    :class:`MatchingError` for queries with more than ``max_nodes`` nodes
+    (the DP enumerates all subsets).
+    """
+    n = query.num_nodes
+    if n > max_nodes:
+        raise MatchingError(
+            f"BJ ordering is limited to {max_nodes} query nodes (query has {n})"
+        )
+    sizes = {node: float(max(rig.candidate_count(node), 1)) for node in query.nodes()}
+    selectivity: Dict[Tuple[int, int], float] = {}
+    for edge in query.edges():
+        selectivity[edge.endpoints()] = max(_edge_selectivity(rig, *edge.endpoints()), 1e-9)
+
+    def extension_cardinality(prefix_cardinality: float, prefix: frozenset, node: int) -> float:
+        estimate = prefix_cardinality * sizes[node]
+        for other in prefix:
+            if query.has_edge(node, other):
+                estimate *= selectivity[(node, other)]
+            if query.has_edge(other, node):
+                estimate *= selectivity[(other, node)]
+        return estimate
+
+    # DP state: frozenset of placed nodes -> (total cost, result cardinality, order)
+    best: Dict[frozenset, Tuple[float, float, Tuple[int, ...]]] = {}
+    for node in query.nodes():
+        state = frozenset((node,))
+        best[state] = (sizes[node], sizes[node], (node,))
+
+    for size in range(1, n):
+        current_states = [state for state in best if len(state) == size]
+        for state in current_states:
+            cost, cardinality, order = best[state]
+            for node in query.nodes():
+                if node in state:
+                    continue
+                # Enforce connectivity except when nothing is adjacent.
+                adjacent = any(neighbor in state for neighbor in query.neighbors(node))
+                if not adjacent and any(
+                    any(neighbor in state for neighbor in query.neighbors(candidate))
+                    for candidate in query.nodes()
+                    if candidate not in state
+                ):
+                    continue
+                new_cardinality = extension_cardinality(cardinality, state, node)
+                new_cost = cost + new_cardinality
+                new_state = state | {node}
+                incumbent = best.get(new_state)
+                if incumbent is None or new_cost < incumbent[0]:
+                    best[new_state] = (new_cost, new_cardinality, order + (node,))
+
+    full = frozenset(query.nodes())
+    return list(best[full][2])
+
+
+def search_order(
+    query: PatternQuery,
+    rig: RuntimeIndexGraph,
+    method: OrderingMethod = OrderingMethod.JO,
+) -> List[int]:
+    """Compute a search order with the requested strategy."""
+    if method is OrderingMethod.JO:
+        return jo_order(query, rig)
+    if method is OrderingMethod.RI:
+        return ri_order(query)
+    if method is OrderingMethod.BJ:
+        return bj_order(query, rig)
+    raise MatchingError(f"unknown ordering method {method!r}")

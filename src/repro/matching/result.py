@@ -1,0 +1,129 @@
+"""Match results, budgets and outcome reporting.
+
+The paper's experiments cap each query at 10^7 enumerated matches and a
+10-minute wall-clock budget, and report join-based failures as out-of-memory
+(intermediate-result explosion).  :class:`Budget` carries those three limits
+(scaled-down defaults); :class:`MatchReport` records the outcome of one query
+evaluation — matches found, phase timings, and how the evaluation ended.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import MemoryBudgetExceeded, TimeoutExceeded
+
+
+class MatchStatus(Enum):
+    """How a query evaluation ended."""
+
+    #: Completed: every occurrence (up to the match cap) was enumerated.
+    OK = "ok"
+    #: Stopped at the match cap (counted as solved, as in the paper).
+    MATCH_LIMIT = "match_limit"
+    #: Stopped by the wall-clock budget (the paper's "time out").
+    TIMEOUT = "timeout"
+    #: Stopped by the intermediate-result cap (the paper's "out of memory").
+    OUT_OF_MEMORY = "out_of_memory"
+
+    def is_solved(self) -> bool:
+        """True if the query is counted as solved in the paper's tables."""
+        return self in (MatchStatus.OK, MatchStatus.MATCH_LIMIT)
+
+
+@dataclass
+class Budget:
+    """Per-query evaluation limits."""
+
+    #: Maximum number of occurrences to enumerate (None = unlimited).
+    max_matches: Optional[int] = 100_000
+    #: Wall-clock limit in seconds (None = unlimited).
+    time_limit_seconds: Optional[float] = None
+    #: Cap on intermediate-result tuples for join-based algorithms
+    #: (None = unlimited); models the paper's out-of-memory failures.
+    max_intermediate_results: Optional[int] = 2_000_000
+
+    def start_clock(self) -> "BudgetClock":
+        """Begin tracking this budget for one query evaluation."""
+        return BudgetClock(self)
+
+
+class BudgetClock:
+    """Tracks one evaluation against a :class:`Budget`.
+
+    The clock is checked from tight inner loops, so the time check is
+    amortised: the wall clock is read only every ``check_interval`` calls.
+    """
+
+    __slots__ = ("budget", "_start", "_calls", "check_interval")
+
+    def __init__(self, budget: Budget, check_interval: int = 2048) -> None:
+        self.budget = budget
+        self._start = time.perf_counter()
+        self._calls = 0
+        self.check_interval = check_interval
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since the clock started."""
+        return time.perf_counter() - self._start
+
+    def check_time(self) -> None:
+        """Raise :class:`TimeoutExceeded` if the time budget is exhausted."""
+        limit = self.budget.time_limit_seconds
+        if limit is None:
+            return
+        self._calls += 1
+        if self._calls % self.check_interval:
+            return
+        if self.elapsed > limit:
+            raise TimeoutExceeded(limit)
+
+    def check_matches(self, count: int) -> bool:
+        """Return True if the match cap has been reached."""
+        limit = self.budget.max_matches
+        return limit is not None and count >= limit
+
+    def check_intermediate(self, count: int) -> None:
+        """Raise :class:`MemoryBudgetExceeded` if the intermediate cap is hit."""
+        limit = self.budget.max_intermediate_results
+        if limit is not None and count > limit:
+            raise MemoryBudgetExceeded(limit)
+
+
+@dataclass
+class MatchReport:
+    """Outcome of evaluating one pattern query with one algorithm."""
+
+    query_name: str
+    algorithm: str
+    status: MatchStatus
+    occurrences: List[Tuple[int, ...]] = field(default_factory=list)
+    num_matches: int = 0
+    matching_seconds: float = 0.0
+    enumeration_seconds: float = 0.0
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        """Total query time: matching (filtering + RIG + plan) + enumeration."""
+        return self.matching_seconds + self.enumeration_seconds
+
+    @property
+    def solved(self) -> bool:
+        """True if the evaluation is counted as solved."""
+        return self.status.is_solved()
+
+    def occurrence_set(self) -> frozenset:
+        """The occurrences as a frozenset of tuples (for answer comparison)."""
+        return frozenset(self.occurrences)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.algorithm} on {self.query_name}: {self.num_matches} matches, "
+            f"{self.total_seconds:.4f}s ({self.status.value})"
+        )

@@ -1,0 +1,52 @@
+"""Hybrid graph pattern queries.
+
+A pattern query (Definition 2.3/2.4 of the paper) is a connected directed
+graph whose nodes carry labels and whose edges are either *direct* (child)
+edges — mapped to single data-graph edges — or *reachability* (descendant)
+edges — mapped to paths.  This package provides the query model, a small
+textual DSL, query transitive closure / reduction (§3), structural
+classification (acyclic / cyclic / clique / combo), the template library
+used by the paper's evaluation (HQ0–HQ19) and random query generators.
+"""
+
+from repro.query.pattern import EdgeType, PatternEdge, PatternQuery
+from repro.query.parser import parse_query, format_query
+from repro.query.transitive import (
+    transitive_closure,
+    transitive_reduction,
+    is_transitive_edge,
+)
+from repro.query.classify import QueryClass, classify_query, is_dag, topological_order
+from repro.query.generators import (
+    QUERY_TEMPLATES,
+    template_query,
+    instantiate_template,
+    all_template_queries,
+    random_pattern_query,
+    to_child_only,
+    to_descendant_only,
+    to_hybrid,
+)
+
+__all__ = [
+    "EdgeType",
+    "PatternEdge",
+    "PatternQuery",
+    "parse_query",
+    "format_query",
+    "transitive_closure",
+    "transitive_reduction",
+    "is_transitive_edge",
+    "QueryClass",
+    "classify_query",
+    "is_dag",
+    "topological_order",
+    "QUERY_TEMPLATES",
+    "template_query",
+    "instantiate_template",
+    "all_template_queries",
+    "random_pattern_query",
+    "to_child_only",
+    "to_descendant_only",
+    "to_hybrid",
+]

@@ -1,0 +1,75 @@
+"""A small textual DSL for pattern queries.
+
+Grammar (line-oriented; ``#`` starts a comment)::
+
+    node <id> <label>
+    edge <source> -> <target>      # direct (child) edge
+    edge <source> => <target>      # reachability (descendant) edge
+
+Node ids may be arbitrary identifiers; they are mapped to dense integers in
+order of first appearance.  :func:`format_query` emits the same format, so
+``parse_query(format_query(q))`` round-trips.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.exceptions import QueryParseError
+from repro.query.pattern import EdgeType, PatternQuery
+
+
+def parse_query(text: str, name: str = "query") -> PatternQuery:
+    """Parse the DSL in ``text`` into a :class:`PatternQuery`."""
+    node_ids: Dict[str, int] = {}
+    labels: List[str] = []
+    edges: List[Tuple[int, int, EdgeType]] = []
+
+    def node_index(token: str, line_number: int) -> int:
+        if token not in node_ids:
+            raise QueryParseError(f"line {line_number}: unknown node {token!r} (declare it with 'node')")
+        return node_ids[token]
+
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        keyword = parts[0].lower()
+        if keyword == "node":
+            if len(parts) != 3:
+                raise QueryParseError(f"line {line_number}: expected 'node <id> <label>'")
+            _, node_token, label = parts
+            if node_token in node_ids:
+                raise QueryParseError(f"line {line_number}: node {node_token!r} declared twice")
+            node_ids[node_token] = len(labels)
+            labels.append(label)
+        elif keyword == "edge":
+            if len(parts) != 4:
+                raise QueryParseError(
+                    f"line {line_number}: expected 'edge <source> -> <target>' or 'edge <source> => <target>'"
+                )
+            _, source_token, arrow, target_token = parts
+            if arrow == "->":
+                edge_type = EdgeType.CHILD
+            elif arrow == "=>":
+                edge_type = EdgeType.DESCENDANT
+            else:
+                raise QueryParseError(f"line {line_number}: unknown arrow {arrow!r} (use -> or =>)")
+            edges.append((node_index(source_token, line_number), node_index(target_token, line_number), edge_type))
+        else:
+            raise QueryParseError(f"line {line_number}: unknown directive {keyword!r}")
+
+    if not labels:
+        raise QueryParseError("query text declares no nodes")
+    return PatternQuery(labels, edges, name=name)
+
+
+def format_query(query: PatternQuery) -> str:
+    """Serialise ``query`` back into the DSL accepted by :func:`parse_query`."""
+    lines = [f"# {query.name}: {query.num_nodes} nodes, {query.num_edges} edges"]
+    for node in query.nodes():
+        lines.append(f"node n{node} {query.label(node)}")
+    for edge in query.edges():
+        lines.append(f"edge n{edge.source} {edge.edge_type.symbol()} n{edge.target}")
+    return "\n".join(lines) + "\n"

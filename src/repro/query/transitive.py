@@ -1,0 +1,96 @@
+"""Query transitive closure and transitive reduction (paper §3).
+
+A reachability edge ``(x, y)`` of a pattern query is *transitive* when the
+query contains another simple directed path from ``x`` to ``y`` (built from
+direct and/or reachability edges).  Transitive edges are redundant — the
+path already implies the reachability constraint — and removing them before
+evaluation avoids expensive edge-to-path match computations.
+
+* :func:`transitive_closure` adds a reachability edge ``(x, y)`` for every
+  pair with ``x`` reaching ``y`` in the query (inference rules IR1/IR2).
+* :func:`transitive_reduction` removes redundant reachability edges,
+  producing the minimal equivalent query that GM evaluates by default
+  (the GM-NR ablation of Fig. 15 skips this step).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.query.pattern import EdgeType, PatternEdge, PatternQuery
+
+
+def _reachable(query_edges: List[PatternEdge], num_nodes: int, source: int, target: int) -> bool:
+    """Is there a directed path from ``source`` to ``target`` over ``query_edges``?"""
+    adjacency: List[List[int]] = [[] for _ in range(num_nodes)]
+    for edge in query_edges:
+        adjacency[edge.source].append(edge.target)
+    if source == target:
+        return True
+    seen = {source}
+    frontier = [source]
+    while frontier:
+        node = frontier.pop()
+        for child in adjacency[node]:
+            if child == target:
+                return True
+            if child not in seen:
+                seen.add(child)
+                frontier.append(child)
+    return False
+
+
+def is_transitive_edge(query: PatternQuery, edge: PatternEdge) -> bool:
+    """True if ``edge`` is a reachability edge implied by another path in ``query``."""
+    if not edge.is_descendant:
+        return False
+    remaining = [other for other in query.edges() if other.endpoints() != edge.endpoints()]
+    return _reachable(remaining, query.num_nodes, edge.source, edge.target)
+
+
+def transitive_closure(query: PatternQuery) -> PatternQuery:
+    """Return the query transitive closure (IR1 + IR2, applied to a fixpoint).
+
+    The closure keeps every original edge and adds a reachability edge
+    ``(x, y)`` for every ordered pair of distinct query nodes with ``x``
+    reaching ``y`` through the query's edges.
+    """
+    edges: List[PatternEdge] = list(query.edges())
+    existing: Set[Tuple[int, int]] = {edge.endpoints() for edge in edges}
+    all_edges = list(edges)
+    for source in query.nodes():
+        for target in query.nodes():
+            if source == target or (source, target) in existing:
+                continue
+            if _reachable(all_edges, query.num_nodes, source, target):
+                edges.append(PatternEdge(source, target, EdgeType.DESCENDANT))
+                existing.add((source, target))
+    return query.with_edges(edges, name=f"{query.name}-closure")
+
+
+def transitive_reduction(query: PatternQuery) -> PatternQuery:
+    """Remove redundant reachability edges from ``query``.
+
+    Direct (child) edges are never removed — they constrain the match more
+    tightly than any path.  Reachability edges are dropped greedily: an edge
+    is removed when, given the edges still present, another directed path
+    connects its endpoints.  For acyclic queries this yields the unique
+    transitive reduction; for cyclic queries it yields one of the minimal
+    equivalent forms (Definition 3.1 notes uniqueness may fail with cycles).
+    """
+    kept: List[PatternEdge] = list(query.edges())
+    # Examine reachability edges in a deterministic order; repeatedly try to
+    # drop edges until no more can be dropped.
+    changed = True
+    while changed:
+        changed = False
+        for edge in list(kept):
+            if not edge.is_descendant:
+                continue
+            remaining = [other for other in kept if other.endpoints() != edge.endpoints()]
+            if _reachable(remaining, query.num_nodes, edge.source, edge.target):
+                kept = remaining
+                changed = True
+    if len(kept) == query.num_edges:
+        return query
+    return query.with_edges(kept, name=query.name)

@@ -1,0 +1,207 @@
+"""The runtime index graph data structure.
+
+A :class:`RuntimeIndexGraph` stores, for a fixed pattern query:
+
+* ``cos(q)`` — the candidate occurrence set of every query node;
+* for every query edge ``(p, q)`` and every candidate ``vp ∈ cos(p)``, the
+  *forward adjacency list* — the candidates of ``q`` that ``vp`` connects to
+  under the edge's semantics — and symmetrically the *backward adjacency
+  list* of every candidate of ``q``.
+
+Adjacency is indexed by query edge, as §4.5 describes ("the outgoing and
+incoming edges of vq are indexed by the parents and children of query node
+q"), so the enumeration phase can intersect exactly the lists it needs.
+The set representation is pluggable: plain Python ``set`` (default, fastest
+in CPython) or the library's :class:`RoaringBitmap` / :class:`IntBitSet`
+(the paper's §6 representation, exercised by the Fig. 12 ablation).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.bitmap.intbitset import IntBitSet
+from repro.bitmap.roaring import RoaringBitmap
+from repro.exceptions import MatchingError
+from repro.query.pattern import PatternEdge, PatternQuery
+
+#: Factory signature: build a set-like object from an iterable of ints.
+SetFactory = Callable[[Iterable[int]], object]
+
+_SET_FACTORIES: Dict[str, SetFactory] = {
+    "set": lambda items: set(items),
+    "frozenset": lambda items: frozenset(items),
+    "roaring": lambda items: RoaringBitmap(items),
+    "intbitset": lambda items: IntBitSet(items),
+}
+
+
+class RuntimeIndexGraph:
+    """K-partite candidate graph for one pattern query over one data graph."""
+
+    def __init__(self, query: PatternQuery, set_kind: str = "set") -> None:
+        if set_kind not in _SET_FACTORIES:
+            raise MatchingError(
+                f"unknown set kind {set_kind!r}; available: {', '.join(sorted(_SET_FACTORIES))}"
+            )
+        self.query = query
+        self.set_kind = set_kind
+        self._factory = _SET_FACTORIES[set_kind]
+        self._cos: Dict[int, object] = {node: self._factory(()) for node in query.nodes()}
+        # forward adjacency: (edge endpoints) -> {tail candidate -> set of head candidates}
+        self._forward: Dict[Tuple[int, int], Dict[int, object]] = {
+            edge.endpoints(): {} for edge in query.edges()
+        }
+        self._backward: Dict[Tuple[int, int], Dict[int, object]] = {
+            edge.endpoints(): {} for edge in query.edges()
+        }
+
+    # ------------------------------------------------------------------ #
+    # construction API (used by BuildRIG)
+    # ------------------------------------------------------------------ #
+
+    def make_set(self, items: Iterable[int]):
+        """Build a set-like object of the RIG's configured kind."""
+        return self._factory(items)
+
+    def set_candidates(self, query_node: int, candidates: Iterable[int]) -> None:
+        """Define ``cos(query_node)``."""
+        self._cos[query_node] = self._factory(candidates)
+
+    def add_edge_candidates(
+        self, edge: PatternEdge, tail: int, heads: Iterable[int]
+    ) -> None:
+        """Record that ``tail`` connects to each of ``heads`` under ``edge``."""
+        key = edge.endpoints()
+        head_list = list(heads)
+        if not head_list:
+            return
+        forward = self._forward[key]
+        existing = forward.get(tail)
+        if existing is None:
+            forward[tail] = self._factory(head_list)
+        else:
+            for head in head_list:
+                existing.add(head)  # type: ignore[attr-defined]
+        backward = self._backward[key]
+        for head in head_list:
+            back = backward.get(head)
+            if back is None:
+                backward[head] = self._factory((tail,))
+            else:
+                back.add(tail)  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------ #
+    # read API (used by MJoin and statistics)
+    # ------------------------------------------------------------------ #
+
+    def candidates(self, query_node: int):
+        """``cos(query_node)`` as a set-like object."""
+        return self._cos[query_node]
+
+    def candidate_count(self, query_node: int) -> int:
+        """``|cos(query_node)|``."""
+        return len(self._cos[query_node])  # type: ignore[arg-type]
+
+    def forward_adjacency(self, source: int, target: int, tail: int):
+        """Candidates of ``target`` adjacent to ``tail`` under edge (source, target).
+
+        Returns an empty set-like object if ``tail`` has no adjacency.
+        """
+        adjacency = self._forward[(source, target)].get(tail)
+        if adjacency is None:
+            return self._factory(())
+        return adjacency
+
+    def backward_adjacency(self, source: int, target: int, head: int):
+        """Candidates of ``source`` adjacent to ``head`` under edge (source, target)."""
+        adjacency = self._backward[(source, target)].get(head)
+        if adjacency is None:
+            return self._factory(())
+        return adjacency
+
+    def edge_candidate_count(self, source: int, target: int) -> int:
+        """``|cos(e)|`` for the query edge ``(source, target)``."""
+        return sum(len(heads) for heads in self._forward[(source, target)].values())  # type: ignore[arg-type]
+
+    def edge_candidates(self, source: int, target: int) -> Iterator[Tuple[int, int]]:
+        """Iterate over the candidate pairs of a query edge."""
+        for tail, heads in self._forward[(source, target)].items():
+            for head in heads:  # type: ignore[attr-defined]
+                yield (tail, head)
+
+    # ------------------------------------------------------------------ #
+    # aggregate measures
+    # ------------------------------------------------------------------ #
+
+    def num_rig_nodes(self) -> int:
+        """Total number of candidate (query node, data node) pairs."""
+        return sum(len(candidates) for candidates in self._cos.values())  # type: ignore[arg-type]
+
+    def num_rig_edges(self) -> int:
+        """Total number of candidate edge pairs across all query edges."""
+        return sum(
+            self.edge_candidate_count(source, target) for (source, target) in self._forward
+        )
+
+    def size(self) -> int:
+        """Total RIG size: candidate nodes plus candidate edges."""
+        return self.num_rig_nodes() + self.num_rig_edges()
+
+    def is_empty(self) -> bool:
+        """True if some query node has no candidates (the answer is empty)."""
+        return any(len(candidates) == 0 for candidates in self._cos.values())  # type: ignore[arg-type]
+
+    def prune_unmatched_candidates(self) -> int:
+        """Drop candidates that lost all adjacency on some incident query edge.
+
+        After expansion a candidate may have an empty adjacency list for one
+        of its query node's edges, which means it cannot participate in any
+        occurrence.  Removing such nodes tightens the RIG; returns the number
+        of candidates removed.
+        """
+        removed_total = 0
+        changed = True
+        while changed:
+            changed = False
+            for edge in self.query.edges():
+                key = edge.endpoints()
+                source_candidates = self._cos[edge.source]
+                target_candidates = self._cos[edge.target]
+                forward = self._forward[key]
+                backward = self._backward[key]
+                # Tails must have at least one head among current candidates.
+                dead_tails = [
+                    tail
+                    for tail in list(source_candidates)  # type: ignore[call-overload]
+                    if not self._has_live_partner(forward.get(tail), target_candidates)
+                ]
+                for tail in dead_tails:
+                    source_candidates.discard(tail)  # type: ignore[attr-defined]
+                    removed_total += 1
+                    changed = True
+                dead_heads = [
+                    head
+                    for head in list(target_candidates)  # type: ignore[call-overload]
+                    if not self._has_live_partner(backward.get(head), source_candidates)
+                ]
+                for head in dead_heads:
+                    target_candidates.discard(head)  # type: ignore[attr-defined]
+                    removed_total += 1
+                    changed = True
+        return removed_total
+
+    @staticmethod
+    def _has_live_partner(adjacency, live_candidates) -> bool:
+        if adjacency is None:
+            return False
+        for partner in adjacency:
+            if partner in live_candidates:
+                return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RuntimeIndexGraph(query={self.query.name!r}, nodes={self.num_rig_nodes()}, "
+            f"edges={self.num_rig_edges()}, kind={self.set_kind!r})"
+        )

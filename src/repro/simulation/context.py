@@ -1,0 +1,204 @@
+"""Shared evaluation context: match sets, edge matches, batch expansions.
+
+:class:`MatchContext` bundles the data graph, a reachability index and the
+derived structures every phase of query evaluation needs:
+
+* per-label inverted lists (match sets);
+* per-node label summaries of ancestors / descendants (used by node
+  pre-filtering);
+* edge-match tests ``(u, v) ∈ ms(e)`` for child and descendant edges;
+* *batch* forward / backward expansion over candidate sets, which is the
+  set-at-a-time formulation (§4.5 "batch checking direct connectivity
+  constraints") that both the simulation algorithms and BuildRIG use.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, FrozenSet, Iterable, Optional, Set
+
+from repro.graph.digraph import DataGraph
+from repro.query.pattern import PatternEdge, PatternQuery
+from repro.reachability.base import ReachabilityIndex
+from repro.reachability.factory import build_reachability_index
+
+
+class ChildCheckMethod(Enum):
+    """How direct-connectivity constraints are checked (Fig. 12a)."""
+
+    #: Per-pair binary search over the sorted adjacency list.
+    BIN_SEARCH = "binSearch"
+    #: Per-node intersection of the adjacency list with the candidate set.
+    BIT_ITER = "bitIter"
+    #: Batch: union of adjacency lists, one intersection with the candidate set.
+    BIT_BAT = "bitBat"
+
+
+class MatchContext:
+    """Evaluation context shared by simulation, RIG construction and joins."""
+
+    def __init__(
+        self,
+        graph: DataGraph,
+        reachability: Optional[ReachabilityIndex] = None,
+        reachability_kind: str = "bfl",
+    ) -> None:
+        self.graph = graph
+        self.reachability = reachability or build_reachability_index(graph, kind=reachability_kind)
+        self._descendant_labels: Optional[list] = None
+        self._ancestor_labels: Optional[list] = None
+
+    # ------------------------------------------------------------------ #
+    # match sets
+    # ------------------------------------------------------------------ #
+
+    def match_set(self, query: PatternQuery, node: int) -> FrozenSet[int]:
+        """``ms(q)``: the inverted list of the query node's label."""
+        return self.graph.inverted_set(query.label(node))
+
+    def match_sets(self, query: PatternQuery) -> Dict[int, Set[int]]:
+        """Mutable copies of ``ms(q)`` for every query node."""
+        return {node: set(self.match_set(query, node)) for node in query.nodes()}
+
+    # ------------------------------------------------------------------ #
+    # edge matches
+    # ------------------------------------------------------------------ #
+
+    def edge_match(self, edge: PatternEdge, u: int, v: int) -> bool:
+        """Is the data pair ``(u, v)`` a match of the query edge (labels aside)?
+
+        For a direct edge this is an edge test; for a reachability edge it is
+        a path-existence test (a path of length >= 1, so a pair ``(u, u)``
+        only matches when ``u`` lies on a cycle).
+        """
+        if edge.is_child:
+            return self.graph.has_edge(u, v)
+        if u == v:
+            return self.reachability.reaches_strict(u, v)
+        return self.reachability.reaches(u, v)
+
+    def edge_match_with_method(
+        self, edge: PatternEdge, u: int, v: int, method: ChildCheckMethod
+    ) -> bool:
+        """Like :meth:`edge_match` but honouring the child-check method."""
+        if edge.is_child and method is ChildCheckMethod.BIN_SEARCH:
+            return self.graph.has_edge_binary_search(u, v)
+        return self.edge_match(edge, u, v)
+
+    # ------------------------------------------------------------------ #
+    # batch expansions over candidate sets
+    # ------------------------------------------------------------------ #
+
+    def forward_reachable_set(self, sources: Iterable[int]) -> Set[int]:
+        """All nodes reachable from ``sources`` through a path of length >= 1."""
+        graph = self.graph
+        visited: Set[int] = set()
+        frontier = list({child for source in sources for child in graph.successors(source)})
+        visited.update(frontier)
+        while frontier:
+            next_frontier = []
+            for node in frontier:
+                for child in graph.successors(node):
+                    if child not in visited:
+                        visited.add(child)
+                        next_frontier.append(child)
+            frontier = next_frontier
+        return visited
+
+    def backward_reachable_set(self, targets: Iterable[int]) -> Set[int]:
+        """All nodes that reach some node of ``targets`` through a path of length >= 1."""
+        graph = self.graph
+        visited: Set[int] = set()
+        frontier = list({parent for target in targets for parent in graph.predecessors(target)})
+        visited.update(frontier)
+        while frontier:
+            next_frontier = []
+            for node in frontier:
+                for parent in graph.predecessors(node):
+                    if parent not in visited:
+                        visited.add(parent)
+                        next_frontier.append(parent)
+            frontier = next_frontier
+        return visited
+
+    def forward_targets(self, edge: PatternEdge, sources: Iterable[int]) -> Set[int]:
+        """Batch expansion: all data nodes ``v`` with some ``u`` in ``sources``
+        such that ``(u, v) ∈ ms(edge)`` (ignoring labels)."""
+        if edge.is_child:
+            graph = self.graph
+            result: Set[int] = set()
+            for source in sources:
+                result.update(graph.successors(source))
+            return result
+        return self.forward_reachable_set(sources)
+
+    def backward_sources(self, edge: PatternEdge, targets: Iterable[int]) -> Set[int]:
+        """Batch expansion: all data nodes ``u`` with some ``v`` in ``targets``
+        such that ``(u, v) ∈ ms(edge)`` (ignoring labels)."""
+        if edge.is_child:
+            graph = self.graph
+            result: Set[int] = set()
+            for target in targets:
+                result.update(graph.predecessors(target))
+            return result
+        return self.backward_reachable_set(targets)
+
+    # ------------------------------------------------------------------ #
+    # label summaries for node pre-filtering
+    # ------------------------------------------------------------------ #
+
+    def _compute_label_summaries(self) -> None:
+        """Compute, per data node, the label sets of its ancestors/descendants.
+
+        A fixpoint propagation over the graph: descendant labels flow against
+        edge direction (from children to parents), ancestor labels flow along
+        edge direction.  On cyclic graphs the fixpoint still converges because
+        label sets only grow and are bounded by the alphabet.
+        """
+        graph = self.graph
+        n = graph.num_nodes
+        label_bit = {label: 1 << index for index, label in enumerate(graph.label_alphabet())}
+        self._label_bit = label_bit
+
+        descendant = [0] * n
+        changed = True
+        while changed:
+            changed = False
+            for node in range(n):
+                bits = descendant[node]
+                for child in graph.successors(node):
+                    bits |= descendant[child] | label_bit[graph.label(child)]
+                if bits != descendant[node]:
+                    descendant[node] = bits
+                    changed = True
+        ancestor = [0] * n
+        changed = True
+        while changed:
+            changed = False
+            for node in range(n):
+                bits = ancestor[node]
+                for parent in graph.predecessors(node):
+                    bits |= ancestor[parent] | label_bit[graph.label(parent)]
+                if bits != ancestor[node]:
+                    ancestor[node] = bits
+                    changed = True
+        self._descendant_labels = descendant
+        self._ancestor_labels = ancestor
+
+    def descendant_label_bits(self, node: int) -> int:
+        """Bit mask of labels appearing among the strict descendants of ``node``."""
+        if self._descendant_labels is None:
+            self._compute_label_summaries()
+        return self._descendant_labels[node]
+
+    def ancestor_label_bits(self, node: int) -> int:
+        """Bit mask of labels appearing among the strict ancestors of ``node``."""
+        if self._ancestor_labels is None:
+            self._compute_label_summaries()
+        return self._ancestor_labels[node]
+
+    def label_bit(self, label: str) -> int:
+        """Bit assigned to ``label`` in the label summaries (0 if unknown)."""
+        if self._descendant_labels is None:
+            self._compute_label_summaries()
+        return self._label_bit.get(label, 0)

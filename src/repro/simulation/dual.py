@@ -1,0 +1,45 @@
+"""Classic dual simulation (edge-to-edge only).
+
+Dual simulation [Ma et al., TODS 2014] is double simulation's ancestor: the
+same forward + backward conditions, but every query edge is treated as a
+direct edge (edge-to-edge mapping only).  It is kept as a comparison point:
+on hybrid or descendant-edge queries it over-prunes — it may remove data
+nodes that *do* participate in edge-to-path homomorphisms — which is exactly
+why the paper introduces double simulation (§4.2, "existing simulation-based
+pruning techniques consider only edge-to-edge matching").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.query.pattern import EdgeType, PatternEdge, PatternQuery
+from repro.simulation.context import MatchContext
+from repro.simulation.fbsim import SimulationOptions, SimulationResult, fbsim_basic
+
+
+def dual_simulation(
+    context: MatchContext,
+    query: PatternQuery,
+    initial: Optional[Dict[int, Set[int]]] = None,
+) -> SimulationResult:
+    """Compute the dual simulation of ``query`` by the data graph.
+
+    All query edges are coerced to direct edges before running the standard
+    double-simulation fixpoint, which makes the result the classic dual
+    simulation.  The returned :class:`SimulationResult` reports the
+    algorithm name ``"DualSim"``.
+    """
+    coerced_edges = [
+        PatternEdge(edge.source, edge.target, EdgeType.CHILD) for edge in query.edges()
+    ]
+    coerced = query.with_edges(coerced_edges, name=f"{query.name}-dual")
+    result = fbsim_basic(context, coerced, initial, SimulationOptions())
+    return SimulationResult(
+        candidates=result.candidates,
+        passes=result.passes,
+        pruned=result.pruned,
+        algorithm="DualSim",
+        elapsed_seconds=result.elapsed_seconds,
+        pruned_per_pass=result.pruned_per_pass,
+    )

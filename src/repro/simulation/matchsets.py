@@ -1,0 +1,89 @@
+"""Match sets and node pre-filtering.
+
+Node pre-filtering is the technique of [11, 63] (applied to JM and TM, and
+to GM in its GM-F ablation): before any join or simulation, prune from the
+inverted list of each query node the data nodes that cannot satisfy the
+query node's local structural constraints — the labels required among its
+children / parents (for direct edges) and among its descendants / ancestors
+(for reachability edges).  This is strictly weaker than double simulation
+(it ignores which *specific* candidate provides the support), which is what
+the Fig. 13 experiment demonstrates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.query.pattern import PatternQuery
+from repro.simulation.context import MatchContext
+
+
+def match_sets(context: MatchContext, query: PatternQuery) -> Dict[int, Set[int]]:
+    """``ms(q)`` for every query node: mutable copies of the inverted lists."""
+    return context.match_sets(query)
+
+
+def node_prefilter(context: MatchContext, query: PatternQuery) -> Dict[int, Set[int]]:
+    """Prune match sets with label-level structural constraints.
+
+    For every query node ``q`` and candidate data node ``v``:
+
+    * for each outgoing direct edge ``(q, q')``, some child of ``v`` must
+      carry ``label(q')``;
+    * for each outgoing reachability edge, some strict descendant of ``v``
+      must carry ``label(q')``;
+    * symmetrically for incoming edges with parents / ancestors.
+
+    Candidates violating any constraint are dropped.  The filter is
+    label-based only, so it cannot prune nodes whose support is itself
+    pruned — that is double simulation's job.
+    """
+    graph = context.graph
+    candidates = context.match_sets(query)
+
+    for node in query.nodes():
+        out_child_labels = []
+        out_desc_labels = []
+        for child in query.children(node):
+            edge = query.edge(node, child)
+            if edge.is_child:
+                out_child_labels.append(query.label(child))
+            else:
+                out_desc_labels.append(query.label(child))
+        in_child_labels = []
+        in_desc_labels = []
+        for parent in query.parents(node):
+            edge = query.edge(parent, node)
+            if edge.is_child:
+                in_child_labels.append(query.label(parent))
+            else:
+                in_desc_labels.append(query.label(parent))
+
+        if not (out_child_labels or out_desc_labels or in_child_labels or in_desc_labels):
+            continue
+
+        desc_bits_needed = 0
+        for label in out_desc_labels:
+            desc_bits_needed |= context.label_bit(label)
+        anc_bits_needed = 0
+        for label in in_desc_labels:
+            anc_bits_needed |= context.label_bit(label)
+
+        surviving = set()
+        for candidate in candidates[node]:
+            ok = True
+            if out_child_labels:
+                child_labels = {graph.label(child) for child in graph.successors(candidate)}
+                ok = all(label in child_labels for label in out_child_labels)
+            if ok and in_child_labels:
+                parent_labels = {graph.label(parent) for parent in graph.predecessors(candidate)}
+                ok = all(label in parent_labels for label in in_child_labels)
+            if ok and desc_bits_needed:
+                ok = (context.descendant_label_bits(candidate) & desc_bits_needed) == desc_bits_needed
+            if ok and anc_bits_needed:
+                ok = (context.ancestor_label_bits(candidate) & anc_bits_needed) == anc_bits_needed
+            if ok:
+                surviving.add(candidate)
+        candidates[node] = surviving
+
+    return candidates

@@ -1,0 +1,221 @@
+"""Unit tests for IntBitSet, RoaringBitmap and the aggregation helpers."""
+
+import pytest
+
+from repro.bitmap.intbitset import IntBitSet
+from repro.bitmap.ops import from_iterable, intersect_iterables, intersect_many, intersection_size, union_many
+from repro.bitmap.roaring import ARRAY_TO_BITMAP_THRESHOLD, CHUNK_SIZE, RoaringBitmap
+
+
+class TestIntBitSet:
+    def test_construction_and_membership(self):
+        bitset = IntBitSet([1, 5, 9])
+        assert 5 in bitset
+        assert 2 not in bitset
+        assert len(bitset) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            IntBitSet([-1])
+        with pytest.raises(ValueError):
+            IntBitSet().add(-3)
+
+    def test_add_discard(self):
+        bitset = IntBitSet()
+        bitset.add(7)
+        assert 7 in bitset
+        bitset.discard(7)
+        assert 7 not in bitset
+        bitset.discard(100)  # discarding a missing element is a no-op
+
+    def test_iteration_sorted(self):
+        assert IntBitSet([9, 1, 4]).to_list() == [1, 4, 9]
+
+    def test_min_max(self):
+        bitset = IntBitSet([3, 17, 8])
+        assert bitset.min() == 3
+        assert bitset.max() == 17
+        with pytest.raises(ValueError):
+            IntBitSet().min()
+        with pytest.raises(ValueError):
+            IntBitSet().max()
+
+    def test_set_algebra(self):
+        a = IntBitSet([1, 2, 3])
+        b = IntBitSet([2, 3, 4])
+        assert (a & b).to_list() == [2, 3]
+        assert (a | b).to_list() == [1, 2, 3, 4]
+        assert (a - b).to_list() == [1]
+        assert (a ^ b).to_list() == [1, 4]
+
+    def test_inplace_algebra(self):
+        a = IntBitSet([1, 2, 3])
+        a &= IntBitSet([2, 3])
+        assert a.to_list() == [2, 3]
+        a |= IntBitSet([9])
+        assert 9 in a
+
+    def test_subset_superset(self):
+        assert IntBitSet([1, 2]).issubset(IntBitSet([1, 2, 3]))
+        assert IntBitSet([1, 2, 3]).issuperset(IntBitSet([2]))
+        assert not IntBitSet([1, 5]).issubset(IntBitSet([1, 2, 3]))
+
+    def test_intersection_size_and_intersects(self):
+        a = IntBitSet([1, 2, 3])
+        b = IntBitSet([3, 4])
+        assert a.intersection_size(b) == 1
+        assert a.intersects(b)
+        assert not a.intersects(IntBitSet([10]))
+
+    def test_full_range(self):
+        assert IntBitSet.full_range(4).to_list() == [0, 1, 2, 3]
+        assert IntBitSet.full_range(0).to_list() == []
+
+    def test_copy_independent(self):
+        a = IntBitSet([1])
+        b = a.copy()
+        b.add(2)
+        assert 2 not in a
+
+    def test_equality_and_bool(self):
+        assert IntBitSet([1, 2]) == IntBitSet([2, 1])
+        assert bool(IntBitSet([0]))
+        assert not bool(IntBitSet())
+
+
+class TestRoaringBitmap:
+    def test_basic_membership(self):
+        bitmap = RoaringBitmap([3, 70_000, 5])
+        assert 3 in bitmap
+        assert 70_000 in bitmap
+        assert 4 not in bitmap
+        assert -1 not in bitmap
+        assert len(bitmap) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            RoaringBitmap([-2])
+
+    def test_iteration_sorted_across_chunks(self):
+        values = [CHUNK_SIZE + 1, 5, CHUNK_SIZE * 2, 0]
+        assert RoaringBitmap(values).to_list() == sorted(values)
+
+    def test_add_discard(self):
+        bitmap = RoaringBitmap()
+        bitmap.add(12)
+        bitmap.add(12)
+        assert len(bitmap) == 1
+        bitmap.discard(12)
+        assert len(bitmap) == 0
+        bitmap.discard(999)  # no-op
+        bitmap.discard(-5)  # no-op
+
+    def test_container_conversion_to_bitmap(self):
+        # Exceed the array-container threshold within one chunk.
+        values = list(range(ARRAY_TO_BITMAP_THRESHOLD + 10))
+        bitmap = RoaringBitmap(values)
+        assert len(bitmap) == len(values)
+        assert bitmap.to_list() == values
+        assert ARRAY_TO_BITMAP_THRESHOLD - 1 in bitmap
+
+    def test_from_sorted(self):
+        values = [1, 2, 3, CHUNK_SIZE + 7]
+        assert RoaringBitmap.from_sorted(values).to_list() == values
+
+    def test_intersection_mixed_containers(self):
+        dense = RoaringBitmap(range(ARRAY_TO_BITMAP_THRESHOLD + 100))
+        sparse = RoaringBitmap([5, 10, ARRAY_TO_BITMAP_THRESHOLD + 50, 200_000])
+        result = dense & sparse
+        assert result.to_list() == [5, 10, ARRAY_TO_BITMAP_THRESHOLD + 50]
+
+    def test_union(self):
+        a = RoaringBitmap([1, 2])
+        b = RoaringBitmap([2, 70_000])
+        assert (a | b).to_list() == [1, 2, 70_000]
+
+    def test_difference(self):
+        a = RoaringBitmap([1, 2, 3])
+        b = RoaringBitmap([2])
+        assert (a - b).to_list() == [1, 3]
+
+    def test_inplace_operators(self):
+        a = RoaringBitmap([1, 2, 3])
+        a &= RoaringBitmap([2, 3, 4])
+        assert a.to_list() == [2, 3]
+        a |= RoaringBitmap([100_000])
+        assert 100_000 in a
+
+    def test_intersection_size_and_intersects(self):
+        a = RoaringBitmap([1, 2, 3, 70_000])
+        b = RoaringBitmap([3, 70_000])
+        assert a.intersection_size(b) == 2
+        assert a.intersects(b)
+        assert not a.intersects(RoaringBitmap([9]))
+
+    def test_issubset(self):
+        assert RoaringBitmap([1, 70_000]).issubset(RoaringBitmap([1, 2, 70_000]))
+        assert not RoaringBitmap([1, 5]).issubset(RoaringBitmap([1]))
+
+    def test_copy_independent(self):
+        a = RoaringBitmap([1])
+        b = a.copy()
+        b.add(9)
+        assert 9 not in a
+
+    def test_min(self):
+        assert RoaringBitmap([70_000, 4]).min() == 4
+        with pytest.raises(ValueError):
+            RoaringBitmap().min()
+
+    def test_batch_iter(self):
+        bitmap = RoaringBitmap(range(1000))
+        batches = list(bitmap.batch_iter(batch_size=256))
+        assert sum(len(batch) for batch in batches) == 1000
+        assert batches[0][0] == 0
+        assert all(len(batch) <= 256 for batch in batches)
+
+    def test_equality(self):
+        assert RoaringBitmap([1, 2]) == RoaringBitmap([2, 1])
+        assert RoaringBitmap([1]) != RoaringBitmap([2])
+
+    def test_bool(self):
+        assert not RoaringBitmap()
+        assert RoaringBitmap([0])
+
+
+class TestAggregation:
+    def test_intersect_many_roaring(self):
+        sets = [RoaringBitmap([1, 2, 3, 4]), RoaringBitmap([2, 3]), RoaringBitmap([3, 4])]
+        assert intersect_many(sets).to_list() == [3]
+
+    def test_intersect_many_intbitset(self):
+        sets = [IntBitSet([1, 2, 3]), IntBitSet([2, 3]), IntBitSet([2])]
+        assert intersect_many(sets).to_list() == [2]
+
+    def test_intersect_many_short_circuit(self):
+        sets = [IntBitSet([1]), IntBitSet([2]), IntBitSet([1, 2, 3])]
+        assert intersect_many(sets).to_list() == []
+
+    def test_intersect_many_empty_input(self):
+        with pytest.raises(ValueError):
+            intersect_many([])
+
+    def test_union_many(self):
+        sets = [RoaringBitmap([1]), RoaringBitmap([2]), RoaringBitmap([70_000])]
+        assert union_many(sets).to_list() == [1, 2, 70_000]
+        with pytest.raises(ValueError):
+            union_many([])
+
+    def test_intersection_size_helper(self):
+        assert intersection_size(IntBitSet([1, 2]), IntBitSet([2, 3])) == 1
+
+    def test_from_iterable(self):
+        assert isinstance(from_iterable([1], kind="roaring"), RoaringBitmap)
+        assert isinstance(from_iterable([1], kind="int"), IntBitSet)
+        with pytest.raises(ValueError):
+            from_iterable([1], kind="bogus")
+
+    def test_intersect_iterables(self):
+        assert intersect_iterables([[1, 2, 3], {2, 3}, (3,)]) == [3]
+        with pytest.raises(ValueError):
+            intersect_iterables([])

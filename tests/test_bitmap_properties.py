@@ -1,0 +1,83 @@
+"""Property-based tests: bitmap algebra must agree with Python sets."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitmap.intbitset import IntBitSet
+from repro.bitmap.ops import intersect_many, union_many
+from repro.bitmap.roaring import RoaringBitmap
+
+small_ints = st.sets(st.integers(min_value=0, max_value=2_000), max_size=200)
+# Values spanning multiple Roaring chunks.
+chunky_ints = st.sets(st.integers(min_value=0, max_value=200_000), max_size=200)
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=chunky_ints)
+def test_roaring_roundtrip(values):
+    assert RoaringBitmap(values).to_list() == sorted(values)
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=chunky_ints, b=chunky_ints)
+def test_roaring_intersection_matches_sets(a, b):
+    assert set(RoaringBitmap(a) & RoaringBitmap(b)) == (a & b)
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=chunky_ints, b=chunky_ints)
+def test_roaring_union_matches_sets(a, b):
+    assert set(RoaringBitmap(a) | RoaringBitmap(b)) == (a | b)
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=chunky_ints, b=chunky_ints)
+def test_roaring_difference_matches_sets(a, b):
+    assert set(RoaringBitmap(a) - RoaringBitmap(b)) == (a - b)
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=chunky_ints, b=chunky_ints)
+def test_roaring_intersection_size(a, b):
+    assert RoaringBitmap(a).intersection_size(RoaringBitmap(b)) == len(a & b)
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=chunky_ints, b=chunky_ints)
+def test_roaring_membership_after_updates(a, b):
+    bitmap = RoaringBitmap(a)
+    for value in b:
+        bitmap.add(value)
+    for value in list(a)[: len(a) // 2]:
+        bitmap.discard(value)
+    expected = (a | b) - set(list(a)[: len(a) // 2])
+    assert set(bitmap) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=small_ints, b=small_ints)
+def test_intbitset_algebra_matches_sets(a, b):
+    bit_a, bit_b = IntBitSet(a), IntBitSet(b)
+    assert set(bit_a & bit_b) == (a & b)
+    assert set(bit_a | bit_b) == (a | b)
+    assert set(bit_a - bit_b) == (a - b)
+    assert set(bit_a ^ bit_b) == (a ^ b)
+    assert bit_a.issubset(bit_b) == a.issubset(b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(operands=st.lists(small_ints, min_size=1, max_size=5))
+def test_multiway_aggregation_matches_sets(operands):
+    bitmaps = [IntBitSet(values) for values in operands]
+    expected_intersection = set.intersection(*operands) if operands else set()
+    expected_union = set.union(*operands) if operands else set()
+    assert set(intersect_many(bitmaps)) == expected_intersection
+    assert set(union_many(bitmaps)) == expected_union
+
+
+@settings(max_examples=40, deadline=None)
+@given(values=chunky_ints)
+def test_roaring_length_consistent(values):
+    bitmap = RoaringBitmap(values)
+    assert len(bitmap) == len(values)
+    assert bool(bitmap) == bool(values)

@@ -1,0 +1,109 @@
+"""Integration tests: every matcher must compute the same query answers.
+
+The brute-force enumerator is the oracle.  Random graphs and random queries
+(hybrid, child-only and descendant-only) are evaluated with GM (all variants
+and orderings), JM, TM and — for child-only queries — the four engines, and
+all answers are compared.  This is the library's end-to-end correctness net.
+"""
+
+import pytest
+
+from repro.baselines.bruteforce import bruteforce_homomorphisms
+from repro.baselines.jm import JMMatcher
+from repro.baselines.tm import TMMatcher
+from repro.engines.binary_join import BinaryJoinEngine
+from repro.engines.relational import RelationalEngine
+from repro.engines.treedecomp import TreeDecompEngine
+from repro.engines.wcoj import WCOJEngine
+from repro.graph.generators import layered_graph, random_dag, random_labeled_graph
+from repro.matching.gm import GMVariant, GraphMatcher
+from repro.matching.ordering import OrderingMethod
+from repro.matching.result import Budget
+from repro.query.generators import random_pattern_query, to_child_only, to_descendant_only
+from repro.simulation.context import MatchContext
+
+UNLIMITED = Budget(max_matches=None, time_limit_seconds=None, max_intermediate_results=None)
+
+
+def _graphs():
+    return [
+        random_labeled_graph(40, 140, 3, seed=1, name="rand40"),
+        random_labeled_graph(50, 120, 4, seed=2, name="rand50"),
+        random_dag(45, 130, 3, seed=3, name="dag45"),
+        layered_graph(4, 12, 2, 3, seed=4, name="layer48"),
+    ]
+
+
+GRAPHS = _graphs()
+
+
+@pytest.mark.parametrize("graph", GRAPHS, ids=lambda g: g.name)
+@pytest.mark.parametrize("kind", ["H", "C", "D"])
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_gm_jm_tm_match_bruteforce(graph, kind, seed):
+    context = MatchContext(graph, reachability_kind="bfl")
+    query = random_pattern_query(graph, 4, seed=seed * 7 + 1)
+    if kind == "C":
+        query = to_child_only(query, name=query.name)
+    elif kind == "D":
+        query = to_descendant_only(query, name=query.name)
+
+    expected = frozenset(bruteforce_homomorphisms(graph, query, reachability=context.reachability))
+    gm = GraphMatcher(graph, context=context, budget=UNLIMITED).match(query)
+    jm = JMMatcher(graph, context=context, budget=UNLIMITED).match(query)
+    tm = TMMatcher(graph, context=context, budget=UNLIMITED).match(query)
+    assert gm.occurrence_set() == expected
+    assert jm.occurrence_set() == expected
+    assert tm.occurrence_set() == expected
+
+
+@pytest.mark.parametrize("graph", GRAPHS[:2], ids=lambda g: g.name)
+@pytest.mark.parametrize("variant", list(GMVariant))
+def test_gm_variants_match_bruteforce(graph, variant):
+    context = MatchContext(graph)
+    query = random_pattern_query(graph, 5, seed=11)
+    expected = frozenset(bruteforce_homomorphisms(graph, query, reachability=context.reachability))
+    matcher = GraphMatcher(graph, context=context, variant=variant, budget=UNLIMITED)
+    assert matcher.match(query).occurrence_set() == expected
+
+
+@pytest.mark.parametrize("graph", GRAPHS[:2], ids=lambda g: g.name)
+@pytest.mark.parametrize("ordering", list(OrderingMethod))
+def test_gm_orderings_match_bruteforce(graph, ordering):
+    context = MatchContext(graph)
+    query = random_pattern_query(graph, 5, seed=13)
+    expected = frozenset(bruteforce_homomorphisms(graph, query, reachability=context.reachability))
+    matcher = GraphMatcher(graph, context=context, ordering=ordering, budget=UNLIMITED)
+    assert matcher.match(query).occurrence_set() == expected
+
+
+@pytest.mark.parametrize("graph", GRAPHS[:2], ids=lambda g: g.name)
+@pytest.mark.parametrize("seed", [4, 5])
+def test_engines_match_bruteforce_on_child_queries(graph, seed):
+    query = to_child_only(random_pattern_query(graph, 4, seed=seed))
+    expected = frozenset(bruteforce_homomorphisms(graph, query))
+    for engine_class in (BinaryJoinEngine, RelationalEngine, WCOJEngine, TreeDecompEngine):
+        result = engine_class(graph, budget=UNLIMITED).match(query)
+        assert result.report.occurrence_set() == expected, engine_class.__name__
+
+
+@pytest.mark.parametrize("graph", GRAPHS, ids=lambda g: g.name)
+def test_reachability_index_choice_does_not_change_answers(graph):
+    query = random_pattern_query(graph, 4, seed=21, descendant_probability=1.0)
+    answers = []
+    for kind in ("bfl", "tc", "interval", "bfs"):
+        context = MatchContext(graph, reachability_kind=kind)
+        report = GraphMatcher(graph, context=context, budget=UNLIMITED).match(query)
+        answers.append(report.occurrence_set())
+    assert all(answer == answers[0] for answer in answers)
+
+
+def test_larger_hybrid_query_consistency():
+    """A 7-node hybrid query on a denser graph: GM vs JM vs TM (no oracle)."""
+    graph = random_labeled_graph(80, 400, 4, seed=9, name="dense80")
+    context = MatchContext(graph)
+    query = random_pattern_query(graph, 7, seed=17)
+    gm = GraphMatcher(graph, context=context, budget=UNLIMITED).match(query)
+    jm = JMMatcher(graph, context=context, budget=UNLIMITED).match(query)
+    tm = TMMatcher(graph, context=context, budget=UNLIMITED).match(query)
+    assert gm.occurrence_set() == jm.occurrence_set() == tm.occurrence_set()

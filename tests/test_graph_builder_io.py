@@ -1,0 +1,143 @@
+"""Tests for GraphBuilder and the edge-list / label-file persistence."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.builder import GraphBuilder
+from repro.graph.digraph import DataGraph
+from repro.graph.io import (
+    graph_from_parts,
+    load_graph,
+    read_edge_list,
+    read_labels,
+    save_graph,
+    write_edge_list,
+    write_labels,
+)
+
+
+class TestGraphBuilder:
+    def test_add_node_returns_dense_ids(self):
+        builder = GraphBuilder()
+        assert builder.add_node("x", "A") == 0
+        assert builder.add_node("y", "B") == 1
+
+    def test_add_node_idempotent(self):
+        builder = GraphBuilder()
+        builder.add_node("x", "A")
+        assert builder.add_node("x", "A") == 0
+        assert builder.num_nodes == 1
+
+    def test_relabel_rejected(self):
+        builder = GraphBuilder()
+        builder.add_node("x", "A")
+        with pytest.raises(GraphError):
+            builder.add_node("x", "B")
+
+    def test_add_edge_requires_known_nodes(self):
+        builder = GraphBuilder()
+        builder.add_node("x", "A")
+        with pytest.raises(GraphError):
+            builder.add_edge("x", "missing")
+        with pytest.raises(GraphError):
+            builder.add_edge("missing", "x")
+
+    def test_ensure_node(self):
+        builder = GraphBuilder()
+        node = builder.ensure_node("x", "A")
+        assert builder.ensure_node("x") == node
+        with pytest.raises(GraphError):
+            builder.ensure_node("new-node")
+
+    def test_add_labeled_edge_creates_endpoints(self):
+        builder = GraphBuilder()
+        builder.add_labeled_edge("x", "A", "y", "B")
+        graph = builder.build()
+        assert graph.num_nodes == 2
+        assert graph.has_edge(0, 1)
+
+    def test_add_edges_bulk(self):
+        builder = GraphBuilder()
+        for key in "abc":
+            builder.add_node(key, "L")
+        builder.add_edges([("a", "b"), ("b", "c")])
+        assert builder.num_edges == 2
+
+    def test_contains_and_node_id(self):
+        builder = GraphBuilder()
+        builder.add_node("x", "A")
+        assert "x" in builder
+        assert "y" not in builder
+        assert builder.node_id("x") == 0
+        with pytest.raises(GraphError):
+            builder.node_id("y")
+
+    def test_build_and_id_mapping(self):
+        builder = GraphBuilder()
+        builder.add_node("alice", "Person")
+        builder.add_node("post", "Post")
+        builder.add_edge("alice", "post")
+        graph = builder.build(name="social")
+        assert graph.name == "social"
+        assert graph.label(0) == "Person"
+        assert builder.id_mapping() == {"alice": 0, "post": 1}
+
+
+class TestIO:
+    @pytest.fixture()
+    def graph(self):
+        return DataGraph(["A", "B", "C"], [(0, 1), (1, 2)], name="io-test")
+
+    def test_edge_list_roundtrip(self, graph, tmp_path):
+        path = str(tmp_path / "graph.edges")
+        write_edge_list(graph, path)
+        assert read_edge_list(path) == [(0, 1), (1, 2)]
+
+    def test_labels_roundtrip(self, graph, tmp_path):
+        path = str(tmp_path / "graph.labels")
+        write_labels(graph, path)
+        assert read_labels(path) == {0: "A", 1: "B", 2: "C"}
+
+    def test_save_and_load_graph(self, graph, tmp_path):
+        stem = str(tmp_path / "graph")
+        save_graph(graph, stem)
+        loaded = load_graph(stem)
+        assert loaded == graph
+
+    def test_load_missing_files(self, tmp_path):
+        with pytest.raises(GraphError):
+            load_graph(str(tmp_path / "absent"))
+
+    def test_edge_list_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("# comment\n\n0\t1\n1 2\n")
+        assert read_edge_list(str(path)) == [(0, 1), (1, 2)]
+
+    def test_edge_list_malformed(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("justonecolumn\n")
+        with pytest.raises(GraphError):
+            read_edge_list(str(path))
+
+    def test_labels_malformed(self, tmp_path):
+        path = tmp_path / "labels.txt"
+        path.write_text("5\n")
+        with pytest.raises(GraphError):
+            read_labels(str(path))
+
+    def test_graph_from_parts(self):
+        graph = graph_from_parts({0: "A", 1: "B"}, [(0, 1)], name="parts")
+        assert graph.num_nodes == 2
+        assert graph.has_edge(0, 1)
+
+    def test_graph_from_parts_missing_label(self):
+        with pytest.raises(GraphError):
+            graph_from_parts({0: "A", 2: "C"}, [(0, 2)])
+
+    def test_graph_from_parts_edge_to_unlabelled(self):
+        with pytest.raises(GraphError):
+            graph_from_parts({0: "A"}, [(0, 3)])
+
+    def test_graph_from_parts_empty(self):
+        graph = graph_from_parts({}, [])
+        assert graph.num_nodes == 0

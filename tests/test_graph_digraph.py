@@ -1,0 +1,131 @@
+"""Unit tests for the core DataGraph structure."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.digraph import DataGraph
+
+
+@pytest.fixture()
+def tiny():
+    # 0:A -> 1:B -> 2:C, plus 0 -> 2 and 3:B isolated-ish (2 -> 3)
+    return DataGraph(["A", "B", "C", "B"], [(0, 1), (1, 2), (0, 2), (2, 3)], name="tiny")
+
+
+class TestConstruction:
+    def test_counts(self, tiny):
+        assert tiny.num_nodes == 4
+        assert tiny.num_edges == 4
+        assert len(tiny) == 4
+
+    def test_duplicate_edges_collapsed(self):
+        graph = DataGraph(["A", "B"], [(0, 1), (0, 1), (0, 1)])
+        assert graph.num_edges == 1
+
+    def test_self_loops_allowed(self):
+        graph = DataGraph(["A"], [(0, 0)])
+        assert graph.has_edge(0, 0)
+
+    def test_edge_out_of_range_rejected(self):
+        with pytest.raises(GraphError):
+            DataGraph(["A", "B"], [(0, 5)])
+
+    def test_negative_edge_rejected(self):
+        with pytest.raises(GraphError):
+            DataGraph(["A", "B"], [(-1, 0)])
+
+    def test_empty_graph(self):
+        graph = DataGraph([], [])
+        assert graph.num_nodes == 0
+        assert graph.num_edges == 0
+        assert graph.max_inverted_list_size() == 0
+
+    def test_labels_are_strings(self):
+        graph = DataGraph([1, 2], [(0, 1)])
+        assert graph.label(0) == "1"
+
+    def test_equality_and_hash(self, tiny):
+        clone = DataGraph(["A", "B", "C", "B"], [(0, 1), (1, 2), (0, 2), (2, 3)])
+        assert tiny == clone
+        assert hash(tiny) == hash(clone)
+        other = DataGraph(["A", "B", "C", "B"], [(0, 1)])
+        assert tiny != other
+
+    def test_repr_mentions_name(self, tiny):
+        assert "tiny" in repr(tiny)
+
+
+class TestAdjacency:
+    def test_successors_sorted(self, tiny):
+        assert tiny.successors(0) == (1, 2)
+
+    def test_predecessors_sorted(self, tiny):
+        assert tiny.predecessors(2) == (0, 1)
+
+    def test_successor_set_membership(self, tiny):
+        assert 1 in tiny.successor_set(0)
+        assert 3 not in tiny.successor_set(0)
+
+    def test_predecessor_set_membership(self, tiny):
+        assert 0 in tiny.predecessor_set(1)
+
+    def test_has_edge(self, tiny):
+        assert tiny.has_edge(0, 1)
+        assert not tiny.has_edge(1, 0)
+
+    def test_has_edge_binary_search_agrees_with_hash(self, tiny):
+        for u in tiny.nodes():
+            for v in tiny.nodes():
+                assert tiny.has_edge(u, v) == tiny.has_edge_binary_search(u, v)
+
+    def test_degrees(self, tiny):
+        assert tiny.out_degree(0) == 2
+        assert tiny.in_degree(2) == 2
+        assert tiny.degree(2) == 3
+
+    def test_edges_iteration(self, tiny):
+        assert set(tiny.edges()) == {(0, 1), (1, 2), (0, 2), (2, 3)}
+
+
+class TestInvertedLists:
+    def test_inverted_list(self, tiny):
+        assert tiny.inverted_list("B") == (1, 3)
+        assert tiny.inverted_list("A") == (0,)
+
+    def test_inverted_list_unknown_label(self, tiny):
+        assert tiny.inverted_list("Z") == ()
+        assert tiny.inverted_set("Z") == frozenset()
+
+    def test_inverted_set(self, tiny):
+        assert tiny.inverted_set("B") == frozenset({1, 3})
+
+    def test_label_alphabet(self, tiny):
+        assert tiny.label_alphabet() == ("A", "B", "C")
+        assert tiny.num_labels() == 3
+
+    def test_max_inverted_list_size(self, tiny):
+        assert tiny.max_inverted_list_size() == 2
+
+    def test_inverted_lists_mapping(self, tiny):
+        mapping = tiny.inverted_lists()
+        assert mapping["C"] == (2,)
+
+
+class TestTraversal:
+    def test_bfs_forward(self, tiny):
+        assert set(tiny.bfs_forward(0)) == {0, 1, 2, 3}
+        assert set(tiny.bfs_forward(2)) == {2, 3}
+
+    def test_bfs_backward(self, tiny):
+        assert set(tiny.bfs_backward(2)) == {0, 1, 2}
+        assert set(tiny.bfs_backward(0)) == {0}
+
+    def test_reaches_bfs_reflexive(self, tiny):
+        assert tiny.reaches_bfs(3, 3)
+
+    def test_reaches_bfs_path(self, tiny):
+        assert tiny.reaches_bfs(0, 3)
+        assert not tiny.reaches_bfs(3, 0)
+
+    def test_reaches_bfs_direct_edge(self, tiny):
+        assert tiny.reaches_bfs(0, 1)

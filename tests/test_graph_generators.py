@@ -1,0 +1,160 @@
+"""Tests for the synthetic graph generators and dataset registry."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.datasets import DATASET_SPECS, available_datasets, load_dataset
+from repro.graph.generators import (
+    clustered_graph,
+    layered_graph,
+    power_law_graph,
+    random_dag,
+    random_labeled_graph,
+    with_label_count,
+)
+from repro.graph.transform import strongly_connected_components
+from repro.query.classify import topological_order
+
+
+class TestRandomLabeledGraph:
+    def test_sizes(self):
+        graph = random_labeled_graph(100, 300, 5, seed=1)
+        assert graph.num_nodes == 100
+        assert graph.num_edges == 300
+
+    def test_deterministic(self):
+        a = random_labeled_graph(50, 120, 4, seed=9)
+        b = random_labeled_graph(50, 120, 4, seed=9)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = random_labeled_graph(50, 120, 4, seed=1)
+        b = random_labeled_graph(50, 120, 4, seed=2)
+        assert a != b
+
+    def test_no_self_loops(self):
+        graph = random_labeled_graph(30, 100, 3, seed=4)
+        assert all(u != v for u, v in graph.edges())
+
+    def test_edge_count_capped_by_possible(self):
+        graph = random_labeled_graph(4, 100, 2, seed=0)
+        assert graph.num_edges == 12  # 4 * 3 ordered pairs
+
+    def test_label_alphabet_size(self):
+        graph = random_labeled_graph(200, 400, 7, seed=2)
+        assert graph.num_labels() <= 7
+
+    def test_invalid_parameters(self):
+        with pytest.raises(GraphError):
+            random_labeled_graph(0, 10, 3)
+        with pytest.raises(GraphError):
+            random_labeled_graph(10, -1, 3)
+        with pytest.raises(GraphError):
+            random_labeled_graph(10, 5, 0)
+
+
+class TestRandomDag:
+    def test_acyclic(self):
+        graph = random_dag(80, 200, 5, seed=3)
+        components = strongly_connected_components(graph)
+        assert all(len(component) == 1 for component in components)
+
+    def test_sizes_and_determinism(self):
+        a = random_dag(40, 90, 4, seed=7)
+        b = random_dag(40, 90, 4, seed=7)
+        assert a == b
+        assert a.num_nodes == 40
+
+
+class TestLayeredGraph:
+    def test_reachability_chains(self):
+        graph = layered_graph(5, 10, 2, 4, seed=1)
+        assert graph.num_nodes == 50
+        # Some node in layer 0 should reach some node in the last layer.
+        found = any(graph.reaches_bfs(u, v) for u in range(10) for v in range(40, 50))
+        assert found
+
+    def test_acyclic(self):
+        graph = layered_graph(4, 8, 2, 3, seed=2)
+        assert all(len(c) == 1 for c in strongly_connected_components(graph))
+
+    def test_invalid(self):
+        with pytest.raises(GraphError):
+            layered_graph(0, 5, 2, 3)
+
+
+class TestPowerLawGraph:
+    def test_hub_concentration(self):
+        graph = power_law_graph(300, 1500, 5, exponent=2.0, seed=1)
+        in_degrees = sorted((graph.in_degree(v) for v in graph.nodes()), reverse=True)
+        # The top decile of nodes should receive a disproportionate share.
+        top = sum(in_degrees[:30])
+        assert top > graph.num_edges * 0.3
+
+    def test_sizes(self):
+        graph = power_law_graph(100, 400, 3, seed=0)
+        assert graph.num_nodes == 100
+        assert graph.num_edges <= 400
+
+
+class TestClusteredGraph:
+    def test_sizes(self):
+        graph = clustered_graph(5, 10, 3, 4, 6, seed=1)
+        assert graph.num_nodes == 50
+
+    def test_invalid(self):
+        with pytest.raises(GraphError):
+            clustered_graph(0, 10, 3, 4, 6)
+
+
+class TestWithLabelCount:
+    def test_structure_preserved(self):
+        base = random_labeled_graph(60, 150, 10, seed=2)
+        relabelled = with_label_count(base, 3, seed=4)
+        assert set(relabelled.edges()) == set(base.edges())
+        assert relabelled.num_labels() <= 3
+
+    def test_name_suffix(self):
+        base = random_labeled_graph(10, 20, 5, seed=2, name="em")
+        assert "L4" in with_label_count(base, 4).name
+
+
+class TestDatasetRegistry:
+    def test_all_paper_datasets_registered(self):
+        assert set(available_datasets()) == {"yt", "hu", "hp", "ep", "db", "em", "am", "bs", "go"}
+
+    def test_load_dataset_shapes(self):
+        for key in ("em", "hu", "am"):
+            graph = load_dataset(key, scale=0.1, seed=1)
+            spec = DATASET_SPECS[key]
+            assert graph.name == key
+            assert graph.num_labels() <= spec.paper_labels
+            assert graph.num_nodes > 0
+
+    def test_label_alphabet_matches_spec_order(self):
+        # Datasets with few labels stay few; label-rich datasets stay rich.
+        am = load_dataset("am", scale=0.2, seed=1)
+        hp = load_dataset("hp", scale=0.2, seed=1)
+        assert am.num_labels() <= 3
+        assert hp.num_labels() > 50
+
+    def test_scale_changes_size(self):
+        small = load_dataset("ep", scale=0.1, seed=1)
+        large = load_dataset("ep", scale=0.3, seed=1)
+        assert large.num_nodes > small.num_nodes
+
+    def test_deterministic(self):
+        assert load_dataset("em", scale=0.1, seed=4) == load_dataset("em", scale=0.1, seed=4)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(GraphError):
+            load_dataset("unknown")
+
+    def test_invalid_scale(self):
+        with pytest.raises(GraphError):
+            load_dataset("em", scale=0.0)
+
+    def test_spec_build(self):
+        spec = DATASET_SPECS["yt"]
+        graph = spec.build(scale=0.1, seed=2)
+        assert graph.name == "yt"

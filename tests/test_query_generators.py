@@ -1,0 +1,146 @@
+"""Tests for the query-template library and random query generators."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.graph.generators import random_labeled_graph
+from repro.query.classify import QueryClass, classify_query
+from repro.query.generators import (
+    QUERY_TEMPLATES,
+    TEMPLATES_BY_CLASS,
+    all_template_queries,
+    instantiate_template,
+    random_pattern_query,
+    template_query,
+    to_child_only,
+    to_descendant_only,
+    to_hybrid,
+)
+from repro.query.pattern import EdgeType
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_labeled_graph(120, 400, 6, seed=13, name="gen-test")
+
+
+class TestTemplates:
+    def test_twenty_templates(self):
+        assert len(QUERY_TEMPLATES) == 20
+        assert QUERY_TEMPLATES[0] == "HQ0"
+        assert QUERY_TEMPLATES[-1] == "HQ19"
+
+    def test_every_template_connected(self):
+        for name in QUERY_TEMPLATES:
+            assert template_query(name).is_connected(), name
+
+    def test_every_template_hybrid(self):
+        for name in QUERY_TEMPLATES:
+            query = template_query(name)
+            assert query.child_edges(), name
+            assert query.descendant_edges(), name
+
+    def test_class_membership_of_representatives(self):
+        assert classify_query(template_query("HQ0")) is QueryClass.ACYCLIC
+        assert classify_query(template_query("HQ2")) is QueryClass.ACYCLIC
+        assert classify_query(template_query("HQ8")) is QueryClass.CYCLIC
+        assert classify_query(template_query("HQ17")) is QueryClass.CYCLIC
+        assert classify_query(template_query("HQ11")) is QueryClass.CLIQUE
+        assert classify_query(template_query("HQ19")) is QueryClass.CLIQUE
+        assert classify_query(template_query("HQ14")) is QueryClass.COMBO
+        assert classify_query(template_query("HQ16")) is QueryClass.COMBO
+
+    def test_hq19_is_seven_clique(self):
+        query = template_query("HQ19")
+        assert query.num_nodes == 7
+        assert query.num_edges == 21
+
+    def test_templates_by_class_covers_all(self):
+        grouped = [name for names in TEMPLATES_BY_CLASS.values() for name in names]
+        assert sorted(grouped) == sorted(QUERY_TEMPLATES)
+        assert len(TEMPLATES_BY_CLASS[QueryClass.CLIQUE]) == 3
+
+    def test_unknown_template(self):
+        with pytest.raises(QueryError):
+            template_query("HQ99")
+
+
+class TestConversions:
+    def test_to_child_only(self):
+        converted = to_child_only(template_query("HQ3"))
+        assert all(edge.is_child for edge in converted.edges())
+        assert converted.name == "CQ3"
+
+    def test_to_descendant_only(self):
+        converted = to_descendant_only(template_query("HQ3"))
+        assert all(edge.is_descendant for edge in converted.edges())
+        assert converted.name == "DQ3"
+
+    def test_to_hybrid_probability_extremes(self):
+        base = to_child_only(template_query("HQ3"))
+        all_descendant = to_hybrid(base, probability=1.0, seed=1)
+        assert all(edge.is_descendant for edge in all_descendant.edges())
+        all_child = to_hybrid(base, probability=0.0, seed=1)
+        assert all(edge.is_child for edge in all_child.edges())
+
+    def test_conversion_preserves_structure(self):
+        base = template_query("HQ10")
+        converted = to_descendant_only(base)
+        assert {e.endpoints() for e in converted.edges()} == {e.endpoints() for e in base.edges()}
+
+
+class TestInstantiation:
+    def test_labels_from_graph(self, graph):
+        query = instantiate_template("HQ5", graph, seed=3)
+        alphabet = set(graph.label_alphabet())
+        assert all(label in alphabet for label in query.labels)
+
+    def test_deterministic(self, graph):
+        assert instantiate_template("HQ5", graph, seed=3) == instantiate_template("HQ5", graph, seed=3)
+
+    def test_unbiased_sampling(self, graph):
+        query = instantiate_template("HQ5", graph, seed=3, bias_frequent_labels=False)
+        assert all(label in set(graph.label_alphabet()) for label in query.labels)
+
+    def test_instantiate_on_unlabelled_graph(self):
+        from repro.graph.digraph import DataGraph
+
+        with pytest.raises(QueryError):
+            instantiate_template("HQ0", DataGraph([], []), seed=1)
+
+    def test_all_template_queries_kinds(self, graph):
+        queries = all_template_queries(graph, kinds=("H", "C", "D"))
+        assert len(queries) == 60
+        assert all(edge.is_child for edge in queries["CQ7"].edges())
+        assert all(edge.is_descendant for edge in queries["DQ7"].edges())
+        with pytest.raises(QueryError):
+            all_template_queries(graph, kinds=("X",))
+
+
+class TestRandomQueries:
+    def test_connected_and_sized(self, graph):
+        for num_nodes in (4, 8, 12):
+            query = random_pattern_query(graph, num_nodes, seed=7)
+            assert query.num_nodes == num_nodes
+            assert query.is_connected()
+
+    def test_dense_vs_sparse_edge_counts(self, graph):
+        dense = random_pattern_query(graph, 10, seed=5, dense=True)
+        sparse = random_pattern_query(graph, 10, seed=5, dense=False)
+        assert dense.num_edges > sparse.num_edges
+
+    def test_descendant_probability(self, graph):
+        all_child = random_pattern_query(graph, 8, seed=4, descendant_probability=0.0)
+        assert all(edge.is_child for edge in all_child.edges())
+        all_descendant = random_pattern_query(graph, 8, seed=4, descendant_probability=1.0)
+        assert all(edge.is_descendant for edge in all_descendant.edges())
+
+    def test_deterministic(self, graph):
+        assert random_pattern_query(graph, 6, seed=9) == random_pattern_query(graph, 6, seed=9)
+
+    def test_too_small(self, graph):
+        with pytest.raises(QueryError):
+            random_pattern_query(graph, 1, seed=1)
+
+    def test_custom_name(self, graph):
+        assert random_pattern_query(graph, 5, seed=2, name="mine").name == "mine"

@@ -1,0 +1,176 @@
+"""Unit tests for the pattern-query model and DSL parser."""
+
+import pytest
+
+from repro.exceptions import QueryError, QueryParseError
+from repro.query.parser import format_query, parse_query
+from repro.query.pattern import EdgeType, PatternEdge, PatternQuery
+
+
+@pytest.fixture()
+def hybrid():
+    return PatternQuery(
+        ["A", "B", "C", "D"],
+        [(0, 1, "child"), (1, 2, "descendant"), (0, 3, "->"), (3, 2, "=>")],
+        name="hybrid",
+    )
+
+
+class TestEdgeType:
+    def test_symbols(self):
+        assert EdgeType.CHILD.symbol() == "->"
+        assert EdgeType.DESCENDANT.symbol() == "=>"
+
+    def test_pattern_edge_flags(self):
+        child = PatternEdge(0, 1, EdgeType.CHILD)
+        descendant = PatternEdge(0, 1, EdgeType.DESCENDANT)
+        assert child.is_child and not child.is_descendant
+        assert descendant.is_descendant and not descendant.is_child
+        assert child.endpoints() == (0, 1)
+
+
+class TestConstruction:
+    def test_basic_counts(self, hybrid):
+        assert hybrid.num_nodes == 4
+        assert hybrid.num_edges == 4
+
+    def test_edge_type_aliases(self):
+        query = PatternQuery(["A", "B"], [(0, 1, "c")])
+        assert query.edge(0, 1).is_child
+        query = PatternQuery(["A", "B"], [(0, 1, "reachability")])
+        assert query.edge(0, 1).is_descendant
+
+    def test_unknown_edge_type(self):
+        with pytest.raises(QueryError):
+            PatternQuery(["A", "B"], [(0, 1, "weird")])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(QueryError):
+            PatternQuery(["A"], [(0, 0, "child")])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(QueryError):
+            PatternQuery(["A", "B"], [(0, 1, "child"), (0, 1, "descendant")])
+
+    def test_out_of_range_edge(self):
+        with pytest.raises(QueryError):
+            PatternQuery(["A", "B"], [(0, 5, "child")])
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(QueryError):
+            PatternQuery([], [])
+
+    def test_malformed_edge_tuple(self):
+        with pytest.raises(QueryError):
+            PatternQuery(["A", "B"], [(0, 1)])
+
+    def test_single_node_query(self):
+        query = PatternQuery(["A"], [])
+        assert query.num_edges == 0
+        assert query.is_connected()
+
+
+class TestAccessors:
+    def test_children_parents(self, hybrid):
+        assert hybrid.children(0) == (1, 3)
+        assert hybrid.parents(2) == (1, 3)
+        assert hybrid.neighbors(1) == (0, 2)
+
+    def test_degree(self, hybrid):
+        assert hybrid.degree(0) == 2
+        assert hybrid.degree(2) == 2
+
+    def test_edge_lookup(self, hybrid):
+        assert hybrid.edge(1, 2).is_descendant
+        assert hybrid.has_edge(0, 3)
+        assert not hybrid.has_edge(3, 0)
+        with pytest.raises(QueryError):
+            hybrid.edge(3, 0)
+
+    def test_edge_partition(self, hybrid):
+        assert len(hybrid.child_edges()) == 2
+        assert len(hybrid.descendant_edges()) == 2
+
+    def test_is_hybrid(self, hybrid):
+        assert hybrid.is_hybrid()
+        child_only = PatternQuery(["A", "B"], [(0, 1, "child")])
+        assert not child_only.is_hybrid()
+
+    def test_labels(self, hybrid):
+        assert hybrid.label(2) == "C"
+        assert hybrid.labels == ("A", "B", "C", "D")
+
+    def test_connectivity(self, hybrid):
+        assert hybrid.is_connected()
+        disconnected = PatternQuery(["A", "B", "C"], [(0, 1, "child")])
+        assert not disconnected.is_connected()
+
+    def test_undirected_edge_pairs(self, hybrid):
+        assert (0, 1) in hybrid.undirected_edge_pairs()
+        assert (2, 3) in hybrid.undirected_edge_pairs()
+
+    def test_with_edges_and_relabeled(self, hybrid):
+        reduced = hybrid.with_edges([(0, 1, "child")], name="r")
+        assert reduced.num_edges == 1
+        assert reduced.labels == hybrid.labels
+        relabelled = hybrid.relabeled(["X", "Y", "Z", "W"])
+        assert relabelled.label(0) == "X"
+        with pytest.raises(QueryError):
+            hybrid.relabeled(["X"])
+
+    def test_equality_and_hash(self, hybrid):
+        clone = PatternQuery(
+            ["A", "B", "C", "D"],
+            [(0, 1, "child"), (1, 2, "descendant"), (0, 3, "->"), (3, 2, "=>")],
+        )
+        assert hybrid == clone
+        assert hash(hybrid) == hash(clone)
+        assert hybrid != hybrid.with_edges([(0, 1, "child")])
+
+
+class TestParser:
+    def test_roundtrip(self, hybrid):
+        parsed = parse_query(format_query(hybrid), name="hybrid")
+        assert parsed == hybrid
+
+    def test_parse_basic(self):
+        query = parse_query(
+            """
+            # a comment
+            node x A
+            node y B
+            edge x -> y
+            """
+        )
+        assert query.num_nodes == 2
+        assert query.edge(0, 1).is_child
+
+    def test_parse_descendant_arrow(self):
+        query = parse_query("node x A\nnode y B\nedge x => y\n")
+        assert query.edge(0, 1).is_descendant
+
+    def test_unknown_node(self):
+        with pytest.raises(QueryParseError):
+            parse_query("node x A\nedge x -> y\n")
+
+    def test_duplicate_node(self):
+        with pytest.raises(QueryParseError):
+            parse_query("node x A\nnode x B\n")
+
+    def test_bad_arrow(self):
+        with pytest.raises(QueryParseError):
+            parse_query("node x A\nnode y B\nedge x ~> y\n")
+
+    def test_bad_directive(self):
+        with pytest.raises(QueryParseError):
+            parse_query("vertex x A\n")
+
+    def test_wrong_arity(self):
+        with pytest.raises(QueryParseError):
+            parse_query("node x\n")
+        with pytest.raises(QueryParseError):
+            parse_query("node x A\nnode y B\nedge x y\n")
+
+    def test_empty_text(self):
+        with pytest.raises(QueryParseError):
+            parse_query("   \n# only a comment\n")

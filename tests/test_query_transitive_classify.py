@@ -1,0 +1,167 @@
+"""Tests for query transitive closure / reduction and structural classification."""
+
+import pytest
+
+from repro.baselines.bruteforce import bruteforce_homomorphisms
+from repro.graph.generators import random_labeled_graph
+from repro.query.classify import (
+    QueryClass,
+    classify_query,
+    dag_decomposition,
+    is_dag,
+    is_undirected_clique,
+    topological_order,
+)
+from repro.query.pattern import EdgeType, PatternEdge, PatternQuery
+from repro.query.transitive import is_transitive_edge, transitive_closure, transitive_reduction
+
+
+def make_query(edges, n=None, name="q"):
+    n = n if n is not None else (max(max(e[0], e[1]) for e in edges) + 1)
+    return PatternQuery([f"L{i % 3}" for i in range(n)], edges, name=name)
+
+
+class TestTransitiveClosure:
+    def test_paper_example(self):
+        # Fig. 3: A -> B -> C with a transitive reachability edge (A, C).
+        query = make_query([(0, 1, "child"), (1, 2, "child"), (0, 2, "descendant")])
+        closure = transitive_closure(query)
+        # The closure keeps the original edges; (0, 2) is already present.
+        assert closure.num_edges == 3
+
+    def test_closure_adds_implied_edges(self):
+        query = make_query([(0, 1, "child"), (1, 2, "descendant")])
+        closure = transitive_closure(query)
+        assert closure.has_edge(0, 2)
+        assert closure.edge(0, 2).is_descendant
+
+    def test_closure_on_cycle(self):
+        query = make_query([(0, 1, "child"), (1, 2, "child"), (2, 0, "child")])
+        closure = transitive_closure(query)
+        # Every ordered pair of distinct nodes is connected in the closure.
+        assert closure.num_edges == 6
+
+
+class TestTransitiveReduction:
+    def test_removes_transitive_edge(self):
+        query = make_query([(0, 1, "child"), (1, 2, "child"), (0, 2, "descendant")])
+        assert is_transitive_edge(query, query.edge(0, 2))
+        reduced = transitive_reduction(query)
+        assert not reduced.has_edge(0, 2)
+        assert reduced.num_edges == 2
+
+    def test_keeps_direct_edges(self):
+        # A direct edge is never redundant even when a longer path exists.
+        query = make_query([(0, 1, "child"), (1, 2, "child"), (0, 2, "child")])
+        reduced = transitive_reduction(query)
+        assert reduced.num_edges == 3
+
+    def test_keeps_needed_reachability_edge(self):
+        query = make_query([(0, 1, "descendant"), (1, 2, "descendant")])
+        reduced = transitive_reduction(query)
+        assert reduced.num_edges == 2
+
+    def test_chain_of_implied_edges(self):
+        query = make_query(
+            [
+                (0, 1, "descendant"),
+                (1, 2, "descendant"),
+                (2, 3, "descendant"),
+                (0, 2, "descendant"),
+                (0, 3, "descendant"),
+                (1, 3, "descendant"),
+            ]
+        )
+        reduced = transitive_reduction(query)
+        assert reduced.num_edges == 3
+        assert reduced.has_edge(0, 1) and reduced.has_edge(1, 2) and reduced.has_edge(2, 3)
+
+    def test_reduction_preserves_answer(self):
+        """Equivalence check: same answer on a random graph (paper §3)."""
+        graph = random_labeled_graph(30, 90, 3, seed=5)
+        query = PatternQuery(
+            ["L0", "L1", "L2"],
+            [(0, 1, "child"), (1, 2, "descendant"), (0, 2, "descendant")],
+            name="redundant",
+        )
+        reduced = transitive_reduction(query)
+        assert reduced.num_edges == 2
+        original_answer = set(bruteforce_homomorphisms(graph, query))
+        reduced_answer = set(bruteforce_homomorphisms(graph, reduced))
+        assert original_answer == reduced_answer
+
+    def test_idempotent(self):
+        query = make_query([(0, 1, "child"), (1, 2, "descendant"), (0, 2, "descendant")])
+        once = transitive_reduction(query)
+        twice = transitive_reduction(once)
+        assert once == twice
+
+    def test_no_redundancy_returns_same_object(self):
+        query = make_query([(0, 1, "child"), (1, 2, "descendant")])
+        assert transitive_reduction(query) is query
+
+
+class TestClassification:
+    def test_acyclic(self):
+        assert classify_query(make_query([(0, 1, "child"), (1, 2, "child")])) is QueryClass.ACYCLIC
+
+    def test_cyclic(self):
+        query = make_query([(0, 1, "child"), (1, 2, "child"), (0, 2, "descendant"), (2, 3, "child")])
+        assert classify_query(query) is QueryClass.CYCLIC
+
+    def test_clique(self):
+        query = make_query(
+            [(0, 1, "child"), (0, 2, "child"), (0, 3, "child"),
+             (1, 2, "child"), (1, 3, "child"), (2, 3, "child")]
+        )
+        assert classify_query(query) is QueryClass.CLIQUE
+        assert is_undirected_clique(query)
+
+    def test_combo(self):
+        query = make_query(
+            [(0, 1, "child"), (0, 2, "child"), (1, 2, "child"),
+             (1, 3, "child"), (2, 3, "child"), (2, 4, "child"),
+             (3, 4, "child"), (3, 5, "child"), (4, 5, "child")]
+        )
+        assert classify_query(query) is QueryClass.COMBO
+
+    def test_single_node_acyclic(self):
+        assert classify_query(PatternQuery(["A"], [])) is QueryClass.ACYCLIC
+
+
+class TestDagStructure:
+    def test_topological_order_dag(self):
+        query = make_query([(0, 1, "child"), (1, 2, "child"), (0, 2, "child")])
+        order = topological_order(query)
+        assert order is not None
+        assert order.index(0) < order.index(1) < order.index(2)
+        assert is_dag(query)
+
+    def test_topological_order_cycle(self):
+        query = make_query([(0, 1, "child"), (1, 2, "child"), (2, 0, "child")])
+        assert topological_order(query) is None
+        assert not is_dag(query)
+
+    def test_dag_decomposition_dag_input(self):
+        query = make_query([(0, 1, "child"), (1, 2, "child")])
+        dag_edges, back_edges = dag_decomposition(query)
+        assert len(dag_edges) == 2
+        assert back_edges == []
+
+    def test_dag_decomposition_cycle(self):
+        query = make_query([(0, 1, "child"), (1, 2, "child"), (2, 0, "descendant")])
+        dag_edges, back_edges = dag_decomposition(query)
+        assert len(dag_edges) + len(back_edges) == 3
+        assert len(back_edges) >= 1
+        # Removing the back edges leaves an acyclic query.
+        residual = query.with_edges(dag_edges)
+        assert is_dag(residual)
+
+    def test_dag_decomposition_multiple_cycles(self):
+        query = make_query(
+            [(0, 1, "child"), (1, 0, "child"), (1, 2, "child"), (2, 1, "descendant")]
+        )
+        dag_edges, back_edges = dag_decomposition(query)
+        residual = query.with_edges(dag_edges)
+        assert is_dag(residual)
+        assert len(back_edges) == 2

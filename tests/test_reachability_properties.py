@@ -1,0 +1,74 @@
+"""Property-based tests: every reachability index must agree with BFS truth."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.digraph import DataGraph
+from repro.reachability.bfl import BloomFilterLabeling
+from repro.reachability.interval import IntervalIndex
+from repro.reachability.transitive_closure import TransitiveClosureIndex
+
+
+@st.composite
+def random_graphs(draw, max_nodes: int = 18, max_extra_edges: int = 40):
+    """Small random directed graphs (possibly cyclic, possibly disconnected)."""
+    num_nodes = draw(st.integers(min_value=1, max_value=max_nodes))
+    num_edges = draw(st.integers(min_value=0, max_value=max_extra_edges))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    edges = set()
+    for _ in range(num_edges):
+        u = rng.randrange(num_nodes)
+        v = rng.randrange(num_nodes)
+        if u != v:
+            edges.add((u, v))
+    return DataGraph(["X"] * num_nodes, sorted(edges), name=f"prop-{seed}")
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=random_graphs())
+def test_transitive_closure_matches_bfs(graph):
+    index = TransitiveClosureIndex(graph)
+    for u in graph.nodes():
+        for v in graph.nodes():
+            assert index.reaches(u, v) == graph.reaches_bfs(u, v)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=random_graphs())
+def test_interval_index_matches_bfs(graph):
+    index = IntervalIndex(graph)
+    for u in graph.nodes():
+        for v in graph.nodes():
+            assert index.reaches(u, v) == graph.reaches_bfs(u, v)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=random_graphs())
+def test_bfl_matches_bfs(graph):
+    index = BloomFilterLabeling(graph)
+    for u in graph.nodes():
+        for v in graph.nodes():
+            assert index.reaches(u, v) == graph.reaches_bfs(u, v)
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph=random_graphs())
+def test_interval_negative_cut_sound(graph):
+    index = IntervalIndex(graph)
+    for u in graph.nodes():
+        for v in graph.nodes():
+            if index.definitely_not_reaches(u, v):
+                assert not graph.reaches_bfs(u, v)
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph=random_graphs())
+def test_strict_reachability_consistency(graph):
+    """reaches_strict(u, u) holds exactly when u lies on a directed cycle."""
+    index = BloomFilterLabeling(graph)
+    for u in graph.nodes():
+        on_cycle = any(graph.reaches_bfs(child, u) for child in graph.successors(u))
+        assert index.reaches_strict(u, u) == on_cycle
