@@ -53,6 +53,7 @@ from repro.matching import (
     mjoin,
 )
 from repro.baselines import JMMatcher, TMMatcher, ISOMatcher, bruteforce_homomorphisms
+from repro.session import BatchReport, CacheStats, QuerySession
 
 __version__ = "1.0.0"
 
@@ -99,5 +100,8 @@ __all__ = [
     "TMMatcher",
     "ISOMatcher",
     "bruteforce_homomorphisms",
+    "BatchReport",
+    "CacheStats",
+    "QuerySession",
     "__version__",
 ]

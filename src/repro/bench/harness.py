@@ -20,6 +20,7 @@ from repro.matching.gm import GMVariant, GraphMatcher
 from repro.matching.ordering import OrderingMethod
 from repro.matching.result import Budget, MatchReport, MatchStatus
 from repro.query.pattern import PatternQuery
+from repro.session import QuerySession
 from repro.simulation.context import MatchContext
 
 #: Default per-query budget used by the benchmark experiments: a small match
@@ -72,8 +73,23 @@ def available_matchers() -> Sequence[str]:
     return tuple(sorted(_MATCHER_FACTORIES))
 
 
-def make_matcher(name: str, graph: DataGraph, context: MatchContext, budget: Budget):
-    """Instantiate a matcher / engine by its benchmark name."""
+def make_matcher(
+    name: str,
+    graph: DataGraph,
+    context: MatchContext,
+    budget: Budget,
+    session: Optional[QuerySession] = None,
+):
+    """Instantiate a matcher / engine by its benchmark name.
+
+    When ``session`` is given, the matcher is obtained from (and cached in)
+    the session, so every matcher of one experiment shares the session's
+    pre-built indexes instead of rebuilding its own.  The shared instance
+    keeps the *session's* default budget — pass ``budget`` to each ``match``
+    call (as :func:`run_workload` does) rather than relying on the default.
+    """
+    if session is not None:
+        return session.matcher(name)
     try:
         factory = _MATCHER_FACTORIES[name]
     except KeyError as exc:
@@ -163,20 +179,31 @@ def run_workload(
     budget: Optional[Budget] = None,
     context: Optional[MatchContext] = None,
     reachability_kind: str = "bfl",
+    session: Optional[QuerySession] = None,
 ) -> WorkloadResult:
     """Run every matcher on every query of the workload.
 
     The matchers share one :class:`MatchContext` (and thus one reachability
     index), as the paper's setup shares the BFL index across algorithms.
+    Passing a :class:`QuerySession` shares *all* per-graph artifacts —
+    reachability index, transitive closure, expanded graph, catalogs and
+    RIGs — across the matchers and across repeated ``run_workload`` calls.
     Engine construction failures (e.g. the GF catalog cap) are recorded as
     out-of-memory runs for every query of the workload.
     """
     budget = budget or DEFAULT_BENCH_BUDGET
-    context = context or MatchContext(graph, reachability_kind=reachability_kind)
+    if session is not None:
+        if session.graph is not graph:
+            raise ValueError("session is bound to a different data graph")
+        if context is not None and context is not session.context:
+            raise ValueError("pass either context or session, not both")
+        context = session.context
+    else:
+        context = context or MatchContext(graph, reachability_kind=reachability_kind)
     result = WorkloadResult(dataset=graph.name)
     for matcher_name in matcher_names:
         try:
-            matcher = make_matcher(matcher_name, graph, context, budget)
+            matcher = make_matcher(matcher_name, graph, context, budget, session=session)
         except MemoryBudgetExceeded:
             for query_name in queries:
                 result.runs.append(

@@ -5,7 +5,7 @@ from __future__ import annotations
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.exceptions import EngineError, MemoryBudgetExceeded, TimeoutExceeded
 from repro.graph.digraph import DataGraph
@@ -46,6 +46,15 @@ def expand_descendant_edges(
     return expanded, time.perf_counter() - start
 
 
+#: A transitive-closure index, or a zero-argument callable producing one.
+#: Callables let a shared cache (e.g. :class:`repro.session.QuerySession`)
+#: supply the closure lazily: it is only built if a descendant query arrives.
+ClosureSource = Union[TransitiveClosureIndex, Callable[[], TransitiveClosureIndex]]
+
+#: An expanded data graph, or a zero-argument callable producing one.
+ExpandedGraphSource = Union[DataGraph, Callable[[], DataGraph]]
+
+
 class Engine(ABC):
     """Base class for the comparator engines.
 
@@ -54,6 +63,11 @@ class Engine(ABC):
     (``descendant_mode="reject"``), or rewrites the query against the
     transitive-closure-expanded graph (``descendant_mode="closure"``),
     charging the expansion to precomputation time.
+
+    ``closure`` and ``expanded_graph`` allow a caller that already owns those
+    artifacts (a :class:`~repro.session.QuerySession`) to inject them so the
+    engine does not recompute them; a pre-built ``expanded_graph`` charges
+    zero expansion time to precomputation.
     """
 
     name = "engine"
@@ -63,11 +77,17 @@ class Engine(ABC):
         graph: DataGraph,
         budget: Optional[Budget] = None,
         descendant_mode: str = "closure",
+        closure: Optional[ClosureSource] = None,
+        expanded_graph: Optional[ExpandedGraphSource] = None,
     ) -> None:
         self.graph = graph
         self.budget = budget or Budget()
         self.descendant_mode = descendant_mode
-        self._expanded_graph: Optional[DataGraph] = None
+        self._closure_source = closure
+        self._expanded_source = expanded_graph if callable(expanded_graph) else None
+        self._expanded_graph: Optional[DataGraph] = (
+            None if callable(expanded_graph) else expanded_graph
+        )
         self._expansion_seconds = 0.0
         self._precompute_seconds = 0.0
         start = time.perf_counter()
@@ -104,8 +124,15 @@ class Engine(ABC):
                 f"{self.name} only supports child-only (edge-to-edge) queries"
             )
         if self._expanded_graph is None:
-            self._expanded_graph, self._expansion_seconds = expand_descendant_edges(self.graph)
-            self._precompute_seconds += self._expansion_seconds
+            if self._expanded_source is not None:
+                self._expanded_graph = self._expanded_source()
+            else:
+                source = self._closure_source
+                closure = source() if callable(source) else source
+                self._expanded_graph, self._expansion_seconds = expand_descendant_edges(
+                    self.graph, closure=closure
+                )
+                self._precompute_seconds += self._expansion_seconds
         rewritten_edges = [
             PatternEdge(edge.source, edge.target, EdgeType.CHILD) for edge in query.edges()
         ]

@@ -24,8 +24,18 @@ class BinaryJoinEngine(Engine):
 
     name = "Neo4j"
 
+    def _precompute(self, graph: DataGraph) -> None:
+        # Plans only depend on the query structure and which of the two
+        # graphs (base / closure-expanded) is in play, so repeated queries on
+        # a long-lived engine skip re-planning.
+        self._plan_cache: Dict[Tuple[bool, PatternQuery], Tuple[int, List[PatternEdge]]] = {}
+
     def _plan(self, graph: DataGraph, query: PatternQuery) -> Tuple[int, List[PatternEdge]]:
         """Pick an anchor query node and a connected edge expansion order."""
+        cache_key = (graph is self.graph, query)
+        cached = self._plan_cache.get(cache_key)
+        if cached is not None:
+            return cached
         anchor = min(
             query.nodes(), key=lambda node: len(graph.inverted_list(query.label(node)))
         )
@@ -42,6 +52,7 @@ class BinaryJoinEngine(Engine):
             plan.append(chosen)
             bound.update(chosen.endpoints())
             remaining.remove(chosen)
+        self._plan_cache[cache_key] = (anchor, plan)
         return anchor, plan
 
     def _evaluate(

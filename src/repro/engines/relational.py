@@ -23,19 +23,45 @@ from repro.query.pattern import PatternQuery
 from repro.engines.base import Engine
 
 
+#: Edge relations partitioned by (source label, target label).
+EdgePartitions = Dict[Tuple[str, str], List[Tuple[int, int]]]
+
+
+def build_edge_partitions(graph: DataGraph) -> EdgePartitions:
+    """Partition the edge set by (source label, target label).
+
+    This is the loading / trie-building step of EmptyHeaded; exposed as a
+    function so a shared cache can build it once and hand it to many engine
+    instances.
+    """
+    partitions: EdgePartitions = {}
+    for source, target in graph.edges():
+        key = (graph.label(source), graph.label(target))
+        partitions.setdefault(key, []).append((source, target))
+    return partitions
+
+
 class RelationalEngine(Engine):
     """Materialised-edge-relation hash-join engine (EmptyHeaded stand-in)."""
 
     name = "EH"
 
+    def __init__(
+        self,
+        graph: DataGraph,
+        budget: Optional[Budget] = None,
+        descendant_mode: str = "closure",
+        partitions: Optional[EdgePartitions] = None,
+        **kwargs,
+    ) -> None:
+        self._prebuilt_partitions = partitions
+        super().__init__(graph, budget=budget, descendant_mode=descendant_mode, **kwargs)
+
     def _precompute(self, graph: DataGraph) -> None:
-        # Partition the edge set by (source label, target label); this is the
-        # loading / trie-building step of EmptyHeaded.
-        partitions: Dict[Tuple[str, str], List[Tuple[int, int]]] = {}
-        for source, target in graph.edges():
-            key = (graph.label(source), graph.label(target))
-            partitions.setdefault(key, []).append((source, target))
-        self._partitions = partitions
+        if self._prebuilt_partitions is not None:
+            self._partitions = self._prebuilt_partitions
+        else:
+            self._partitions = build_edge_partitions(graph)
 
     def _edge_relation(self, graph: DataGraph, query: PatternQuery, source: int, target: int):
         key = (query.label(source), query.label(target))

@@ -35,8 +35,15 @@ class TreeDecompEngine(Engine):
     # candidate filtering along a spanning tree
     # ------------------------------------------------------------------ #
 
-    @staticmethod
-    def _spanning_tree(query: PatternQuery) -> List[PatternEdge]:
+    def _precompute(self, graph: DataGraph) -> None:
+        # Spanning trees depend only on the query structure; cache them so a
+        # long-lived engine skips recomputation on repeated queries.
+        self._tree_cache: Dict[PatternQuery, List[PatternEdge]] = {}
+
+    def _spanning_tree(self, query: PatternQuery) -> List[PatternEdge]:
+        cached = self._tree_cache.get(query)
+        if cached is not None:
+            return cached
         in_tree = {0}
         tree: List[PatternEdge] = []
         remaining = list(query.edges())
@@ -49,6 +56,7 @@ class TreeDecompEngine(Engine):
                     in_tree.update(edge.endpoints())
                     remaining.remove(edge)
                     progress = True
+        self._tree_cache[query] = tree
         return tree
 
     def _filter_candidates(

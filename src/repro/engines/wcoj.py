@@ -88,12 +88,20 @@ class WCOJEngine(Engine):
         budget: Optional[Budget] = None,
         descendant_mode: str = "closure",
         catalog_max_entries: Optional[int] = None,
+        catalog: Optional[Catalog] = None,
+        **kwargs,
     ) -> None:
         self._catalog_max_entries = catalog_max_entries
-        super().__init__(graph, budget=budget, descendant_mode=descendant_mode)
+        self._prebuilt_catalog = catalog
+        super().__init__(graph, budget=budget, descendant_mode=descendant_mode, **kwargs)
 
     def _precompute(self, graph: DataGraph) -> None:
-        self.catalog = build_catalog(graph, max_entries=self._catalog_max_entries)
+        if self._prebuilt_catalog is not None:
+            # Injected by a caller that built (and cached) the catalog once —
+            # construction cost was paid there, not by this engine instance.
+            self.catalog = self._prebuilt_catalog
+        else:
+            self.catalog = build_catalog(graph, max_entries=self._catalog_max_entries)
         if self.catalog.truncated:
             raise MemoryBudgetExceeded(self._catalog_max_entries or 0)
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, replace
 from enum import Enum
-from typing import Optional, Sequence
+from typing import MutableMapping, Optional, Sequence
 
 from repro.exceptions import BudgetExceeded, TimeoutExceeded
 from repro.graph.digraph import DataGraph
@@ -79,6 +79,13 @@ class GraphMatcher:
         simulation tuning, ...).
     budget:
         Default per-query limits; ``match`` accepts a per-call override.
+    rig_cache:
+        Optional mutable mapping ``PatternQuery -> RIGBuildReport``.  When
+        given, ``match`` reuses the cached RIG of a previously seen query
+        instead of rebuilding it (MJoin only reads the RIG, so reuse is
+        safe), and records new builds into the mapping.  A
+        :class:`~repro.session.QuerySession` passes its own cache here to
+        share RIGs across queries and report hit/miss statistics.
     """
 
     def __init__(
@@ -90,6 +97,7 @@ class GraphMatcher:
         ordering: OrderingMethod = OrderingMethod.JO,
         rig_options: Optional[RIGOptions] = None,
         budget: Optional[Budget] = None,
+        rig_cache: Optional[MutableMapping[PatternQuery, RIGBuildReport]] = None,
     ) -> None:
         self.graph = graph
         self.context = context or MatchContext(graph, reachability_kind=reachability_kind)
@@ -97,6 +105,7 @@ class GraphMatcher:
         self.ordering = ordering
         self.rig_options = _options_for_variant(variant, rig_options or RIGOptions())
         self.budget = budget or Budget()
+        self.rig_cache = rig_cache
 
     @property
     def reachability(self) -> ReachabilityIndex:
@@ -117,6 +126,17 @@ class GraphMatcher:
         """Run only the summarization phase (useful for the Fig. 13 ablation)."""
         return build_rig(self.context, query, self.rig_options)
 
+    def _rig_for(self, query: PatternQuery) -> tuple[RIGBuildReport, bool]:
+        """Fetch the query's RIG from the cache, building (and storing) on miss."""
+        if self.rig_cache is not None:
+            cached = self.rig_cache.get(query)
+            if cached is not None:
+                return cached, True
+        report = build_rig(self.context, query, self.rig_options)
+        if self.rig_cache is not None:
+            self.rig_cache[query] = report
+        return report, False
+
     def match(
         self,
         query: PatternQuery,
@@ -132,7 +152,7 @@ class GraphMatcher:
         budget = budget or self.budget
         start = time.perf_counter()
         try:
-            report = build_rig(self.context, query, self.rig_options)
+            report, rig_cached = self._rig_for(query)
             rig = report.rig
             if rig.is_empty():
                 matching_seconds = time.perf_counter() - start
@@ -144,7 +164,7 @@ class GraphMatcher:
                     num_matches=0,
                     matching_seconds=matching_seconds,
                     enumeration_seconds=0.0,
-                    extra={"rig_size": rig.size(), "empty_rig": True},
+                    extra={"rig_size": rig.size(), "empty_rig": True, "rig_cached": rig_cached},
                 )
             chosen_order = list(order) if order is not None else search_order(
                 report.query, rig, self.ordering
@@ -168,6 +188,7 @@ class GraphMatcher:
                     "rig_edges": rig.num_rig_edges(),
                     "search_order": chosen_order,
                     "simulation_passes": report.simulation.passes if report.simulation else 0,
+                    "rig_cached": rig_cached,
                 },
             )
         except TimeoutExceeded:

@@ -1,0 +1,52 @@
+"""Cached-index batch query execution: the :class:`QuerySession` façade.
+
+Why a session?
+--------------
+The paper's central argument is economic: a Runtime-Index-Graph matcher wins
+because the expensive per-*graph* artifacts — the BFL reachability index,
+the transitive closure, inverted label lists and bitmaps — are built once
+and amortised over many queries, while per-*query* work (simulation, RIG,
+enumeration) stays small.  The standalone entry points
+(:class:`repro.GraphMatcher`, the ``repro.engines`` classes) rebuild those
+artifacts on every construction; a :class:`QuerySession` owns them instead.
+
+Cache lifecycle
+---------------
+* A session is bound to **one data graph** for its whole life.  Construct a
+  new session if the graph changes — cached artifacts are never invalidated
+  in place (``session.clear()`` drops them all if you must reuse the
+  object).
+* Every artifact is built **lazily on first use** and kept forever: the
+  reachability index on the first query, the transitive closure and the
+  closure-expanded graph only when a comparator engine meets its first
+  descendant query, the GF catalog / EH partitions when those engines are
+  first requested, and one RIG per distinct (GM variant, query).
+* Builds and reuses are counted in ``session.stats`` (misses = builds,
+  hits = reuses), so "the second identical query rebuilds nothing" is an
+  assertable property, not a hope.
+
+When to prefer ``run_batch``
+----------------------------
+Use :meth:`QuerySession.query` for one-off, latency-sensitive calls.  Use
+:meth:`QuerySession.run_batch` whenever you have a *workload*: it warms the
+matcher once, optionally fans the queries out over a thread pool
+(``workers=N``) while enforcing per-query :class:`~repro.matching.result.Budget`
+limits, and returns a :class:`BatchReport` with latency percentiles,
+solved/match counts, throughput and the cache-counter deltas for the batch —
+the numbers a serving system actually monitors.
+
+>>> session = QuerySession(graph)
+>>> report = session.run_batch(queries, engine="GM", workers=4)
+>>> report.p50, report.throughput_qps, report.cache_hits
+"""
+
+from repro.session.batch import BatchReport, QueryOutcome, percentile
+from repro.session.session import CacheStats, QuerySession
+
+__all__ = [
+    "BatchReport",
+    "CacheStats",
+    "QueryOutcome",
+    "QuerySession",
+    "percentile",
+]

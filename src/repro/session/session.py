@@ -1,0 +1,486 @@
+"""QuerySession: per-graph cached state shared by every query.
+
+The paper's headline result rests on expensive per-graph artifacts — the
+reachability index, the transitive closure, label bitmaps, runtime index
+graphs — being built *once* and reused across queries.  A
+:class:`QuerySession` is the object that owns that cached state: construct
+one per data graph, then push any number of queries (and any mix of
+matchers) through it.  Every artifact is built lazily on first use, guarded
+by a lock, and accounted in :class:`CacheStats` so callers can assert reuse.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.baselines.iso import ISOMatcher
+from repro.baselines.jm import JMMatcher
+from repro.baselines.tm import TMMatcher
+from repro.bitmap.roaring import RoaringBitmap
+from repro.engines.base import Engine, EngineResult, expand_descendant_edges
+from repro.engines.binary_join import BinaryJoinEngine
+from repro.engines.relational import RelationalEngine, build_edge_partitions
+from repro.engines.treedecomp import TreeDecompEngine
+from repro.engines.wcoj import WCOJEngine, build_catalog
+from repro.graph.digraph import DataGraph
+from repro.matching.gm import GMVariant, GraphMatcher
+from repro.matching.ordering import OrderingMethod
+from repro.matching.result import Budget, MatchReport
+from repro.query.pattern import PatternQuery
+from repro.reachability.base import ReachabilityIndex
+from repro.reachability.transitive_closure import TransitiveClosureIndex
+from repro.rig.build import RIGBuildReport, RIGOptions
+from repro.session.batch import BatchReport, QueryOutcome
+from repro.simulation.context import MatchContext
+
+
+class CacheStats:
+    """Hit/miss counters for the session's cached artifacts.
+
+    A *miss* means the artifact was built (the expensive path); a *hit*
+    means an already-built artifact was reused.  Counters are keyed by
+    artifact name (``"reachability"``, ``"closure"``, ``"expanded_graph"``,
+    ``"catalog"``, ``"partitions"``, ``"bitmaps"``, ``"universe"``,
+    ``"rig"``, ``"matcher"``).  ``"matcher"`` only records builds: instance
+    lookups happen on every query and are not an interesting reuse signal.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._hits: Dict[str, int] = {}
+        self._misses: Dict[str, int] = {}
+
+    def record_hit(self, key: str) -> None:
+        """Count one reuse of the artifact ``key``."""
+        with self._lock:
+            self._hits[key] = self._hits.get(key, 0) + 1
+
+    def record_miss(self, key: str) -> None:
+        """Count one build of the artifact ``key``."""
+        with self._lock:
+            self._misses[key] = self._misses.get(key, 0) + 1
+
+    def hits(self, key: Optional[str] = None) -> int:
+        """Hit count for ``key`` (total over all artifacts when omitted)."""
+        with self._lock:
+            if key is None:
+                return sum(self._hits.values())
+            return self._hits.get(key, 0)
+
+    def misses(self, key: Optional[str] = None) -> int:
+        """Miss (build) count for ``key`` (total when omitted)."""
+        with self._lock:
+            if key is None:
+                return sum(self._misses.values())
+            return self._misses.get(key, 0)
+
+    @property
+    def total_hits(self) -> int:
+        """Total hits over all artifacts."""
+        return self.hits()
+
+    @property
+    def total_misses(self) -> int:
+        """Total builds over all artifacts."""
+        return self.misses()
+
+    def snapshot(self) -> Tuple[Dict[str, int], Dict[str, int]]:
+        """Copies of the (hits, misses) counter dicts."""
+        with self._lock:
+            return dict(self._hits), dict(self._misses)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        hits, misses = self.snapshot()
+        return f"CacheStats(hits={hits}, misses={misses})"
+
+
+class _ObservedRigCache(dict):
+    """RIG cache handed to :class:`GraphMatcher`; records hits and misses.
+
+    ``GraphMatcher._rig_for`` probes the cache exactly once per match, so
+    counting inside :meth:`get` yields one hit or one miss per GM query.
+    """
+
+    def __init__(self, stats: CacheStats) -> None:
+        super().__init__()
+        self._stats = stats
+
+    def get(self, key, default=None):
+        value = super().get(key, default)
+        if value is None:
+            self._stats.record_miss("rig")
+        else:
+            self._stats.record_hit("rig")
+        return value
+
+
+class QuerySession:
+    """Cached-index query execution over one data graph.
+
+    Parameters
+    ----------
+    graph:
+        The data graph to serve queries on.
+    reachability_kind:
+        Reachability index scheme (``"bfl"`` default, as in the paper).
+    ordering / rig_options / budget:
+        Defaults forwarded to the GM matchers the session constructs.
+    set_kind:
+        Set representation for session-built RIGs (``"set"`` default).
+
+    The session owns, lazily and at most once each:
+
+    * the :class:`MatchContext` with its reachability index (and the
+      inverted label lists / label summaries it derives);
+    * the materialised transitive closure and the closure-expanded data
+      graph the comparator engines need for descendant queries;
+    * the GF catalog and the EH edge-relation partitions;
+    * per-label Roaring bitmaps and the node-universe bitmap;
+    * one RIG per distinct (GM variant, query) pair;
+    * one matcher / engine instance per matcher name.
+
+    ``stats`` exposes hit/miss counters per artifact; after a warm-up query,
+    identical queries must record only hits (no rebuilds).
+
+    Thread safety: artifact construction is serialised by an internal lock;
+    match execution itself only reads shared state, so :meth:`run_batch` may
+    fan queries out over a thread pool.
+    """
+
+    def __init__(
+        self,
+        graph: DataGraph,
+        reachability_kind: str = "bfl",
+        ordering: OrderingMethod = OrderingMethod.JO,
+        rig_options: Optional[RIGOptions] = None,
+        budget: Optional[Budget] = None,
+        set_kind: str = "set",
+    ) -> None:
+        self.graph = graph
+        self.reachability_kind = reachability_kind
+        self.ordering = ordering
+        self.rig_options = rig_options or RIGOptions(set_kind=set_kind)
+        self.budget = budget or Budget()
+        self.stats = CacheStats()
+        self._lock = threading.RLock()
+        self._context: Optional[MatchContext] = None
+        self._closure: Optional[TransitiveClosureIndex] = None
+        self._expanded_graph: Optional[DataGraph] = None
+        self._catalog = None
+        self._partitions = None
+        self._label_bitmaps: Optional[Dict[str, RoaringBitmap]] = None
+        self._universe: Optional[RoaringBitmap] = None
+        self._rig_caches: Dict[str, _ObservedRigCache] = {}
+        self._matchers: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------ #
+    # cached artifacts
+    # ------------------------------------------------------------------ #
+
+    def _artifact(self, attr: str, key: str, builder: Callable[[], object]):
+        """Return the cached artifact ``attr``, building it on first use."""
+        with self._lock:
+            value = getattr(self, attr)
+            if value is None:
+                self.stats.record_miss(key)
+                value = builder()
+                setattr(self, attr, value)
+            else:
+                self.stats.record_hit(key)
+            return value
+
+    @property
+    def context(self) -> MatchContext:
+        """The shared :class:`MatchContext` (builds the reachability index once)."""
+        return self._artifact(
+            "_context",
+            "reachability",
+            lambda: MatchContext(self.graph, reachability_kind=self.reachability_kind),
+        )
+
+    @property
+    def reachability(self) -> ReachabilityIndex:
+        """The session's reachability index."""
+        return self.context.reachability
+
+    @property
+    def transitive_closure(self) -> TransitiveClosureIndex:
+        """The materialised transitive closure (reused by engine expansion)."""
+
+        def build() -> TransitiveClosureIndex:
+            # If the session's reachability index *is* a closure, reuse it.
+            if self._context is not None and isinstance(
+                self._context.reachability, TransitiveClosureIndex
+            ):
+                return self._context.reachability
+            return TransitiveClosureIndex(self.graph)
+
+        return self._artifact("_closure", "closure", build)
+
+    @property
+    def expanded_graph(self) -> DataGraph:
+        """The closure-expanded data graph engines use for descendant edges."""
+
+        def build() -> DataGraph:
+            expanded, _seconds = expand_descendant_edges(
+                self.graph, closure=self.transitive_closure
+            )
+            return expanded
+
+        return self._artifact("_expanded_graph", "expanded_graph", build)
+
+    @property
+    def catalog(self):
+        """The GF subgraph-cardinality catalog."""
+        return self._artifact("_catalog", "catalog", lambda: build_catalog(self.graph))
+
+    @property
+    def partitions(self):
+        """The EH edge relations partitioned by label pair."""
+        return self._artifact(
+            "_partitions", "partitions", lambda: build_edge_partitions(self.graph)
+        )
+
+    @property
+    def label_bitmaps(self) -> Dict[str, RoaringBitmap]:
+        """Per-label Roaring bitmaps of the inverted lists (the bitmap universe)."""
+
+        def build() -> Dict[str, RoaringBitmap]:
+            return {
+                label: RoaringBitmap(self.graph.inverted_list(label))
+                for label in self.graph.label_alphabet()
+            }
+
+        return self._artifact("_label_bitmaps", "bitmaps", build)
+
+    def label_bitmap(self, label: str) -> RoaringBitmap:
+        """The Roaring bitmap of one label's inverted list (empty if unknown)."""
+        return self.label_bitmaps.get(label) or RoaringBitmap(())
+
+    @property
+    def bitmap_universe(self) -> RoaringBitmap:
+        """Bitmap of every node id of the data graph."""
+        return self._artifact(
+            "_universe", "universe", lambda: RoaringBitmap(range(self.graph.num_nodes))
+        )
+
+    # ------------------------------------------------------------------ #
+    # matcher construction
+    # ------------------------------------------------------------------ #
+
+    _GM_SPECS: Dict[str, Tuple[GMVariant, Optional[OrderingMethod]]] = {
+        "GM": (GMVariant.GM, None),
+        "GM-S": (GMVariant.GM_S, None),
+        "GM-F": (GMVariant.GM_F, None),
+        "GM-NR": (GMVariant.GM_NR, None),
+        "GM-JO": (GMVariant.GM, OrderingMethod.JO),
+        "GM-RI": (GMVariant.GM, OrderingMethod.RI),
+        "GM-BJ": (GMVariant.GM, OrderingMethod.BJ),
+    }
+    _BASELINE_CLASSES = {"JM": JMMatcher, "TM": TMMatcher, "ISO": ISOMatcher}
+    _ENGINE_CLASSES = {
+        "Neo4j": BinaryJoinEngine,
+        "EH": RelationalEngine,
+        "GF": WCOJEngine,
+        "RM": TreeDecompEngine,
+    }
+
+    @classmethod
+    def available_matchers(cls) -> Tuple[str, ...]:
+        """Matcher names :meth:`matcher` accepts."""
+        return tuple(
+            sorted({**cls._GM_SPECS, **cls._BASELINE_CLASSES, **cls._ENGINE_CLASSES})
+        )
+
+    def _rig_cache_for(self, variant: GMVariant) -> _ObservedRigCache:
+        cache = self._rig_caches.get(variant.value)
+        if cache is None:
+            cache = _ObservedRigCache(self.stats)
+            self._rig_caches[variant.value] = cache
+        return cache
+
+    def _build_matcher(self, name: str):
+        if name in self._GM_SPECS:
+            variant, ordering = self._GM_SPECS[name]
+            return GraphMatcher(
+                self.graph,
+                context=self.context,
+                variant=variant,
+                ordering=ordering or self.ordering,
+                rig_options=self.rig_options,
+                budget=self.budget,
+                rig_cache=self._rig_cache_for(variant),
+            )
+        if name in self._BASELINE_CLASSES:
+            return self._BASELINE_CLASSES[name](
+                self.graph, context=self.context, budget=self.budget
+            )
+        if name in self._ENGINE_CLASSES:
+            engine_class = self._ENGINE_CLASSES[name]
+            kwargs: Dict[str, object] = {
+                "budget": self.budget,
+                # Lazy providers: the closure / expanded graph are only built
+                # if this engine actually sees a descendant query, and are
+                # then shared with every other engine of the session.
+                "expanded_graph": lambda: self.expanded_graph,
+            }
+            if engine_class is WCOJEngine:
+                kwargs["catalog"] = self.catalog
+            if engine_class is RelationalEngine:
+                kwargs["partitions"] = self.partitions
+            return engine_class(self.graph, **kwargs)
+        raise KeyError(
+            f"unknown matcher {name!r}; available: {', '.join(self.available_matchers())}"
+        )
+
+    def matcher(self, name: str = "GM"):
+        """The session's shared matcher / engine instance for ``name``.
+
+        Instances are built once and cached; engines receive the session's
+        pre-built artifacts (catalog, partitions, closure-expanded graph)
+        instead of recomputing their own.
+        """
+        with self._lock:
+            matcher = self._matchers.get(name)
+            if matcher is None:
+                self.stats.record_miss("matcher")
+                matcher = self._build_matcher(name)
+                self._matchers[name] = matcher
+            # Reusing the instance is not counted as a hit: every query()
+            # performs this lookup, and counting it would drown the real
+            # index-reuse signal (rig / reachability / closure hits).
+            return matcher
+
+    # ------------------------------------------------------------------ #
+    # query execution
+    # ------------------------------------------------------------------ #
+
+    def query(
+        self,
+        query: PatternQuery,
+        engine: str = "GM",
+        budget: Optional[Budget] = None,
+        injective: bool = False,
+    ) -> MatchReport:
+        """Evaluate one query through the session's cached state.
+
+        Returns a :class:`MatchReport`; for comparator engines the engine's
+        precomputation time is recorded in ``report.extra``.
+        """
+        matcher = self.matcher(engine)
+        budget = budget or self.budget
+        if isinstance(matcher, Engine):
+            result: EngineResult = matcher.match(query, budget=budget)
+            report = result.report
+            report.extra.setdefault("precompute_seconds", result.precompute_seconds)
+            return report
+        if isinstance(matcher, GraphMatcher):
+            return matcher.match(query, budget=budget, injective=injective)
+        return matcher.match(query, budget=budget)
+
+    def count(self, query: PatternQuery, engine: str = "GM", budget: Optional[Budget] = None) -> int:
+        """Number of occurrences of ``query`` (subject to the budget)."""
+        return self.query(query, engine=engine, budget=budget).num_matches
+
+    def run_batch(
+        self,
+        queries: Union[Mapping[str, PatternQuery], Iterable[PatternQuery]],
+        engine: str = "GM",
+        workers: int = 1,
+        budget: Optional[Budget] = None,
+        injective: bool = False,
+        keep_occurrences: bool = True,
+    ) -> BatchReport:
+        """Execute a batch of queries and return aggregate statistics.
+
+        ``queries`` is either a name -> query mapping or an iterable of
+        queries (named by their ``.name``).  ``workers > 1`` fans the batch
+        out over a thread pool; every query still honours the per-query
+        ``budget`` (time limit, match cap, intermediate cap).  Results are
+        returned in input order regardless of worker count.
+        """
+        if isinstance(queries, Mapping):
+            items: List[Tuple[str, PatternQuery]] = list(queries.items())
+        else:
+            items = [(query.name, query) for query in queries]
+
+        # Warm the matcher once so worker threads never race its construction.
+        self.matcher(engine)
+        hits_before, misses_before = self.stats.snapshot()
+
+        def run_one(item: Tuple[str, PatternQuery]) -> QueryOutcome:
+            name, query = item
+            started = time.perf_counter()
+            report = self.query(query, engine=engine, budget=budget, injective=injective)
+            elapsed = time.perf_counter() - started
+            return QueryOutcome(
+                name=name,
+                seconds=elapsed,
+                num_matches=report.num_matches,
+                status=report.status.value,
+                occurrences=tuple(report.occurrences) if keep_occurrences else (),
+                extra=dict(report.extra),
+            )
+
+        wall_start = time.perf_counter()
+        if workers > 1 and len(items) > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                outcomes = list(pool.map(run_one, items))
+        else:
+            outcomes = [run_one(item) for item in items]
+        wall_seconds = time.perf_counter() - wall_start
+
+        hits_after, misses_after = self.stats.snapshot()
+        cache_hits = {
+            key: hits_after[key] - hits_before.get(key, 0)
+            for key in hits_after
+            if hits_after[key] != hits_before.get(key, 0)
+        }
+        cache_misses = {
+            key: misses_after[key] - misses_before.get(key, 0)
+            for key in misses_after
+            if misses_after[key] != misses_before.get(key, 0)
+        }
+        return BatchReport(
+            engine=engine,
+            outcomes=outcomes,
+            wall_seconds=wall_seconds,
+            workers=max(1, workers),
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
+        )
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    def cached_rig(self, query: PatternQuery, variant: GMVariant = GMVariant.GM) -> Optional[RIGBuildReport]:
+        """The cached RIG build report for ``query``, if one exists."""
+        cache = self._rig_caches.get(variant.value)
+        if cache is None:
+            return None
+        return dict.get(cache, query)
+
+    def clear(self) -> None:
+        """Drop every cached artifact (counters are preserved)."""
+        with self._lock:
+            self._context = None
+            self._closure = None
+            self._expanded_graph = None
+            self._catalog = None
+            self._partitions = None
+            self._label_bitmaps = None
+            self._universe = None
+            self._rig_caches.clear()
+            self._matchers.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QuerySession(graph={self.graph.name!r}, "
+            f"reachability={self.reachability_kind!r}, "
+            f"matchers={sorted(self._matchers)})"
+        )

@@ -10,7 +10,7 @@ from repro.matching.result import Budget, MatchStatus
 from repro.query.generators import to_child_only
 from repro.query.pattern import PatternQuery
 
-from conftest import A1, A2, B0, B2, C0, C1, C2
+from fixtures_paper import A1, A2, B0, B2, C0, C1, C2
 
 
 class TestBruteForce:

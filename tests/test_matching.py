@@ -12,7 +12,7 @@ from repro.query.generators import random_pattern_query, template_query
 from repro.query.pattern import PatternQuery
 from repro.rig.build import build_rig
 
-from conftest import A1, A2, B0, B2, C0, C1, C2, PAPER_ANSWER
+from fixtures_paper import A1, A2, B0, B2, C0, C1, C2, PAPER_ANSWER
 
 
 @pytest.fixture()

@@ -9,7 +9,7 @@ from repro.rig.graph import RuntimeIndexGraph
 from repro.rig.stats import rig_statistics
 from repro.simulation.context import ChildCheckMethod, MatchContext
 
-from conftest import A0, A1, A2, B0, B1, B2, B3, C0, C1, C2
+from fixtures_paper import A0, A1, A2, B0, B1, B2, B3, C0, C1, C2
 
 
 class TestRuntimeIndexGraphStructure:

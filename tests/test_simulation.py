@@ -17,7 +17,7 @@ from repro.simulation.fbsim import (
 )
 from repro.simulation.matchsets import match_sets, node_prefilter
 
-from conftest import A0, A1, A2, B0, B1, B2, B3, C0, C1, C2
+from fixtures_paper import A0, A1, A2, B0, B1, B2, B3, C0, C1, C2
 
 
 class TestMatchContext:
