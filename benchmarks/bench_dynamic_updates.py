@@ -1,0 +1,242 @@
+"""Dynamic updates — update-then-query vs cold session rebuild.
+
+Not a paper figure: this benchmark demonstrates the payoff of the dynamic
+subsystem.  A warm :class:`QuerySession` (reachability index, transitive
+closure, bitmaps and partitions built) receives a stream of small
+insertion-only deltas — new nodes arriving with edges into the existing
+graph, the shape of a streaming feed.  Each batch is applied twice:
+
+* **patched** — :meth:`QuerySession.apply` updates the cached artifacts in
+  place (incremental BFL / closure maintenance, bitmap and partition
+  refresh);
+* **cold** — a fresh session is constructed on the materialised post-delta
+  graph and brought to the same serving state (same artifacts built).
+
+The regenerate test asserts the patched path is >= 10x faster, checks the
+patched session's answers are bit-identical to the cold session's, writes a
+table to ``results/dynamic_updates.txt`` and the machine-readable numbers
+to the ``dynamic_updates`` section of ``results/BENCH_session.json``.
+"""
+
+import random
+import time
+
+from conftest import RESULTS_DIR, update_bench_json
+from repro.bench.workloads import bench_graph, query_set
+from repro.dynamic import GraphDelta
+from repro.matching.result import Budget
+from repro.session import QuerySession, percentile
+
+#: Graph scale (matches bench_session_batch so the two sections of
+#: BENCH_session.json describe the same graph).
+DYNAMIC_BENCH_SCALE = 0.25
+
+#: Number of delta batches in the stream.
+NUM_DELTAS = 5
+
+#: Shape of each delta batch: a few new nodes, each linking into the graph.
+NODES_PER_DELTA = 3
+EDGES_PER_DELTA = 9
+
+UPDATE_BUDGET = Budget(max_matches=5_000, time_limit_seconds=10.0,
+                       max_intermediate_results=200_000)
+
+#: Acceptance bar: patching must beat the cold rebuild by at least this much.
+TARGET_SPEEDUP = 10.0
+
+
+def make_delta(graph, seed: int) -> GraphDelta:
+    """A small insertion-only delta: new nodes citing existing nodes.
+
+    Edges always point *out of* new nodes (into existing or earlier-new
+    nodes), like citations from freshly published papers: the existing
+    graph can never reach a new node, so no SCC merge occurs and the
+    incremental reachability paths stay on the fast patch route.
+    """
+    rng = random.Random(seed)
+    labels = graph.label_alphabet()
+    delta = GraphDelta.for_graph(graph)
+    new_nodes = [delta.add_node(rng.choice(labels)) for _ in range(NODES_PER_DELTA)]
+    for index in range(EDGES_PER_DELTA):
+        source = new_nodes[index % len(new_nodes)]
+        # Mostly cite existing nodes; occasionally an earlier new node.
+        if rng.random() < 0.8 or source == new_nodes[0]:
+            target = rng.randrange(graph.num_nodes)
+        else:
+            target = rng.choice([n for n in new_nodes if n < source])
+        if source != target:
+            delta.add_edge(source, target)
+    return delta
+
+
+def warm_session(graph, budget=UPDATE_BUDGET) -> QuerySession:
+    """A session brought to full serving state (all shared artifacts built)."""
+    session = QuerySession(graph, budget=budget)
+    session.context
+    session.transitive_closure
+    session.label_bitmaps
+    session.bitmap_universe
+    session.partitions
+    return session
+
+
+def build_cold(graph) -> QuerySession:
+    """Cold construction: what serving would pay without the patch path."""
+    return warm_session(graph)
+
+
+def update_workload(graph):
+    """Three hybrid template queries re-run after every delta."""
+    return query_set(graph, kind="H", templates=("HQ0", "HQ4", "HQ8"))
+
+
+def test_apply_insert_delta(benchmark):
+    """Benchmark one small insert-only apply() on a warm session."""
+    graph = bench_graph("em", scale=DYNAMIC_BENCH_SCALE)
+    session = warm_session(graph)
+    state = {"seed": 0}
+
+    def setup():
+        state["seed"] += 1
+        return (make_delta(session.graph, state["seed"]),), {}
+
+    def run(delta):
+        return session.apply(delta)
+
+    report = benchmark.pedantic(run, setup=setup, rounds=10, iterations=1)
+    benchmark.extra_info["patched"] = ",".join(report.patched)
+    benchmark.extra_info["ops"] = report.num_ops
+
+
+def test_cold_session_rebuild(benchmark):
+    """Benchmark the alternative: cold session construction after a delta."""
+    graph = bench_graph("em", scale=DYNAMIC_BENCH_SCALE)
+    from repro.dynamic import MutableDataGraph
+
+    materialized = MutableDataGraph(graph, make_delta(graph, 1)).materialize()
+    benchmark.pedantic(lambda: build_cold(materialized), rounds=3, iterations=1)
+
+
+def test_regenerate_dynamic_speedup(benchmark):
+    """Stream NUM_DELTAS update batches; record patched-vs-cold numbers."""
+    base = bench_graph("em", scale=DYNAMIC_BENCH_SCALE)
+    session = warm_session(base)
+    queries = update_workload(base)
+    session.run_batch(queries, budget=UPDATE_BUDGET)  # warm the RIG caches too
+
+    def measure():
+        apply_seconds = []
+        cold_seconds = []
+        for round_index in range(NUM_DELTAS):
+            delta = make_delta(session.graph, seed=round_index + 1)
+            started = time.perf_counter()
+            session.apply(delta)
+            apply_seconds.append(time.perf_counter() - started)
+
+            started = time.perf_counter()
+            cold = build_cold(session.graph)
+            cold_seconds.append(time.perf_counter() - started)
+
+            warm_batch = session.run_batch(queries, budget=UPDATE_BUDGET)
+            cold_batch = cold.run_batch(queries, budget=UPDATE_BUDGET)
+            assert warm_batch.answers() == cold_batch.answers(), (
+                f"patched session diverged from cold session on round {round_index}"
+            )
+        return apply_seconds, cold_seconds
+
+    apply_seconds, cold_seconds = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    mean_apply = sum(apply_seconds) / len(apply_seconds)
+    mean_cold = sum(cold_seconds) / len(cold_seconds)
+    # Medians, not means: a single scheduler stall on a shared CI runner
+    # must not sink the ratio below the bar.
+    speedup = percentile(cold_seconds, 0.50) / percentile(apply_seconds, 0.50)
+    full = session.stats.full_snapshot()
+
+    assert speedup >= TARGET_SPEEDUP, (
+        f"apply ({percentile(apply_seconds, 0.50) * 1000:.2f}ms median) only "
+        f"{speedup:.1f}x faster than cold rebuild "
+        f"({percentile(cold_seconds, 0.50) * 1000:.2f}ms median); "
+        f"target {TARGET_SPEEDUP}x"
+    )
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = dynamic_payload(apply_seconds, cold_seconds, session)
+    table = RESULTS_DIR / "dynamic_updates.txt"
+    table.write_text(
+        "\n".join(
+            [
+                "Dynamic updates (insert-only delta stream, em graph)",
+                f"deltas: {NUM_DELTAS} x ({NODES_PER_DELTA} nodes, {EDGES_PER_DELTA} edges)",
+                f"apply (patched session):  mean {mean_apply * 1000:.2f}ms, "
+                f"p95 {payload['apply_p95_seconds'] * 1000:.2f}ms",
+                f"cold session rebuild:     mean {mean_cold * 1000:.2f}ms",
+                f"speedup: {speedup:.1f}x",
+                f"artifact patches: {full['patches']}",
+                f"artifact invalidations: {full['invalidations']}",
+            ]
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    json_path = update_bench_json("dynamic_updates", payload)
+    benchmark.extra_info["speedup"] = speedup
+    benchmark.extra_info["json_path"] = str(json_path)
+
+
+def dynamic_payload(apply_seconds, cold_seconds, session) -> dict:
+    """The machine-readable record for the ``dynamic_updates`` JSON section."""
+    full = session.stats.full_snapshot()
+    mean_apply = sum(apply_seconds) / len(apply_seconds)
+    mean_cold = sum(cold_seconds) / len(cold_seconds)
+    return {
+        "graph": "em",
+        "scale": DYNAMIC_BENCH_SCALE,
+        "num_deltas": len(apply_seconds),
+        "nodes_per_delta": NODES_PER_DELTA,
+        "edges_per_delta": EDGES_PER_DELTA,
+        "apply_mean_seconds": round(mean_apply, 6),
+        "apply_p50_seconds": round(percentile(apply_seconds, 0.50), 6),
+        "apply_p95_seconds": round(percentile(apply_seconds, 0.95), 6),
+        "cold_mean_seconds": round(mean_cold, 6),
+        "cold_p50_seconds": round(percentile(cold_seconds, 0.50), 6),
+        "speedup": round(
+            percentile(cold_seconds, 0.50) / percentile(apply_seconds, 0.50), 2
+        ),
+        "target_speedup": TARGET_SPEEDUP,
+        "final_version": session.version,
+        "patches": full["patches"],
+        "invalidations": full["invalidations"],
+    }
+
+
+if __name__ == "__main__":
+    # src/ is importable via benchmarks/conftest.py (imported above).
+    base = bench_graph("em", scale=DYNAMIC_BENCH_SCALE)
+    session = warm_session(base)
+    queries = update_workload(base)
+    session.run_batch(queries, budget=UPDATE_BUDGET)
+    apply_seconds = []
+    cold_seconds = []
+    for round_index in range(NUM_DELTAS):
+        delta = make_delta(session.graph, seed=round_index + 1)
+        started = time.perf_counter()
+        report = session.apply(delta)
+        apply_seconds.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        cold = build_cold(session.graph)
+        cold_seconds.append(time.perf_counter() - started)
+        warm_batch = session.run_batch(queries, budget=UPDATE_BUDGET)
+        cold_batch = cold.run_batch(queries, budget=UPDATE_BUDGET)
+        assert warm_batch.answers() == cold_batch.answers()
+        print(f"round {round_index}: {report.summary()}")
+    mean_apply = sum(apply_seconds) / len(apply_seconds)
+    mean_cold = sum(cold_seconds) / len(cold_seconds)
+    print(
+        f"apply mean {mean_apply * 1000:.2f}ms vs cold rebuild "
+        f"{mean_cold * 1000:.2f}ms ({mean_cold / mean_apply:.1f}x)"
+    )
+    path = update_bench_json(
+        "dynamic_updates", dynamic_payload(apply_seconds, cold_seconds, session)
+    )
+    print(f"wrote {path}")

@@ -5,13 +5,15 @@ design implies.  A repeated-query workload is pushed through (a) the *cold*
 path — a fresh :class:`GraphMatcher` (and thus a fresh reachability index,
 label summaries and RIG) per query, and (b) the *warm* path — one
 :class:`QuerySession` whose cached artifacts every query reuses.  The
-regenerate test writes both timings to ``results/session_batch.txt`` and
-asserts the warm path is faster.
+regenerate test writes both timings to ``results/session_batch.txt``, the
+machine-readable numbers (latency percentiles, throughput, cache counters,
+speedup) to the ``session_batch`` section of ``results/BENCH_session.json``,
+and asserts the warm path is faster.
 """
 
 import time
 
-from conftest import RESULTS_DIR
+from conftest import RESULTS_DIR, update_bench_json
 from repro.bench.workloads import bench_graph, query_set
 from repro.matching.gm import GraphMatcher
 from repro.matching.result import Budget
@@ -121,8 +123,35 @@ def test_regenerate_session_speedup(benchmark):
         batch.summary(),
     ]
     path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    json_path = update_bench_json("session_batch", session_batch_payload(
+        queries, cold_seconds, warm_seconds, batch
+    ))
     benchmark.extra_info["speedup"] = cold_seconds / warm_seconds
     benchmark.extra_info["table_path"] = str(path)
+    benchmark.extra_info["json_path"] = str(json_path)
+
+
+def session_batch_payload(queries, cold_seconds, warm_seconds, batch) -> dict:
+    """The machine-readable record for the ``session_batch`` JSON section."""
+    hits, misses = batch.cache_hits, batch.cache_misses
+    return {
+        "graph": "em",
+        "scale": SESSION_BENCH_SCALE,
+        "num_queries": len(queries),
+        "cold_seconds": round(cold_seconds, 6),
+        "warm_seconds": round(warm_seconds, 6),
+        "speedup": round(cold_seconds / warm_seconds, 2),
+        "p50_seconds": round(batch.p50, 6),
+        "p90_seconds": round(batch.p90, 6),
+        "p95_seconds": round(batch.latency_percentile(0.95), 6),
+        "p99_seconds": round(batch.p99, 6),
+        "throughput_qps": round(batch.throughput_qps, 2),
+        "total_matches": batch.total_matches,
+        "cache_hits": dict(hits),
+        "cache_misses": dict(misses),
+        "total_cache_hits": batch.total_cache_hits,
+        "total_cache_misses": batch.total_cache_misses,
+    }
 
 
 if __name__ == "__main__":
@@ -139,3 +168,7 @@ if __name__ == "__main__":
     warm = time.perf_counter() - start
     print(f"cold {cold:.4f}s vs warm {warm:.4f}s ({cold / warm:.1f}x)")
     print(batch.summary())
+    path = update_bench_json(
+        "session_batch", session_batch_payload(queries, cold, warm, batch)
+    )
+    print(f"wrote {path}")

@@ -47,6 +47,33 @@ def write_report(report) -> Path:
     return path
 
 
+#: Machine-readable benchmark trajectory shared by the session benchmarks.
+BENCH_JSON_PATH = RESULTS_DIR / "BENCH_session.json"
+
+
+def update_bench_json(section: str, payload: dict) -> Path:
+    """Merge one benchmark's results into ``results/BENCH_session.json``.
+
+    Each benchmark module owns a top-level ``section`` key; re-running a
+    benchmark overwrites only its own section, so the file accumulates the
+    full trajectory (session batch + dynamic updates) across runs.
+    """
+    import json
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    document = {}
+    if BENCH_JSON_PATH.exists():
+        try:
+            document = json.loads(BENCH_JSON_PATH.read_text(encoding="utf-8"))
+        except (ValueError, OSError):
+            document = {}
+    document[section] = payload
+    BENCH_JSON_PATH.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return BENCH_JSON_PATH
+
+
 @pytest.fixture(scope="session")
 def fast_budget() -> Budget:
     """The shared benchmark budget."""

@@ -1,20 +1,23 @@
 """Quickstart: build a small graph, write a hybrid pattern, run GM.
 
-Two ways to evaluate queries:
+Three ways to work with queries:
 
 * one-off: construct a :class:`GraphMatcher` and call ``match`` — simplest,
   but every matcher construction rebuilds the per-graph indexes;
 * many queries on one graph: open a :class:`QuerySession` — the reachability
   index, label lists and per-query RIGs are built once, cached, and shared
   by every subsequent query, and ``run_batch`` executes whole workloads
-  (optionally on a thread pool) returning latency/throughput statistics.
+  (optionally on a thread pool) returning latency/throughput statistics;
+* an evolving graph: batch edits into a :class:`GraphDelta` and push it
+  through ``session.apply`` — the cached indexes are patched in place (not
+  rebuilt) and the very next query sees the new data.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import GraphBuilder, GraphMatcher, QuerySession, parse_query
+from repro import GraphBuilder, GraphDelta, GraphMatcher, QuerySession, parse_query
 
 
 def main() -> None:
@@ -85,6 +88,28 @@ def main() -> None:
     print()
     print(batch.summary())
     print(f"cache counters after the batch: {session.stats}")
+
+    # 5. The graph evolves: a new task lands under atlas, and ana picks up
+    #    hermes too.  Batch the edits into a GraphDelta and apply it to the
+    #    running session — the reachability index and friends are *patched*
+    #    (see report.patched), not rebuilt, and the next query answers
+    #    against the new state immediately.
+    delta = GraphDelta.for_graph(session.graph)
+    launch = delta.add_node("Task")
+    names[launch] = "launch"
+    delta.add_edge(ids["review"], launch)   # review is followed by launch
+    delta.add_edge(ids["ana"], ids["hermes"])  # ana now co-leads hermes
+    report = session.apply(delta)
+    print()
+    print(f"applied update: {report.summary()}")
+
+    requery = session.query(query)
+    print(f"re-query after update: {requery.num_matches} occurrences "
+          f"(graph version {session.version})")
+    for person, project, task in sorted(requery.occurrences):
+        print(f"  {names[person]:>4} -> {names[project]:<6} => {names[task]}")
+    # The new (ana, atlas, launch), (ana, hermes, deploy) rows appear without
+    # any index rebuild — that is the dynamic subsystem's whole point.
 
 
 if __name__ == "__main__":

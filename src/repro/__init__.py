@@ -13,7 +13,10 @@ the pieces most applications need:
   baselines of the paper's evaluation;
 * :func:`build_reachability_index` — reachability indexes (BFL, intervals,
   transitive closure);
-* :class:`Budget` / :class:`MatchReport` — per-query limits and outcomes.
+* :class:`Budget` / :class:`MatchReport` — per-query limits and outcomes;
+* :class:`QuerySession` — cached-index batch execution over one graph;
+* :class:`GraphDelta` / :class:`MutableDataGraph` — batched graph updates
+  with incremental index maintenance (``session.apply(delta)``).
 """
 
 from repro.exceptions import (
@@ -53,6 +56,7 @@ from repro.matching import (
     mjoin,
 )
 from repro.baselines import JMMatcher, TMMatcher, ISOMatcher, bruteforce_homomorphisms
+from repro.dynamic import ApplyReport, GraphDelta, MutableDataGraph
 from repro.session import BatchReport, CacheStats, QuerySession
 
 __version__ = "1.0.0"
@@ -100,6 +104,9 @@ __all__ = [
     "TMMatcher",
     "ISOMatcher",
     "bruteforce_homomorphisms",
+    "ApplyReport",
+    "GraphDelta",
+    "MutableDataGraph",
     "BatchReport",
     "CacheStats",
     "QuerySession",

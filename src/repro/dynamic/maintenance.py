@@ -1,0 +1,148 @@
+"""Rebuild-vs-patch decisions and artifact patch helpers.
+
+The dynamic subsystem keeps the :class:`repro.session.QuerySession` caches
+alive across graph updates.  Each cached artifact falls into one of three
+maintenance classes:
+
+* **incrementally patchable** — the reachability index and the transitive
+  closure (``apply_delta`` on the index classes), the per-label bitmaps and
+  the EH edge partitions (helpers below);
+* **cheaply recomputable and lazily rebuilt** — the GF catalog, the
+  closure-expanded graph, the label summaries inside the match context;
+* **per-query** — RIG caches and matcher instances, which are dropped on
+  every version bump (they embed node candidates of the old state).
+
+:func:`should_patch` is the cost heuristic gating the first class: patching
+pays off for small insertion-only deltas, while deletion-bearing or bulk
+deltas fall back to a rebuild.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.dynamic.delta import GraphDelta
+
+#: Deltas whose edge insertions exceed this fraction of the graph's current
+#: edge count are rebuilt rather than patched: each inserted edge costs one
+#: targeted traversal / closure-column scan, so beyond a fraction of |E| the
+#: linear-pass rebuild is cheaper.
+PATCH_EDGE_FRACTION = 0.25
+
+#: Small graphs: always patch below this many inserted edges (the constant
+#: costs of a rebuild dominate no matter the fraction).
+PATCH_MIN_EDGES = 16
+
+
+def should_patch(graph, delta: GraphDelta) -> bool:
+    """Decide between incremental patching and a full rebuild.
+
+    ``graph`` is the *pre-delta* graph (any object with ``num_edges``).
+    Deltas with edge removals always rebuild — the reachability structures
+    are monotone under insertion only.  Insertion deltas patch unless they
+    are bulk-sized relative to the graph.
+    """
+    if delta.has_removals:
+        return False
+    num_inserts = len(delta.added_edges) + delta.num_added_nodes
+    if num_inserts <= PATCH_MIN_EDGES:
+        return True
+    return num_inserts <= max(PATCH_MIN_EDGES, int(graph.num_edges * PATCH_EDGE_FRACTION))
+
+
+# ---------------------------------------------------------------------- #
+# artifact patch helpers
+# ---------------------------------------------------------------------- #
+
+
+def patch_label_bitmaps(bitmaps: Dict[str, object], graph, delta: GraphDelta) -> bool:
+    """Refresh per-label Roaring bitmaps in place for ``delta``.
+
+    Edge operations do not touch label membership, so any delta is
+    patchable: added nodes are appended to their label's bitmap, and the
+    (at most two) bitmaps affected by each relabel are rebuilt from the
+    patched graph's inverted lists — a targeted rebuild touching only dirty
+    labels.  ``graph`` is the post-delta graph.  Always returns True.
+    """
+    from repro.bitmap.roaring import RoaringBitmap
+
+    for node_id, label in delta.added_nodes:
+        bitmap = bitmaps.get(label)
+        if bitmap is None:
+            bitmaps[label] = RoaringBitmap((node_id,))
+        else:
+            bitmap.add(node_id)
+    if delta.has_relabels:
+        # Every label that gained members is a relabel target; labels that
+        # only lost members show up as a size mismatch against the graph.
+        # (A pure membership swap leaves sizes equal, but then both labels
+        # are relabel targets and are already dirty.)
+        dirty = {new_label for _node, new_label in delta.relabels}
+        for label in list(bitmaps):
+            if len(bitmaps[label]) != len(graph.inverted_list(label)):
+                dirty.add(label)
+        for label in dirty:
+            members = graph.inverted_list(label)
+            if members:
+                bitmaps[label] = RoaringBitmap.from_sorted(members)
+            else:
+                bitmaps.pop(label, None)
+    return True
+
+
+def patch_universe(universe, delta: GraphDelta) -> bool:
+    """Extend the node-universe bitmap with the delta's added node ids."""
+    for node_id, _label in delta.added_nodes:
+        universe.add(node_id)
+    return True
+
+
+def patch_partitions(
+    partitions: Dict[Tuple[str, str], List[Tuple[int, int]]], graph, delta: GraphDelta
+) -> bool:
+    """Append inserted edges to the EH label-pair partitions in place.
+
+    Only insertion-only deltas are patchable: a removal or relabel moves
+    edges between partitions, which would need per-partition rescans —
+    cheaper to rebuild lazily.  ``graph`` is the post-delta graph (used for
+    endpoint labels).  Returns False (partitions untouched) when the delta
+    shape is not patchable.
+    """
+    if not delta.is_insert_only:
+        return False
+    for source, target in delta.added_edges:
+        key = (graph.label(source), graph.label(target))
+        partitions.setdefault(key, []).append((source, target))
+    return True
+
+
+# ---------------------------------------------------------------------- #
+# apply outcome
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class ApplyReport:
+    """Outcome of one :meth:`repro.session.QuerySession.apply` call.
+
+    ``patched`` artifacts were updated in place (their build cost was
+    saved); ``invalidated`` artifacts were dropped and will rebuild lazily
+    on next use; artifacts that had never been built appear in neither
+    list.
+    """
+
+    old_version: int
+    new_version: int
+    num_ops: int
+    seconds: float
+    patched: List[str] = field(default_factory=list)
+    invalidated: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        """One-line human-readable outcome."""
+        return (
+            f"apply v{self.old_version}->v{self.new_version}: {self.num_ops} ops "
+            f"in {self.seconds * 1000:.2f}ms; patched=[{', '.join(self.patched)}] "
+            f"invalidated=[{', '.join(self.invalidated)}]"
+        )

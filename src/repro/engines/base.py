@@ -42,7 +42,12 @@ def expand_descendant_edges(
     closure = closure or TransitiveClosureIndex(graph)
     edges = set(graph.edges())
     edges.update(closure.closure_edges())
-    expanded = DataGraph(graph.labels, sorted(edges), name=f"{graph.name}-tc")
+    expanded = DataGraph(
+        graph.labels,
+        sorted(edges),
+        name=f"{graph.name}-tc",
+        version=getattr(graph, "version", 0),
+    )
     return expanded, time.perf_counter() - start
 
 
@@ -88,6 +93,8 @@ class Engine(ABC):
         self._expanded_graph: Optional[DataGraph] = (
             None if callable(expanded_graph) else expanded_graph
         )
+        if self._expanded_graph is not None:
+            self._check_expanded(self._expanded_graph)
         self._expansion_seconds = 0.0
         self._precompute_seconds = 0.0
         start = time.perf_counter()
@@ -116,6 +123,25 @@ class Engine(ABC):
         """Time spent on engine precomputation (catalog / index building)."""
         return self._precompute_seconds
 
+    def _check_expanded(self, expanded: DataGraph) -> DataGraph:
+        """Reject an injected expanded graph built for a different graph state.
+
+        A shared cache may outlive a graph update; comparing node count and
+        the monotone data version catches a stale injection before it
+        silently produces answers for the wrong graph.
+        """
+        if expanded.num_nodes != self.graph.num_nodes or getattr(
+            expanded, "version", 0
+        ) != getattr(self.graph, "version", 0):
+            raise EngineError(
+                f"{self.name}: injected expanded graph is stale "
+                f"(expanded {expanded.num_nodes} nodes "
+                f"v{getattr(expanded, 'version', 0)}, data graph "
+                f"{self.graph.num_nodes} nodes "
+                f"v{getattr(self.graph, 'version', 0)})"
+            )
+        return expanded
+
     def _graph_for(self, query: PatternQuery) -> Tuple[DataGraph, PatternQuery]:
         if not query.descendant_edges():
             return self.graph, query
@@ -125,7 +151,7 @@ class Engine(ABC):
             )
         if self._expanded_graph is None:
             if self._expanded_source is not None:
-                self._expanded_graph = self._expanded_source()
+                self._expanded_graph = self._check_expanded(self._expanded_source())
             else:
                 source = self._closure_source
                 closure = source() if callable(source) else source

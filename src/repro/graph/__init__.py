@@ -32,6 +32,9 @@ from repro.graph.io import (
     read_labels,
     save_graph,
     load_graph,
+    save_graph_json,
+    load_graph_json,
+    load_graph_delta_json,
 )
 from repro.graph.datasets import (
     DatasetSpec,
@@ -61,6 +64,9 @@ __all__ = [
     "read_labels",
     "save_graph",
     "load_graph",
+    "save_graph_json",
+    "load_graph_json",
+    "load_graph_delta_json",
     "DatasetSpec",
     "DATASET_SPECS",
     "load_dataset",

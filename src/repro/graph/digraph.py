@@ -38,6 +38,12 @@ class DataGraph:
     name:
         Optional human-readable name (used by the dataset registry and the
         benchmark reports).
+    version:
+        Monotone data version.  Freshly built graphs are version 0; graphs
+        produced by :meth:`repro.dynamic.MutableDataGraph.materialize` carry
+        the overlay's bumped version, so per-graph artifacts (indexes,
+        caches) can detect staleness.  The version does not participate in
+        equality or hashing — it describes provenance, not structure.
     """
 
     __slots__ = (
@@ -50,6 +56,7 @@ class DataGraph:
         "_inverted_sets",
         "_num_edges",
         "name",
+        "version",
     )
 
     def __init__(
@@ -57,10 +64,12 @@ class DataGraph:
         labels: Sequence[str],
         edges: Iterable[Tuple[int, int]],
         name: str = "graph",
+        version: int = 0,
     ) -> None:
         n = len(labels)
         self._labels: Tuple[str, ...] = tuple(str(label) for label in labels)
         self.name = name
+        self.version = version
 
         succ: List[List[int]] = [[] for _ in range(n)]
         pred: List[List[int]] = [[] for _ in range(n)]

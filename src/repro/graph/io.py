@@ -1,22 +1,33 @@
-"""Plain-text persistence for data graphs.
+"""Persistence for data graphs.
 
-Two simple formats are supported:
+Three formats are supported:
 
 * **edge list** — one ``source target`` pair per line, ``#`` comments allowed
   (the SNAP collection distributes its graphs this way);
-* **label file** — one ``node label`` pair per line.
+* **label file** — one ``node label`` pair per line;
+* **JSON** — a single self-describing document carrying the graph *plus its
+  dynamic metadata*: the monotone data version and, optionally, a pending
+  :class:`repro.dynamic.GraphDelta` — so an evolving graph can be
+  checkpointed mid-update-stream and resumed exactly.
 
-:func:`save_graph` / :func:`load_graph` bundle the two into a pair of files
-sharing a stem (``<stem>.edges`` and ``<stem>.labels``).
+:func:`save_graph` / :func:`load_graph` bundle the two plain-text files
+under a shared stem (``<stem>.edges`` and ``<stem>.labels``);
+:func:`save_graph_json` / :func:`load_graph_json` /
+:func:`load_graph_delta_json` handle the JSON document.
 """
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.exceptions import GraphError
 from repro.graph.digraph import DataGraph
+
+#: Format tag and version written into every JSON graph document.
+JSON_FORMAT = "repro-graph"
+JSON_FORMAT_VERSION = 1
 
 
 def write_edge_list(graph: DataGraph, path: str) -> None:
@@ -88,6 +99,77 @@ def load_graph(stem: str, name: str | None = None) -> DataGraph:
     edges = read_edge_list(edge_path)
     label_map = read_labels(label_path)
     return graph_from_parts(label_map, edges, name=name or os.path.basename(stem))
+
+
+def save_graph_json(graph, path: str, delta=None) -> str:
+    """Persist a graph (and optional pending delta) as one JSON document.
+
+    ``graph`` may be a :class:`DataGraph` or a
+    :class:`repro.dynamic.MutableDataGraph` overlay — the *current* state
+    (labels, edges) and version are written either way.  ``delta`` is an
+    optional :class:`repro.dynamic.GraphDelta` serialised alongside, e.g.
+    the not-yet-applied tail of an update stream.  Returns ``path``.
+    """
+    payload = {
+        "format": JSON_FORMAT,
+        "format_version": JSON_FORMAT_VERSION,
+        "name": graph.name,
+        "version": getattr(graph, "version", 0),
+        "labels": list(graph.labels),
+        "edges": [[source, target] for source, target in graph.edges()],
+    }
+    if delta is not None:
+        payload["delta"] = delta.to_dict()
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    return path
+
+
+def _read_graph_payload(path: str) -> Dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise GraphError(f"{path}: not valid JSON: {exc}") from exc
+    if payload.get("format") != JSON_FORMAT:
+        raise GraphError(f"{path}: not a {JSON_FORMAT} document")
+    if payload.get("format_version", 0) > JSON_FORMAT_VERSION:
+        raise GraphError(
+            f"{path}: format version {payload['format_version']} is newer "
+            f"than supported ({JSON_FORMAT_VERSION})"
+        )
+    return payload
+
+
+def _graph_from_payload(payload: Dict, path: str, name: Optional[str]) -> DataGraph:
+    return DataGraph(
+        payload["labels"],
+        [(int(source), int(target)) for source, target in payload["edges"]],
+        name=name or payload.get("name", os.path.basename(path)),
+        version=int(payload.get("version", 0)),
+    )
+
+
+def load_graph_json(path: str, name: Optional[str] = None) -> DataGraph:
+    """Load a :class:`DataGraph` written by :func:`save_graph_json`.
+
+    Labels, edges, ``I_label`` ordering (a function of node ids, which are
+    preserved verbatim) and the data version all round-trip.  A stored
+    pending delta, if any, is ignored — use :func:`load_graph_delta_json`
+    to recover it.
+    """
+    return _graph_from_payload(_read_graph_payload(path), path, name)
+
+
+def load_graph_delta_json(path: str, name: Optional[str] = None):
+    """Load ``(graph, pending_delta_or_None)`` from a JSON document."""
+    from repro.dynamic.delta import GraphDelta
+
+    payload = _read_graph_payload(path)
+    graph = _graph_from_payload(payload, path, name)
+    raw_delta = payload.get("delta")
+    delta = GraphDelta.from_dict(raw_delta) if raw_delta is not None else None
+    return graph, delta
 
 
 def graph_from_parts(

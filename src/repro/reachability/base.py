@@ -48,6 +48,21 @@ class ReachabilityIndex(ABC):
     def reaches(self, source: int, target: int) -> bool:
         """Return True if ``source`` reaches ``target`` (or they are equal)."""
 
+    def apply_delta(self, graph: DataGraph, delta) -> bool:
+        """Try to patch this index in place for a graph delta.
+
+        ``graph`` is the patched data graph (the state *after* applying the
+        :class:`repro.dynamic.GraphDelta` ``delta``).  Returns True if the
+        index now answers queries for ``graph``; False if the scheme cannot
+        patch this delta shape (the caller must rebuild).  The default is
+        always-rebuild; incremental schemes (BFL, the transitive closure)
+        override it for insertion-only deltas.
+
+        Implementations must leave the index unchanged when returning
+        False, so a failed patch never corrupts the running index.
+        """
+        return False
+
     def reaches_strict(self, source: int, target: int) -> bool:
         """Reachability through a path of length >= 1.
 
@@ -82,6 +97,11 @@ class BFSReachability(ReachabilityIndex):
     def _build(self, graph: DataGraph) -> None:
         # Nothing to precompute.
         return
+
+    def apply_delta(self, graph: DataGraph, delta) -> bool:
+        # Index-free: any delta shape is "patched" by re-binding the graph.
+        self._graph = graph
+        return True
 
     def reaches(self, source: int, target: int) -> bool:
         return self._graph.reaches_bfs(source, target)

@@ -28,6 +28,10 @@ from repro.graph.digraph import DataGraph
 from repro.graph.transform import Condensation, condensation
 from repro.reachability.base import ReachabilityIndex
 
+#: Hash-mixing constants shared by :meth:`BloomFilterLabeling._hash_bits`.
+_MIX_A = 0x9E3779B97F4A7C15
+_MIX_B = 0xBF58476D1CE4E5B9
+
 
 class BloomFilterLabeling(ReachabilityIndex):
     """BFL-style reachability with Bloom-filter negative cuts.
@@ -59,7 +63,7 @@ class BloomFilterLabeling(ReachabilityIndex):
         """Return the Bloom mask for one element."""
         mask = 0
         for i in range(self._num_hashes):
-            mixed = (value * 0x9E3779B97F4A7C15 + (i + 1) * self._seed * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+            mixed = (value * _MIX_A + (i + 1) * self._seed * _MIX_B) & 0xFFFFFFFFFFFFFFFF
             mixed ^= mixed >> 31
             mask |= 1 << (mixed % self._num_bits)
         return mask
@@ -72,9 +76,44 @@ class BloomFilterLabeling(ReachabilityIndex):
         # Assign every component a random "interval-set" style token, as in
         # BFL, so that hub components do not all hash to the same bits.
         rng = random.Random(self._seed)
-        tokens = [rng.randrange(1 << 30) for _ in range(n)]
+        self._tokens = [rng.randrange(1 << 30) for _ in range(n)]
+        tokens = self._tokens
 
-        # Topological order of the condensation (Kahn).
+        # L_out: propagate bottom-up; L_in: top-down (needs the topo order).
+        self._index_dag(dag)
+        order = self._topo_order
+        l_out = [0] * n
+        for node in reversed(order):
+            bits = self._hash_bits(tokens[node])
+            for child in dag.successors(node):
+                bits |= l_out[child]
+            l_out[node] = bits
+
+        l_in = [0] * n
+        for node in order:
+            bits = self._hash_bits(tokens[node])
+            for parent in dag.predecessors(node):
+                bits |= l_in[parent]
+            l_in[node] = bits
+
+        self._l_out = l_out
+        self._l_in = l_in
+        self._query_dfs_count = 0
+        self._patch_count = 0
+
+    def _index_dag(self, dag) -> None:
+        """(Re)compute the topo order/positions and DFS interval labels.
+
+        These two negative cuts depend on a global order over the whole
+        condensation, so unlike the Bloom labels they cannot be patched a
+        node at a time — but both are single linear passes, which is what
+        keeps :meth:`apply_delta` cheap.  ``dag`` may be a
+        :class:`~repro.graph.digraph.DataGraph` or a
+        :class:`~repro.dynamic.MutableDataGraph` overlay.
+        """
+        n = dag.num_nodes
+
+        # Topological order (Kahn).
         in_degree = [dag.in_degree(node) for node in dag.nodes()]
         order: List[int] = [node for node in dag.nodes() if in_degree[node] == 0]
         head = 0
@@ -90,22 +129,6 @@ class BloomFilterLabeling(ReachabilityIndex):
         for position, node in enumerate(order):
             topo_position[node] = position
         self._topo_position = topo_position
-
-        # L_out: propagate bottom-up (reverse topological order).
-        l_out = [0] * n
-        for node in reversed(order):
-            bits = self._hash_bits(tokens[node])
-            for child in dag.successors(node):
-                bits |= l_out[child]
-            l_out[node] = bits
-
-        # L_in: propagate top-down (forward topological order).
-        l_in = [0] * n
-        for node in order:
-            bits = self._hash_bits(tokens[node])
-            for parent in dag.predecessors(node):
-                bits |= l_in[parent]
-            l_in[node] = bits
 
         # DFS interval labels as an extra negative cut (standard in BFL).
         begin = [0] * n
@@ -142,11 +165,104 @@ class BloomFilterLabeling(ReachabilityIndex):
                 end[node] = clock
                 stack.pop()
 
-        self._l_out = l_out
-        self._l_in = l_in
         self._begin = begin
         self._end = end
-        self._query_dfs_count = 0
+
+    # ------------------------------------------------------------------ #
+    # incremental maintenance
+    # ------------------------------------------------------------------ #
+
+    def apply_delta(self, graph, delta) -> bool:
+        """Patch the index in place for an insertion-only delta.
+
+        ``graph`` is the already-patched data graph (the state *after* the
+        delta); ``delta`` is the effective change log.  Returns True on
+        success; returns False — leaving the index untouched — when the
+        delta contains edge removals or an inserted edge merges two
+        strongly connected components, in which case the caller must
+        rebuild.
+
+        The patch exploits that insertions only ever add reachable pairs:
+
+        * new nodes become fresh singleton components with fresh tokens;
+        * for each inserted cross-component edge ``(cx, cy)``, the Bloom
+          bits of ``cy``'s ``L_out`` flow up to every ancestor of ``cx``
+          and the bits of ``cx``'s ``L_in`` flow down to every descendant
+          of ``cy`` — a targeted traversal touching only affected
+          components, instead of the full two-pass propagation;
+        * the topological and DFS-interval cuts are global orders, so they
+          are recomputed — but those are single linear passes over the
+          (usually much smaller) condensation.
+
+        Relabels are irrelevant to reachability and therefore allowed.
+        """
+        if delta.has_removals:
+            return False
+        # Local import: repro.dynamic imports would otherwise be circular at
+        # module load (dynamic -> digraph only, but keep the layering clean).
+        from repro.dynamic.overlay import MutableDataGraph
+
+        cond = self._cond
+        if delta.base_num_nodes != len(cond.component_of):
+            return False  # delta written against a different graph state
+        component_of = list(cond.component_of)
+        components = list(cond.components)
+        tokens = list(self._tokens)
+        l_out = list(self._l_out)
+        l_in = list(self._l_in)
+        dag = MutableDataGraph(cond.dag)
+
+        rng = random.Random(self._seed ^ (0x5BF03635 + len(tokens)))
+        for node_id, _label in delta.added_nodes:
+            comp = dag.add_node("SCC")
+            component_of.append(comp)
+            components.append((node_id,))
+            token = rng.randrange(1 << 30)
+            tokens.append(token)
+            bits = self._hash_bits(token)
+            l_out.append(bits)
+            l_in.append(bits)
+
+        for source, target in delta.added_edges:
+            cs, ct = component_of[source], component_of[target]
+            if cs == ct or dag.has_edge(cs, ct):
+                continue
+            if dag.reaches_bfs(ct, cs):
+                # The new edge closes a cycle: components merge, the
+                # condensation changes shape — rebuild.  No state has been
+                # committed to ``self`` yet, so the index stays valid.
+                return False
+            dag.add_edge(cs, ct)
+            # Targeted propagation on the dag-so-far: sound because after
+            # each step the labels over-approximate exactly the reachability
+            # of the graph with the edges applied so far.
+            out_bits = l_out[ct]
+            for ancestor in dag.bfs_backward(cs):
+                l_out[ancestor] |= out_bits
+            in_bits = l_in[cs]
+            for descendant in dag.bfs_forward(ct):
+                l_in[descendant] |= in_bits
+
+        # Commit: freeze the patched condensation and recompute the global
+        # order-based cuts (linear in the condensation size).
+        new_dag = dag.materialize(name=cond.dag.name)
+        self._cond = Condensation(
+            dag=new_dag,
+            component_of=tuple(component_of),
+            components=tuple(components),
+        )
+        self._tokens = tokens
+        self._l_out = l_out
+        self._l_in = l_in
+        self._index_dag(new_dag)
+        self._graph = graph
+        self._patch_count += 1
+        return True
+
+    @property
+    def patch_count(self) -> int:
+        """Number of successful :meth:`apply_delta` patches."""
+        return self._patch_count
 
     # ------------------------------------------------------------------ #
     # queries

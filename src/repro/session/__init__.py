@@ -12,18 +12,30 @@ artifacts on every construction; a :class:`QuerySession` owns them instead.
 
 Cache lifecycle
 ---------------
-* A session is bound to **one data graph** for its whole life.  Construct a
-  new session if the graph changes — cached artifacts are never invalidated
-  in place (``session.clear()`` drops them all if you must reuse the
-  object).
-* Every artifact is built **lazily on first use** and kept forever: the
-  reachability index on the first query, the transitive closure and the
-  closure-expanded graph only when a comparator engine meets its first
-  descendant query, the GF catalog / EH partitions when those engines are
-  first requested, and one RIG per distinct (GM variant, query).
-* Builds and reuses are counted in ``session.stats`` (misses = builds,
-  hits = reuses), so "the second identical query rebuilds nothing" is an
-  assertable property, not a hope.
+* A session follows **one evolving data graph**: it starts bound to the
+  graph it was constructed with, and graph updates flow in through
+  :meth:`QuerySession.apply` as batched
+  :class:`~repro.dynamic.GraphDelta` edits.  Each ``apply`` bumps the
+  graph's monotone version and maintains every cached artifact — patched
+  in place when the delta shape allows (insertion-only, within the
+  :func:`repro.dynamic.should_patch` heuristic), invalidated for lazy
+  rebuild otherwise.  Per-query state (RIG caches, matcher instances) is
+  keyed by version and always stranded by the bump.
+* Every artifact is built **lazily on first use**: the reachability index
+  on the first query, the transitive closure and the closure-expanded
+  graph only when a comparator engine meets its first descendant query,
+  the GF catalog / EH partitions when those engines are first requested,
+  and one RIG per distinct (GM variant, query, graph version).
+* Builds, reuses and update outcomes are counted in ``session.stats``
+  (misses = builds, hits = reuses, patches = in-place updates,
+  invalidations = drops), so "the second identical query rebuilds
+  nothing" and "a small insert delta rebuilds nothing expensive" are
+  assertable properties, not hopes.
+* ``session.clear()`` resets the session to its freshly constructed
+  state: every cached artifact is dropped **and every stats counter is
+  zeroed**, so hit-rate arithmetic stays truthful when a session object
+  is reused.  (Before this contract, counters survived ``clear()`` and
+  post-clear hit rates lied.)
 
 When to prefer ``run_batch``
 ----------------------------
@@ -38,12 +50,16 @@ the numbers a serving system actually monitors.
 >>> session = QuerySession(graph)
 >>> report = session.run_batch(queries, engine="GM", workers=4)
 >>> report.p50, report.throughput_qps, report.cache_hits
+>>> session.apply(delta)             # graph update: patch, don't rebuild
+>>> session.run_batch(queries)       # served against the new version
 """
 
+from repro.dynamic.maintenance import ApplyReport
 from repro.session.batch import BatchReport, QueryOutcome, percentile
 from repro.session.session import CacheStats, QuerySession
 
 __all__ = [
+    "ApplyReport",
     "BatchReport",
     "CacheStats",
     "QueryOutcome",

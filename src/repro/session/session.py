@@ -19,6 +19,15 @@ from repro.baselines.iso import ISOMatcher
 from repro.baselines.jm import JMMatcher
 from repro.baselines.tm import TMMatcher
 from repro.bitmap.roaring import RoaringBitmap
+from repro.dynamic.delta import GraphDelta
+from repro.dynamic.maintenance import (
+    ApplyReport,
+    patch_label_bitmaps,
+    patch_partitions,
+    patch_universe,
+    should_patch,
+)
+from repro.dynamic.overlay import MutableDataGraph
 from repro.engines.base import Engine, EngineResult, expand_descendant_edges
 from repro.engines.binary_join import BinaryJoinEngine
 from repro.engines.relational import RelationalEngine, build_edge_partitions
@@ -37,7 +46,7 @@ from repro.simulation.context import MatchContext
 
 
 class CacheStats:
-    """Hit/miss counters for the session's cached artifacts.
+    """Hit/miss/invalidation/patch counters for the session's cached artifacts.
 
     A *miss* means the artifact was built (the expensive path); a *hit*
     means an already-built artifact was reused.  Counters are keyed by
@@ -45,12 +54,19 @@ class CacheStats:
     ``"catalog"``, ``"partitions"``, ``"bitmaps"``, ``"universe"``,
     ``"rig"``, ``"matcher"``).  ``"matcher"`` only records builds: instance
     lookups happen on every query and are not an interesting reuse signal.
+
+    Graph updates (:meth:`QuerySession.apply`) add two more outcomes: a
+    *patch* means the artifact was updated in place and its build cost was
+    saved; an *invalidation* means it was dropped and will be rebuilt
+    lazily (a future miss).
     """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._hits: Dict[str, int] = {}
         self._misses: Dict[str, int] = {}
+        self._invalidations: Dict[str, int] = {}
+        self._patches: Dict[str, int] = {}
 
     def record_hit(self, key: str) -> None:
         """Count one reuse of the artifact ``key``."""
@@ -61,6 +77,16 @@ class CacheStats:
         """Count one build of the artifact ``key``."""
         with self._lock:
             self._misses[key] = self._misses.get(key, 0) + 1
+
+    def record_invalidation(self, key: str) -> None:
+        """Count one drop of the artifact ``key`` on a graph update."""
+        with self._lock:
+            self._invalidations[key] = self._invalidations.get(key, 0) + 1
+
+    def record_patch(self, key: str) -> None:
+        """Count one in-place update of the artifact ``key``."""
+        with self._lock:
+            self._patches[key] = self._patches.get(key, 0) + 1
 
     def hits(self, key: Optional[str] = None) -> int:
         """Hit count for ``key`` (total over all artifacts when omitted)."""
@@ -76,6 +102,20 @@ class CacheStats:
                 return sum(self._misses.values())
             return self._misses.get(key, 0)
 
+    def invalidations(self, key: Optional[str] = None) -> int:
+        """Invalidation count for ``key`` (total when omitted)."""
+        with self._lock:
+            if key is None:
+                return sum(self._invalidations.values())
+            return self._invalidations.get(key, 0)
+
+    def patches(self, key: Optional[str] = None) -> int:
+        """Patch count for ``key`` (total when omitted)."""
+        with self._lock:
+            if key is None:
+                return sum(self._patches.values())
+            return self._patches.get(key, 0)
+
     @property
     def total_hits(self) -> int:
         """Total hits over all artifacts."""
@@ -86,14 +126,43 @@ class CacheStats:
         """Total builds over all artifacts."""
         return self.misses()
 
+    @property
+    def total_invalidations(self) -> int:
+        """Total invalidations over all artifacts."""
+        return self.invalidations()
+
+    @property
+    def total_patches(self) -> int:
+        """Total in-place patches over all artifacts."""
+        return self.patches()
+
     def snapshot(self) -> Tuple[Dict[str, int], Dict[str, int]]:
         """Copies of the (hits, misses) counter dicts."""
         with self._lock:
             return dict(self._hits), dict(self._misses)
 
+    def full_snapshot(self) -> Dict[str, Dict[str, int]]:
+        """Copies of all four counter dicts, keyed by counter name."""
+        with self._lock:
+            return {
+                "hits": dict(self._hits),
+                "misses": dict(self._misses),
+                "invalidations": dict(self._invalidations),
+                "patches": dict(self._patches),
+            }
+
+    def reset(self) -> None:
+        """Zero every counter (used by :meth:`QuerySession.clear`)."""
+        with self._lock:
+            self._hits.clear()
+            self._misses.clear()
+            self._invalidations.clear()
+            self._patches.clear()
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        hits, misses = self.snapshot()
-        return f"CacheStats(hits={hits}, misses={misses})"
+        full = self.full_snapshot()
+        parts = [f"{name}={counters}" for name, counters in full.items() if counters]
+        return f"CacheStats({', '.join(parts) or 'empty'})"
 
 
 class _ObservedRigCache(dict):
@@ -144,6 +213,13 @@ class QuerySession:
     ``stats`` exposes hit/miss counters per artifact; after a warm-up query,
     identical queries must record only hits (no rebuilds).
 
+    Graph updates flow in through :meth:`apply` as batched
+    :class:`~repro.dynamic.GraphDelta` edits: the graph advances to a new
+    monotone version and each cached artifact is patched in place where the
+    delta shape allows, or invalidated for lazy rebuild (recorded as
+    ``stats`` patches / invalidations).  :meth:`clear` resets the session —
+    artifacts *and* counters — to the freshly constructed state.
+
     Thread safety: artifact construction is serialised by an internal lock;
     match execution itself only reads shared state, so :meth:`run_batch` may
     fan queries out over a thread pool.
@@ -172,8 +248,11 @@ class QuerySession:
         self._partitions = None
         self._label_bitmaps: Optional[Dict[str, RoaringBitmap]] = None
         self._universe: Optional[RoaringBitmap] = None
-        self._rig_caches: Dict[str, _ObservedRigCache] = {}
+        # RIG caches are keyed by (GM variant, graph version): a version bump
+        # automatically strands every stale per-query RIG.
+        self._rig_caches: Dict[Tuple[str, int], _ObservedRigCache] = {}
         self._matchers: Dict[str, object] = {}
+        self._artifact_versions: Dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
     # cached artifacts
@@ -187,9 +266,20 @@ class QuerySession:
                 self.stats.record_miss(key)
                 value = builder()
                 setattr(self, attr, value)
+                self._artifact_versions[key] = self.version
             else:
                 self.stats.record_hit(key)
             return value
+
+    @property
+    def version(self) -> int:
+        """The monotone version of the session's current graph."""
+        return getattr(self.graph, "version", 0)
+
+    def artifact_version(self, key: str) -> Optional[int]:
+        """Graph version an artifact was built/patched at (None if unbuilt)."""
+        with self._lock:
+            return self._artifact_versions.get(key)
 
     @property
     def context(self) -> MatchContext:
@@ -295,10 +385,11 @@ class QuerySession:
         )
 
     def _rig_cache_for(self, variant: GMVariant) -> _ObservedRigCache:
-        cache = self._rig_caches.get(variant.value)
+        key = (variant.value, self.version)
+        cache = self._rig_caches.get(key)
         if cache is None:
             cache = _ObservedRigCache(self.stats)
-            self._rig_caches[variant.value] = cache
+            self._rig_caches[key] = cache
         return cache
 
     def _build_matcher(self, name: str):
@@ -459,14 +550,155 @@ class QuerySession:
     # ------------------------------------------------------------------ #
 
     def cached_rig(self, query: PatternQuery, variant: GMVariant = GMVariant.GM) -> Optional[RIGBuildReport]:
-        """The cached RIG build report for ``query``, if one exists."""
-        cache = self._rig_caches.get(variant.value)
+        """The cached RIG build report for ``query`` at the current version."""
+        cache = self._rig_caches.get((variant.value, self.version))
         if cache is None:
             return None
         return dict.get(cache, query)
 
+    # ------------------------------------------------------------------ #
+    # graph updates
+    # ------------------------------------------------------------------ #
+
+    def apply(self, delta: GraphDelta, materialize: bool = True) -> ApplyReport:
+        """Apply a batched graph update and maintain every cached artifact.
+
+        The session's graph advances to the post-delta state at a bumped
+        :attr:`version`; each already-built artifact is either *patched* in
+        place (cheap, for insertion-only deltas within the
+        :func:`repro.dynamic.should_patch` heuristic) or *invalidated* (it
+        rebuilds lazily on next use, exactly like a first-time build).
+        Per-query state — RIG caches and matcher instances — is always
+        stranded by the version bump.  Outcomes are recorded per artifact
+        in ``stats`` (``patches`` / ``invalidations``) and summarised in the
+        returned :class:`~repro.dynamic.ApplyReport`.
+
+        ``materialize=False`` keeps the post-delta state as a
+        :class:`~repro.dynamic.MutableDataGraph` overlay instead of
+        freezing a fresh :class:`~repro.graph.digraph.DataGraph` — cheaper
+        for very large graphs under tiny deltas, at the cost of slightly
+        slower reads on the mutated nodes.  Successive overlay-mode applies
+        never stack: the previous overlay is compacted before the next one
+        is layered, so reads always pay at most one delegation level.
+
+        A delta whose every operation turns out to be a no-op (edges that
+        already exist, relabels to the current label) changes nothing: the
+        graph, version, artifacts and counters are all left untouched.
+        """
+        started = time.perf_counter()
+        with self._lock:
+            old_version = self.version
+            current = self.graph
+            if isinstance(current, MutableDataGraph):
+                # Compact a previous overlay-mode apply so overlays never
+                # chain (each level would tax every subsequent read).
+                current = current.materialize()
+            overlay = MutableDataGraph(current, delta)
+            effective = overlay.delta_since_base()
+            if not effective:
+                return ApplyReport(
+                    old_version=old_version,
+                    new_version=old_version,
+                    num_ops=0,
+                    seconds=time.perf_counter() - started,
+                )
+            new_graph = overlay.materialize() if materialize else overlay
+            patched: List[str] = []
+            invalidated: List[str] = []
+
+            def note_patch(key: str) -> None:
+                self.stats.record_patch(key)
+                patched.append(key)
+                self._artifact_versions[key] = getattr(new_graph, "version", 0)
+
+            def note_invalidate(key: str) -> None:
+                self.stats.record_invalidation(key)
+                invalidated.append(key)
+                self._artifact_versions.pop(key, None)
+
+            patchable = should_patch(self.graph, effective)
+
+            # Reachability index (and the closure, when they are one object).
+            context_index = (
+                self._context.reachability if self._context is not None else None
+            )
+            shared_closure = (
+                self._closure is not None and self._closure is context_index
+            )
+            if context_index is not None:
+                if patchable and context_index.apply_delta(new_graph, effective):
+                    self._context = MatchContext(
+                        new_graph, reachability=context_index
+                    )
+                    note_patch("reachability")
+                    if shared_closure:
+                        note_patch("closure")
+                else:
+                    self._context = None
+                    note_invalidate("reachability")
+                    if shared_closure:
+                        self._closure = None
+                        note_invalidate("closure")
+            if self._closure is not None and not shared_closure:
+                if patchable and self._closure.apply_delta(new_graph, effective):
+                    note_patch("closure")
+                else:
+                    self._closure = None
+                    note_invalidate("closure")
+
+            # Derived-by-recomputation artifacts: rebuild lazily.
+            if self._expanded_graph is not None:
+                self._expanded_graph = None
+                note_invalidate("expanded_graph")
+            if self._catalog is not None:
+                self._catalog = None
+                note_invalidate("catalog")
+
+            # Delta-refreshable artifacts.
+            if self._partitions is not None:
+                if patch_partitions(self._partitions, new_graph, effective):
+                    note_patch("partitions")
+                else:
+                    self._partitions = None
+                    note_invalidate("partitions")
+            if self._label_bitmaps is not None:
+                patch_label_bitmaps(self._label_bitmaps, new_graph, effective)
+                note_patch("bitmaps")
+            if self._universe is not None:
+                patch_universe(self._universe, effective)
+                note_patch("universe")
+
+            # Per-query state: stranded by the version bump.
+            new_version = getattr(new_graph, "version", 0)
+            if any(self._rig_caches.values()):
+                note_invalidate("rig")
+            self._rig_caches = {
+                key: cache
+                for key, cache in self._rig_caches.items()
+                if key[1] == new_version
+            }
+            if self._matchers:
+                note_invalidate("matcher")
+            self._matchers.clear()
+
+            self.graph = new_graph
+            return ApplyReport(
+                old_version=old_version,
+                new_version=self.version,
+                num_ops=len(effective),
+                seconds=time.perf_counter() - started,
+                patched=patched,
+                invalidated=invalidated,
+            )
+
     def clear(self) -> None:
-        """Drop every cached artifact (counters are preserved)."""
+        """Drop every cached artifact and reset all cache counters.
+
+        After ``clear()`` the session behaves like a freshly constructed
+        one: the next query rebuilds each artifact (recorded as misses) and
+        hit/miss/invalidation/patch counters restart from zero, so
+        hit-rate arithmetic over ``stats`` stays truthful across reuse.
+        """
         with self._lock:
             self._context = None
             self._closure = None
@@ -477,6 +709,8 @@ class QuerySession:
             self._universe = None
             self._rig_caches.clear()
             self._matchers.clear()
+            self._artifact_versions.clear()
+            self.stats.reset()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -1,0 +1,204 @@
+"""Incremental reachability maintenance: patched index == rebuilt index."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dynamic import GraphDelta, MutableDataGraph, should_patch
+from repro.dynamic.maintenance import (
+    patch_label_bitmaps,
+    patch_partitions,
+    patch_universe,
+)
+from repro.bitmap.roaring import RoaringBitmap
+from repro.engines.relational import build_edge_partitions
+from repro.graph.generators import random_labeled_graph
+from repro.reachability.base import BFSReachability
+from repro.reachability.bfl import BloomFilterLabeling
+from repro.reachability.transitive_closure import TransitiveClosureIndex
+
+
+def _all_pairs_agree(index, graph):
+    for source in graph.nodes():
+        for target in graph.nodes():
+            expected = graph.reaches_bfs(source, target)
+            assert index.reaches(source, target) == expected, (
+                f"{type(index).__name__}: reaches({source}, {target}) != {expected}"
+            )
+
+
+@st.composite
+def insert_only_case(draw):
+    """A random graph plus an insert-only delta (nodes + arbitrary edges)."""
+    num_nodes = draw(st.integers(min_value=2, max_value=16))
+    num_edges = draw(st.integers(min_value=0, max_value=24))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    graph = random_labeled_graph(
+        num_nodes, min(num_edges, num_nodes * (num_nodes - 1)), num_labels=3, seed=seed
+    )
+    delta = GraphDelta.for_graph(graph)
+    for _ in range(draw(st.integers(min_value=0, max_value=3))):
+        delta.add_node(draw(st.sampled_from(["A", "B", "C"])))
+    total = graph.num_nodes + delta.num_added_nodes
+    for _ in range(draw(st.integers(min_value=1, max_value=8))):
+        delta.add_edge(
+            draw(st.integers(min_value=0, max_value=total - 1)),
+            draw(st.integers(min_value=0, max_value=total - 1)),
+        )
+    return graph, delta
+
+
+class TestIncrementalBFL:
+    @given(insert_only_case())
+    @settings(max_examples=50, deadline=None)
+    def test_patched_equals_ground_truth(self, case):
+        """After a successful patch, every pair agrees with BFS truth.
+
+        Arbitrary insert edges may merge SCCs; apply_delta then refuses
+        (returns False) and the pre-patch index must still answer for the
+        *old* graph — both outcomes are checked.
+        """
+        graph, delta = case
+        overlay = MutableDataGraph(graph, delta)
+        patched_graph = overlay.materialize()
+        index = BloomFilterLabeling(graph)
+        if index.apply_delta(patched_graph, overlay.delta_since_base()):
+            assert index.patch_count == 1
+            assert index.graph is patched_graph
+            _all_pairs_agree(index, patched_graph)
+        else:
+            # refused: the index must be untouched and valid for the old graph
+            assert index.patch_count == 0
+            _all_pairs_agree(index, graph)
+
+    def test_removal_delta_refused(self, paper_graph):
+        index = BloomFilterLabeling(paper_graph)
+        delta = GraphDelta.for_graph(paper_graph)
+        delta.remove_edge(*next(iter(paper_graph.edges())))
+        assert index.apply_delta(paper_graph, delta) is False
+
+    def test_relabel_only_delta_is_patchable(self, paper_graph):
+        index = BloomFilterLabeling(paper_graph)
+        delta = GraphDelta.for_graph(paper_graph).relabel(0, "Z")
+        overlay = MutableDataGraph(paper_graph, delta)
+        patched = overlay.materialize()
+        assert index.apply_delta(patched, overlay.delta_since_base()) is True
+        _all_pairs_agree(index, patched)
+
+    def test_mismatched_base_refused(self, paper_graph):
+        index = BloomFilterLabeling(paper_graph)
+        assert index.apply_delta(paper_graph, GraphDelta(base_num_nodes=99)) is False
+
+
+class TestIncrementalClosure:
+    @given(insert_only_case())
+    @settings(max_examples=50, deadline=None)
+    def test_patched_equals_rebuilt(self, case):
+        """The patched closure is exact — even for cycle-closing inserts."""
+        graph, delta = case
+        overlay = MutableDataGraph(graph, delta)
+        patched_graph = overlay.materialize()
+        index = TransitiveClosureIndex(graph)
+        assert index.apply_delta(patched_graph, overlay.delta_since_base()) is True
+        rebuilt = TransitiveClosureIndex(patched_graph)
+        for node in patched_graph.nodes():
+            assert index.reachable_set(node) == rebuilt.reachable_set(node), node
+
+    def test_removal_delta_refused(self, paper_graph):
+        index = TransitiveClosureIndex(paper_graph)
+        delta = GraphDelta.for_graph(paper_graph)
+        delta.remove_edge(*next(iter(paper_graph.edges())))
+        assert index.apply_delta(paper_graph, delta) is False
+
+
+class TestBFSIndexDelta:
+    def test_bfs_reachability_patches_any_delta(self, paper_graph):
+        index = BFSReachability(paper_graph)
+        delta = GraphDelta.for_graph(paper_graph)
+        delta.remove_edge(*next(iter(paper_graph.edges())))
+        overlay = MutableDataGraph(paper_graph, delta)
+        patched = overlay.materialize()
+        assert index.apply_delta(patched, overlay.delta_since_base()) is True
+        _all_pairs_agree(index, patched)
+
+
+class TestShouldPatch:
+    def test_removals_always_rebuild(self, paper_graph):
+        delta = GraphDelta.for_graph(paper_graph).remove_edge(1, 3)
+        assert should_patch(paper_graph, delta) is False
+
+    def test_small_insert_patches(self, paper_graph):
+        delta = GraphDelta.for_graph(paper_graph).add_edge(0, 9)
+        assert should_patch(paper_graph, delta) is True
+
+    def test_bulk_insert_rebuilds(self):
+        graph = random_labeled_graph(100, 200, num_labels=3, seed=1)
+        delta = GraphDelta.for_graph(graph)
+        for index in range(90):
+            delta.add_edge(index % 100, (index * 7 + 1) % 100)
+        assert should_patch(graph, delta) is False
+
+
+class TestArtifactPatchHelpers:
+    def _bitmaps_for(self, graph):
+        return {
+            label: RoaringBitmap(graph.inverted_list(label))
+            for label in graph.label_alphabet()
+        }
+
+    def test_bitmap_patch_add_and_relabel(self, paper_graph):
+        bitmaps = self._bitmaps_for(paper_graph)
+        delta = GraphDelta.for_graph(paper_graph)
+        new = delta.add_node("D")
+        delta.relabel(0, "C")
+        overlay = MutableDataGraph(paper_graph, delta)
+        patched = overlay.materialize()
+        assert patch_label_bitmaps(bitmaps, patched, overlay.delta_since_base())
+        expected = self._bitmaps_for(patched)
+        assert set(bitmaps) == set(expected)
+        for label in expected:
+            assert bitmaps[label].to_list() == expected[label].to_list(), label
+        assert new in bitmaps["D"]
+
+    def test_bitmap_patch_drops_emptied_label(self):
+        graph = random_labeled_graph(4, 4, num_labels=4, seed=11)
+        # Relabel every node of one label away so its bitmap disappears.
+        victim = graph.label(0)
+        bitmaps = self._bitmaps_for(graph)
+        delta = GraphDelta.for_graph(graph)
+        target = next(l for l in graph.label_alphabet() if l != victim)
+        for node in graph.inverted_list(victim):
+            delta.relabel(node, target)
+        overlay = MutableDataGraph(graph, delta)
+        patched = overlay.materialize()
+        patch_label_bitmaps(bitmaps, patched, overlay.delta_since_base())
+        assert victim not in bitmaps
+        assert bitmaps[target].to_list() == list(patched.inverted_list(target))
+
+    def test_universe_patch(self, paper_graph):
+        universe = RoaringBitmap(range(paper_graph.num_nodes))
+        delta = GraphDelta.for_graph(paper_graph)
+        new = delta.add_node("A")
+        patch_universe(universe, delta)
+        assert new in universe
+        assert len(universe) == paper_graph.num_nodes + 1
+
+    def test_partitions_patch_insert_only(self, paper_graph):
+        partitions = build_edge_partitions(paper_graph)
+        delta = GraphDelta.for_graph(paper_graph)
+        new = delta.add_node("D")
+        delta.add_edge(0, new)
+        overlay = MutableDataGraph(paper_graph, delta)
+        patched = overlay.materialize()
+        assert patch_partitions(partitions, patched, overlay.delta_since_base())
+        rebuilt = build_edge_partitions(patched)
+        assert {k: sorted(v) for k, v in partitions.items()} == {
+            k: sorted(v) for k, v in rebuilt.items()
+        }
+
+    def test_partitions_patch_refuses_relabels(self, paper_graph):
+        partitions = build_edge_partitions(paper_graph)
+        before = {k: list(v) for k, v in partitions.items()}
+        delta = GraphDelta.for_graph(paper_graph).relabel(0, "C")
+        assert patch_partitions(partitions, paper_graph, delta) is False
+        assert {k: list(v) for k, v in partitions.items()} == before

@@ -1,0 +1,249 @@
+"""Tests for GraphDelta and the MutableDataGraph overlay."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from fixtures_paper import A1, B0, C0, C2, build_paper_graph
+from repro.dynamic import GraphDelta, MutableDataGraph, merged_delta
+from repro.exceptions import GraphError
+from repro.graph.generators import random_labeled_graph
+
+
+class TestGraphDelta:
+    def test_add_node_assigns_dense_ids(self):
+        delta = GraphDelta(base_num_nodes=5)
+        assert delta.add_node("A") == 5
+        assert delta.add_node("B") == 6
+        assert delta.num_added_nodes == 2
+        assert delta.added_nodes == [(5, "A"), (6, "B")]
+
+    def test_edges_may_reference_new_nodes(self):
+        delta = GraphDelta(base_num_nodes=3)
+        node = delta.add_node("X")
+        delta.add_edge(0, node)
+        delta.add_edge(node, 2)
+        assert delta.added_edges == [(0, 3), (3, 2)]
+
+    def test_out_of_range_edge_rejected(self):
+        delta = GraphDelta(base_num_nodes=3)
+        with pytest.raises(GraphError):
+            delta.add_edge(0, 3)
+        with pytest.raises(GraphError):
+            delta.remove_edge(-1, 0)
+
+    def test_shape_flags(self):
+        insert_only = GraphDelta(4).add_edge(0, 1)
+        assert insert_only.is_insert_only
+        assert not insert_only.has_removals
+        with_removal = GraphDelta(4).remove_edge(0, 1)
+        assert with_removal.has_removals and not with_removal.is_insert_only
+        with_relabel = GraphDelta(4).relabel(2, "Z")
+        assert with_relabel.has_relabels and not with_relabel.is_insert_only
+        assert not with_relabel.has_removals
+
+    def test_dict_round_trip_preserves_op_order(self):
+        delta = GraphDelta(2)
+        delta.add_edge(0, 1)
+        node = delta.add_node("N")
+        delta.relabel(0, "M")
+        delta.remove_edge(0, 1)
+        delta.add_edge(node, 0)
+        restored = GraphDelta.from_dict(delta.to_dict())
+        assert restored.ops == delta.ops
+        assert restored.base_num_nodes == delta.base_num_nodes
+
+    def test_from_dict_rejects_unknown_op(self):
+        with pytest.raises(GraphError):
+            GraphDelta.from_dict({"base_num_nodes": 1, "ops": [["drop_table", 0]]})
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"base_num_nodes": 2, "ops": [["add_edge", 0]]},          # arity
+            {"base_num_nodes": 2, "ops": [["add_edge", "x", "y"]]},   # types
+            {"base_num_nodes": 2, "ops": [["relabel", 0, "L", 9]]},   # arity
+            {"base_num_nodes": "many", "ops": []},                    # base
+        ],
+    )
+    def test_from_dict_wraps_malformed_payloads(self, payload):
+        # corrupt documents surface as GraphError, never IndexError/ValueError
+        with pytest.raises(GraphError):
+            GraphDelta.from_dict(payload)
+
+    def test_merged_delta(self):
+        first = GraphDelta(2)
+        first.add_node("A")
+        second = GraphDelta(3)
+        second.add_edge(2, 0)
+        merged = merged_delta(first, second)
+        assert merged.num_added_nodes == 1
+        assert merged.added_edges == [(2, 0)]
+        with pytest.raises(GraphError):
+            merged_delta(first, GraphDelta(99))
+
+
+class TestMutableDataGraph:
+    def test_overlay_reads_through_to_base(self, paper_graph):
+        overlay = MutableDataGraph(paper_graph)
+        assert overlay.num_nodes == paper_graph.num_nodes
+        assert overlay.num_edges == paper_graph.num_edges
+        assert overlay.version == paper_graph.version
+        for node in paper_graph.nodes():
+            assert overlay.successors(node) == paper_graph.successors(node)
+            assert overlay.label(node) == paper_graph.label(node)
+        assert overlay.label_alphabet() == paper_graph.label_alphabet()
+        assert not overlay.is_dirty()
+        assert overlay.materialize() is paper_graph
+
+    def test_add_edge_and_node_visible_in_all_views(self, paper_graph):
+        overlay = MutableDataGraph(paper_graph)
+        new = overlay.add_node("D")
+        assert overlay.add_edge(A1, new)
+        assert overlay.has_edge(A1, new)
+        assert overlay.has_edge_binary_search(A1, new)
+        assert new in overlay.successors(A1)
+        assert A1 in overlay.predecessors(new)
+        assert new in overlay.successor_set(A1)
+        assert overlay.inverted_list("D") == (new,)
+        assert "D" in overlay.label_alphabet()
+        assert overlay.num_edges == paper_graph.num_edges + 1
+        assert overlay.version == paper_graph.version + 2  # two single-op batches
+
+    def test_duplicate_add_edge_is_noop(self, paper_graph):
+        overlay = MutableDataGraph(paper_graph)
+        assert overlay.add_edge(A1, B0) is False
+        assert overlay.num_edges == paper_graph.num_edges
+        assert not overlay.is_dirty()
+
+    def test_remove_edge(self, paper_graph):
+        overlay = MutableDataGraph(paper_graph)
+        overlay.remove_edge(A1, B0)
+        assert not overlay.has_edge(A1, B0)
+        assert B0 not in overlay.successors(A1)
+        assert A1 not in overlay.predecessors(B0)
+        assert overlay.num_edges == paper_graph.num_edges - 1
+        with pytest.raises(GraphError):
+            overlay.remove_edge(A1, B0)
+
+    def test_remove_then_readd(self, paper_graph):
+        overlay = MutableDataGraph(paper_graph)
+        overlay.remove_edge(A1, B0)
+        assert overlay.add_edge(A1, B0)
+        assert overlay.has_edge(A1, B0)
+        assert overlay.num_edges == paper_graph.num_edges
+
+    def test_relabel_moves_inverted_lists(self, paper_graph):
+        overlay = MutableDataGraph(paper_graph)
+        assert overlay.relabel(C0, "A")
+        assert C0 not in overlay.inverted_list("C")
+        assert C0 in overlay.inverted_list("A")
+        assert overlay.label(C0) == "A"
+        # untouched label delegates to the base tuple (no copy)
+        assert overlay.inverted_list("B") is paper_graph.inverted_list("B")
+
+    def test_apply_batched_delta_bumps_version_once(self, paper_graph):
+        delta = GraphDelta.for_graph(paper_graph)
+        node = delta.add_node("E")
+        delta.add_edge(A1, node)
+        delta.add_edge(node, C0)
+        overlay = MutableDataGraph(paper_graph, delta)
+        assert overlay.version == paper_graph.version + 1
+        assert overlay.num_nodes == paper_graph.num_nodes + 1
+        materialized = overlay.materialize()
+        assert materialized.version == overlay.version
+        assert materialized.has_edge(A1, node) and materialized.has_edge(node, C0)
+
+    def test_apply_noop_batch_keeps_version(self, paper_graph):
+        delta = GraphDelta.for_graph(paper_graph)
+        delta.add_edge(A1, B0)  # already present
+        delta.relabel(A1, "A")  # unchanged label
+        overlay = MutableDataGraph(paper_graph, delta)
+        assert overlay.version == paper_graph.version
+        assert not overlay.is_dirty()
+        assert overlay.materialize() is paper_graph
+
+    def test_apply_rejects_mismatched_base(self, paper_graph):
+        delta = GraphDelta(base_num_nodes=paper_graph.num_nodes + 1)
+        with pytest.raises(GraphError):
+            MutableDataGraph(paper_graph, delta)
+
+    def test_delta_since_base_skips_noops(self, paper_graph):
+        overlay = MutableDataGraph(paper_graph)
+        overlay.add_edge(A1, B0)  # already exists: no-op
+        overlay.relabel(A1, "A")  # same label: no-op
+        overlay.add_edge(A1, C2)
+        effective = overlay.delta_since_base()
+        assert len(effective) == 1
+        assert effective.added_edges == [(A1, C2)]
+
+    def test_traversals_see_overlay(self, paper_graph):
+        overlay = MutableDataGraph(paper_graph)
+        sink = overlay.add_node("Z")
+        overlay.add_edge(C0, sink)
+        assert sink in overlay.bfs_forward(A1)
+        assert A1 in overlay.bfs_backward(sink)
+        assert overlay.reaches_bfs(A1, sink)
+        assert not overlay.reaches_bfs(sink, A1)
+
+
+@st.composite
+def graph_and_ops(draw):
+    """A random base graph plus a random mixed mutation sequence."""
+    num_nodes = draw(st.integers(min_value=2, max_value=14))
+    num_edges = draw(st.integers(min_value=0, max_value=25))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    graph = random_labeled_graph(
+        num_nodes, min(num_edges, num_nodes * (num_nodes - 1)), num_labels=3, seed=seed
+    )
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["add_node", "add_edge", "remove_edge", "relabel"]),
+                st.integers(min_value=0, max_value=10_000),
+                st.integers(min_value=0, max_value=10_000),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    return graph, ops
+
+
+@given(graph_and_ops())
+@settings(max_examples=40, deadline=None)
+def test_overlay_equals_materialized(case):
+    """Every read answered by the overlay equals the materialised graph's."""
+    graph, ops = case
+    overlay = MutableDataGraph(graph)
+    labels = ("A", "B", "C", "D")
+    for kind, a, b in ops:
+        n = overlay.num_nodes
+        if kind == "add_node":
+            overlay.add_node(labels[a % len(labels)])
+        elif kind == "add_edge":
+            overlay.add_edge(a % n, b % n)
+        elif kind == "remove_edge":
+            edges = sorted(overlay.edges())
+            if edges:
+                overlay.remove_edge(*edges[a % len(edges)])
+        else:
+            overlay.relabel(a % n, labels[b % len(labels)])
+    materialized = overlay.materialize()
+    assert overlay.num_nodes == materialized.num_nodes
+    assert overlay.num_edges == materialized.num_edges
+    assert sorted(overlay.edges()) == sorted(materialized.edges())
+    assert overlay.labels == materialized.labels
+    assert overlay.label_alphabet() == materialized.label_alphabet()
+    for node in materialized.nodes():
+        assert overlay.successors(node) == materialized.successors(node)
+        assert overlay.predecessors(node) == materialized.predecessors(node)
+        assert overlay.successor_set(node) == materialized.successor_set(node)
+        assert overlay.predecessor_set(node) == materialized.predecessor_set(node)
+    for label in materialized.label_alphabet():
+        assert overlay.inverted_list(label) == materialized.inverted_list(label)
+        assert overlay.inverted_set(label) == materialized.inverted_set(label)
+    # a replay of the effective delta reproduces the same graph
+    replay = MutableDataGraph(graph, overlay.delta_since_base()).materialize()
+    assert sorted(replay.edges()) == sorted(materialized.edges())
+    assert replay.labels == materialized.labels

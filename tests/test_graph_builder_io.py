@@ -1,16 +1,21 @@
-"""Tests for GraphBuilder and the edge-list / label-file persistence."""
+"""Tests for GraphBuilder and the edge-list / label-file / JSON persistence."""
 
 import pytest
 
+from repro.dynamic import GraphDelta, MutableDataGraph
 from repro.exceptions import GraphError
 from repro.graph.builder import GraphBuilder
 from repro.graph.digraph import DataGraph
+from repro.graph.generators import random_labeled_graph
 from repro.graph.io import (
     graph_from_parts,
     load_graph,
+    load_graph_delta_json,
+    load_graph_json,
     read_edge_list,
     read_labels,
     save_graph,
+    save_graph_json,
     write_edge_list,
     write_labels,
 )
@@ -141,3 +146,79 @@ class TestIO:
     def test_graph_from_parts_empty(self):
         graph = graph_from_parts({}, [])
         assert graph.num_nodes == 0
+
+
+class TestJsonRoundTrip:
+    """Regression: load(save(g)) preserves labels, edges and I_label order."""
+
+    def test_round_trip_preserves_everything(self, tmp_path):
+        graph = random_labeled_graph(25, 60, num_labels=4, seed=7, name="rt")
+        path = str(tmp_path / "graph.json")
+        save_graph_json(graph, path)
+        loaded = load_graph_json(path)
+        assert loaded == graph
+        assert loaded.name == graph.name
+        assert loaded.labels == graph.labels
+        assert sorted(loaded.edges()) == sorted(graph.edges())
+        for label in graph.label_alphabet():
+            assert loaded.inverted_list(label) == graph.inverted_list(label)
+        assert loaded.label_alphabet() == graph.label_alphabet()
+
+    def test_round_trip_preserves_version(self, tmp_path):
+        base = random_labeled_graph(10, 20, num_labels=3, seed=2)
+        overlay = MutableDataGraph(base)
+        overlay.add_node("Z")
+        patched = overlay.materialize()
+        assert patched.version == 1
+        path = str(tmp_path / "versioned.json")
+        save_graph_json(patched, path)
+        assert load_graph_json(path).version == 1
+
+    def test_round_trip_with_pending_delta(self, tmp_path):
+        graph = random_labeled_graph(8, 12, num_labels=3, seed=5)
+        delta = GraphDelta.for_graph(graph)
+        node = delta.add_node("D")
+        delta.add_edge(0, node)
+        delta.relabel(1, "D")
+        path = str(tmp_path / "with_delta.json")
+        save_graph_json(graph, path, delta=delta)
+        loaded, restored = load_graph_delta_json(path)
+        assert loaded == graph
+        assert restored is not None
+        assert restored.ops == delta.ops
+        # the restored delta is applicable and reproduces the same state
+        direct = MutableDataGraph(graph, delta).materialize()
+        via_json = MutableDataGraph(loaded, restored).materialize()
+        assert via_json == direct
+        assert via_json.labels == direct.labels
+
+    def test_round_trip_without_delta(self, tmp_path):
+        graph = random_labeled_graph(6, 8, num_labels=2, seed=4)
+        path = str(tmp_path / "plain.json")
+        save_graph_json(graph, path)
+        loaded, restored = load_graph_delta_json(path)
+        assert loaded == graph
+        assert restored is None
+
+    def test_overlay_saves_current_state(self, tmp_path):
+        graph = random_labeled_graph(6, 8, num_labels=2, seed=9)
+        overlay = MutableDataGraph(graph)
+        node = overlay.add_node("Q")
+        overlay.add_edge(0, node)
+        path = str(tmp_path / "overlay.json")
+        save_graph_json(overlay, path)
+        loaded = load_graph_json(path)
+        assert loaded == overlay.materialize()
+        assert loaded.version == overlay.version
+
+    def test_rejects_non_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json at all")
+        with pytest.raises(GraphError):
+            load_graph_json(str(path))
+
+    def test_rejects_foreign_document(self, tmp_path):
+        path = tmp_path / "foreign.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(GraphError):
+            load_graph_json(str(path))
