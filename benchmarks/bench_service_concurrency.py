@@ -1,0 +1,252 @@
+"""Concurrent service — MVCC readers racing a writer vs a serialised session.
+
+Not a paper figure: this benchmark demonstrates the payoff of the
+versioned-store + query-service subsystem.  A mixed workload — reader
+batches over a fixed hybrid query set, racing a delta feed that alternates
+insert-only batches (fast incremental folds) with removal-bearing ones
+(which force index rebuilds) — runs through both execution models of
+:mod:`repro.bench.concurrency`:
+
+* **serialised** — one :class:`QuerySession` under a single lock, folds
+  interleaved ahead of batches, serving state restored inline (the
+  single-owner design the store replaces);
+* **concurrent** — a :class:`VersionedGraphStore` with its background
+  writer folding the same feed while reader threads pin epochs through a
+  :class:`QueryService`.
+
+The regenerate test asserts the MVCC reader-batch throughput is at least
+``TARGET_SPEEDUP`` times the serialised baseline, then verifies **every**
+batch's answers — in both modes — against a cold rebuild of the exact
+version the batch was pinned to.  Results go to
+``results/service_concurrency.txt`` and the ``service_concurrency``
+section of ``results/BENCH_service.json``.
+"""
+
+import random
+import time
+
+from conftest import RESULTS_DIR, update_service_json
+from repro.bench.concurrency import (
+    run_concurrent_workload,
+    run_serialised_workload,
+    verify_batch_consistency,
+)
+from repro.bench.workloads import bench_graph, query_set
+from repro.dynamic import GraphDelta
+from repro.matching.result import Budget
+from repro.store import VersionedGraphStore
+
+#: Graph scale (matches the session/dynamic benchmarks: same graph family).
+SERVICE_BENCH_SCALE = 0.25
+
+#: Reader side: how many batches the workload drains, over how many threads.
+NUM_BATCHES = 48
+READER_THREADS = 4
+
+#: Writer side: length of the delta feed (alternating insert-only /
+#: removal-bearing, see :func:`make_delta_feed`).
+NUM_DELTAS = 10
+INSERTS_PER_DELTA = 3
+
+SERVICE_BUDGET = Budget(
+    max_matches=2_000, time_limit_seconds=10.0, max_intermediate_results=200_000
+)
+
+#: Acceptance bar: concurrent reader-batch throughput over serialised.
+TARGET_SPEEDUP = 3.0
+
+
+def make_delta_feed(graph, count: int = NUM_DELTAS, seed: int = 3):
+    """An alternating update feed against ``graph``'s initial state.
+
+    Every delta inserts a few random edges; every second delta also removes
+    an existing edge, which is the shape that forces the reachability /
+    closure rebuilds a serialised owner pays inline.  The feed adds no
+    nodes, so every delta stays valid against the evolving head (the
+    overlay validates a delta's node base at fold time); re-inserted or
+    re-removed edges fold as no-ops, like a real feed replayed in order.
+    """
+    rng = random.Random(seed)
+    edges = list(graph.edges())
+    num_nodes = graph.num_nodes
+    feed = []
+    for index in range(count):
+        delta = GraphDelta(num_nodes)
+        if index % 2:
+            source, target = edges[rng.randrange(len(edges))]
+            delta.remove_edge(source, target)
+        for _ in range(INSERTS_PER_DELTA):
+            a, b = rng.randrange(num_nodes), rng.randrange(num_nodes)
+            if a != b:
+                delta.add_edge(a, b)
+        feed.append(delta)
+    return feed
+
+
+def service_workload(graph):
+    """Three hybrid template queries per reader batch."""
+    return query_set(graph, kind="H", templates=("HQ0", "HQ4", "HQ8"))
+
+
+def run_both(scale: float = SERVICE_BENCH_SCALE, num_batches: int = NUM_BATCHES,
+             num_deltas: int = NUM_DELTAS, reader_threads: int = READER_THREADS):
+    """Run the mixed workload through both models; return (serialised, concurrent)."""
+    graph = bench_graph("em", scale=scale)
+    queries = service_workload(graph)
+    deltas = make_delta_feed(graph, num_deltas)
+    serialised = run_serialised_workload(
+        graph, queries, num_batches, deltas, budget=SERVICE_BUDGET
+    )
+    concurrent = run_concurrent_workload(
+        graph, queries, num_batches, deltas,
+        reader_threads=reader_threads, budget=SERVICE_BUDGET,
+    )
+    return graph, queries, serialised, concurrent
+
+
+# ---------------------------------------------------------------------- #
+# micro-benchmarks
+# ---------------------------------------------------------------------- #
+
+
+def test_store_pin_release(benchmark):
+    """Benchmark the reader fast path: pin the head, release the pin."""
+    graph = bench_graph("em", scale=SERVICE_BENCH_SCALE)
+    store = VersionedGraphStore(graph)
+
+    def pin_release():
+        store.pin().release()
+
+    benchmark(pin_release)
+
+
+def test_store_fold_insert_delta(benchmark):
+    """Benchmark one copy-on-write fold+publish of a small insert delta."""
+    graph = bench_graph("em", scale=SERVICE_BENCH_SCALE)
+    store = VersionedGraphStore(graph)
+    with store.pin() as snap:
+        snap.session.context
+        snap.session.label_bitmaps
+    rng = random.Random(11)
+    state = {"count": 0}
+
+    def setup():
+        head = store.graph
+        delta = GraphDelta.for_graph(head)
+        node = delta.add_node("L0")
+        for _ in range(3):
+            delta.add_edge(node, rng.randrange(head.num_nodes))
+        return (delta,), {}
+
+    def fold(delta):
+        state["count"] += 1
+        return store.apply(delta)
+
+    benchmark.pedantic(fold, setup=setup, rounds=10, iterations=1)
+    benchmark.extra_info["versions_published"] = state["count"]
+
+
+# ---------------------------------------------------------------------- #
+# the regenerate benchmark: throughput bar + snapshot-exactness
+# ---------------------------------------------------------------------- #
+
+
+def test_regenerate_service_concurrency(benchmark):
+    """Mixed readers/writer: assert >= TARGET_SPEEDUP and verify snapshots."""
+    graph, queries, serialised, concurrent = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+
+    speedup = concurrent.batch_throughput / max(serialised.batch_throughput, 1e-9)
+    assert speedup >= TARGET_SPEEDUP, (
+        f"concurrent batches only {speedup:.1f}x the serialised baseline "
+        f"({concurrent.batch_throughput:.1f} vs "
+        f"{serialised.batch_throughput:.1f} batches/s); target {TARGET_SPEEDUP}x"
+    )
+    # Readers must have proceeded during folds: the concurrent reader wall
+    # cannot have absorbed the serialised apply+rebuild total.
+    assert concurrent.reader_wall_seconds < serialised.reader_wall_seconds
+
+    # Every batch, in both modes, must match a cold rebuild of its version.
+    verify_batch_consistency(serialised, queries, budget=SERVICE_BUDGET)
+    verify_batch_consistency(concurrent, queries, budget=SERVICE_BUDGET)
+
+    payload = service_payload(serialised, concurrent, speedup)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    table = RESULTS_DIR / "service_concurrency.txt"
+    table.write_text(format_table(payload) + "\n", encoding="utf-8")
+    json_path = update_service_json("service_concurrency", payload)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["json_path"] = str(json_path)
+
+
+def service_payload(serialised, concurrent, speedup) -> dict:
+    """The machine-readable record for the ``service_concurrency`` section."""
+    stats = concurrent.service_stats or {}
+    return {
+        "graph": "em",
+        "scale": SERVICE_BENCH_SCALE,
+        "num_batches": serialised.num_batches,
+        "queries_per_batch": serialised.num_queries_per_batch,
+        "num_deltas": len(serialised.apply_seconds),
+        "reader_threads": READER_THREADS,
+        "serialised": {
+            "reader_wall_seconds": round(serialised.reader_wall_seconds, 6),
+            "apply_seconds_total": round(sum(serialised.apply_seconds), 6),
+            "batch_throughput": round(serialised.batch_throughput, 2),
+        },
+        "concurrent": {
+            "reader_wall_seconds": round(concurrent.reader_wall_seconds, 6),
+            "total_wall_seconds": round(concurrent.total_wall_seconds, 6),
+            "batch_throughput": round(concurrent.batch_throughput, 2),
+            "versions_served": {
+                str(version): count
+                for version, count in sorted(concurrent.versions_served.items())
+            },
+            "store_gc_count": stats.get("store", {}).get("gc_count"),
+            "head_version": stats.get("head_version"),
+        },
+        "speedup": round(speedup, 2),
+        "target_speedup": TARGET_SPEEDUP,
+        "snapshot_consistency_verified": True,
+    }
+
+
+def format_table(payload: dict) -> str:
+    """Human-readable summary written next to the JSON."""
+    serialised = payload["serialised"]
+    concurrent = payload["concurrent"]
+    return "\n".join(
+        [
+            "Service concurrency (mixed readers + delta feed, em graph)",
+            f"workload: {payload['num_batches']} batches x "
+            f"{payload['queries_per_batch']} queries, {payload['num_deltas']} deltas, "
+            f"{payload['reader_threads']} reader threads",
+            f"serialised session:  reader wall {serialised['reader_wall_seconds'] * 1000:.1f}ms "
+            f"({serialised['batch_throughput']:.1f} batches/s, "
+            f"applies {serialised['apply_seconds_total'] * 1000:.1f}ms inline)",
+            f"concurrent service:  reader wall {concurrent['reader_wall_seconds'] * 1000:.1f}ms "
+            f"({concurrent['batch_throughput']:.1f} batches/s; folds finished at "
+            f"{concurrent['total_wall_seconds'] * 1000:.1f}ms)",
+            f"versions served: {concurrent['versions_served']}",
+            f"speedup: {payload['speedup']:.1f}x (target {payload['target_speedup']}x)",
+            "every batch verified against a cold rebuild of its pinned version",
+        ]
+    )
+
+
+if __name__ == "__main__":
+    # src/ is importable via benchmarks/conftest.py (imported above).
+    started = time.perf_counter()
+    graph, queries, serialised, concurrent = run_both()
+    speedup = concurrent.batch_throughput / max(serialised.batch_throughput, 1e-9)
+    verify_batch_consistency(serialised, queries, budget=SERVICE_BUDGET)
+    verify_batch_consistency(concurrent, queries, budget=SERVICE_BUDGET)
+    payload = service_payload(serialised, concurrent, speedup)
+    print(format_table(payload))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "service_concurrency.txt").write_text(
+        format_table(payload) + "\n", encoding="utf-8"
+    )
+    path = update_service_json("service_concurrency", payload)
+    print(f"wrote {path} ({time.perf_counter() - started:.1f}s)")

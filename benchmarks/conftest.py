@@ -50,28 +50,41 @@ def write_report(report) -> Path:
 #: Machine-readable benchmark trajectory shared by the session benchmarks.
 BENCH_JSON_PATH = RESULTS_DIR / "BENCH_session.json"
 
+#: Machine-readable trajectory of the concurrent-service benchmarks.
+SERVICE_JSON_PATH = RESULTS_DIR / "BENCH_service.json"
 
-def update_bench_json(section: str, payload: dict) -> Path:
-    """Merge one benchmark's results into ``results/BENCH_session.json``.
+
+def _update_json(path: Path, section: str, payload: dict) -> Path:
+    """Merge one benchmark's results into a sectioned JSON document.
 
     Each benchmark module owns a top-level ``section`` key; re-running a
     benchmark overwrites only its own section, so the file accumulates the
-    full trajectory (session batch + dynamic updates) across runs.
+    full trajectory across runs.
     """
     import json
 
     RESULTS_DIR.mkdir(exist_ok=True)
     document = {}
-    if BENCH_JSON_PATH.exists():
+    if path.exists():
         try:
-            document = json.loads(BENCH_JSON_PATH.read_text(encoding="utf-8"))
+            document = json.loads(path.read_text(encoding="utf-8"))
         except (ValueError, OSError):
             document = {}
     document[section] = payload
-    BENCH_JSON_PATH.write_text(
+    path.write_text(
         json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
-    return BENCH_JSON_PATH
+    return path
+
+
+def update_bench_json(section: str, payload: dict) -> Path:
+    """Merge one benchmark's results into ``results/BENCH_session.json``."""
+    return _update_json(BENCH_JSON_PATH, section, payload)
+
+
+def update_service_json(section: str, payload: dict) -> Path:
+    """Merge one benchmark's results into ``results/BENCH_service.json``."""
+    return _update_json(SERVICE_JSON_PATH, section, payload)
 
 
 @pytest.fixture(scope="session")

@@ -1,6 +1,6 @@
 """Quickstart: build a small graph, write a hybrid pattern, run GM.
 
-Three ways to work with queries:
+Four ways to work with queries:
 
 * one-off: construct a :class:`GraphMatcher` and call ``match`` — simplest,
   but every matcher construction rebuilds the per-graph indexes;
@@ -10,14 +10,29 @@ Three ways to work with queries:
   (optionally on a thread pool) returning latency/throughput statistics;
 * an evolving graph: batch edits into a :class:`GraphDelta` and push it
   through ``session.apply`` — the cached indexes are patched in place (not
-  rebuilt) and the very next query sees the new data.
+  rebuilt) and the very next query sees the new data;
+* concurrent readers *and* writers: put the graph behind a
+  :class:`QueryService` — every batch pins an MVCC snapshot in the
+  underlying :class:`VersionedGraphStore`, so reads stay consistent while
+  updates publish new versions behind them.
+
+See ``docs/architecture.md`` for how these layers stack (graph → indexes →
+session → store → service) and the epoch/pinning lifecycle.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import GraphBuilder, GraphDelta, GraphMatcher, QuerySession, parse_query
+from repro import (
+    GraphBuilder,
+    GraphDelta,
+    GraphMatcher,
+    QueryService,
+    QuerySession,
+    ServiceConfig,
+    parse_query,
+)
 
 
 def main() -> None:
@@ -110,6 +125,29 @@ def main() -> None:
         print(f"  {names[person]:>4} -> {names[project]:<6} => {names[task]}")
     # The new (ana, atlas, launch), (ana, hermes, deploy) rows appear without
     # any index rebuild — that is the dynamic subsystem's whole point.
+
+    # 6. Serving readers *while* the graph changes?  Put the session behind
+    #    a QueryService: batches pin an MVCC snapshot of the store, so a
+    #    batch started before an update answers its whole workload from the
+    #    pre-update version — no torn reads, no locking readers out.
+    with QueryService(session.graph, config=ServiceConfig(workers=2)) as service:
+        snapshot = service.store.pin()           # e.g. a long-running batch
+        delta = GraphDelta.for_graph(service.store.graph)
+        delta.add_edge(ids["bob"], ids["atlas"])  # bob joins atlas...
+        service.apply(delta)                      # ...published as a new version
+        stale_free = service.run_batch(workload)  # new batches see the update
+        pinned = snapshot.run_batch(workload)     # the pinned one does not
+        pinned_version = snapshot.version
+        snapshot.release()
+        print()
+        print(f"service: pinned batch answered at v{pinned_version}, "
+              f"fresh batch at v{stale_free.version} "
+              f"(bob->atlas visible: "
+              f"{stale_free.total_matches > pinned.total_matches})")
+        stats = service.stats_snapshot()
+        print(f"service stats: {stats['completed']} queries, "
+              f"p95 {stats['latency_p95_seconds'] * 1000:.2f}ms, "
+              f"{stats['shed_count']} shed, head v{stats['head_version']}")
 
 
 if __name__ == "__main__":

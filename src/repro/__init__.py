@@ -29,7 +29,11 @@ from repro.exceptions import (
     BudgetExceeded,
     TimeoutExceeded,
     MemoryBudgetExceeded,
+    QueryCancelled,
     EngineError,
+    StaleIndexError,
+    StoreError,
+    ServiceOverloadedError,
 )
 from repro.graph import DataGraph, GraphBuilder, load_dataset, available_datasets
 from repro.query import (
@@ -58,6 +62,15 @@ from repro.matching import (
 from repro.baselines import JMMatcher, TMMatcher, ISOMatcher, bruteforce_homomorphisms
 from repro.dynamic import ApplyReport, GraphDelta, MutableDataGraph
 from repro.session import BatchReport, CacheStats, QuerySession
+from repro.store import StoreSnapshot, StoreStats, VersionedGraphStore
+from repro.service import (
+    QueryService,
+    QueryTicket,
+    ServiceBatchReport,
+    ServiceConfig,
+    ServiceStats,
+    StreamingResult,
+)
 
 __version__ = "1.0.0"
 
@@ -110,5 +123,18 @@ __all__ = [
     "BatchReport",
     "CacheStats",
     "QuerySession",
+    "QueryCancelled",
+    "StaleIndexError",
+    "StoreError",
+    "ServiceOverloadedError",
+    "StoreSnapshot",
+    "StoreStats",
+    "VersionedGraphStore",
+    "QueryService",
+    "QueryTicket",
+    "ServiceBatchReport",
+    "ServiceConfig",
+    "ServiceStats",
+    "StreamingResult",
     "__version__",
 ]

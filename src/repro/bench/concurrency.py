@@ -1,0 +1,283 @@
+"""Mixed reader/writer workload driver: serialised session vs MVCC service.
+
+The driver runs the *same* logical workload — ``num_batches`` reader
+batches over a fixed query set, racing a stream of graph deltas — through
+two execution models:
+
+* **serialised** (:func:`run_serialised_workload`): the pre-store world.
+  One :class:`~repro.session.QuerySession` owns the graph; readers and the
+  writer share it under a single lock, so every batch waits for any apply
+  (and any post-invalidation rebuild) ahead of it.
+* **concurrent** (:func:`run_concurrent_workload`): a
+  :class:`~repro.store.VersionedGraphStore` plus
+  :class:`~repro.service.QueryService`.  Reader threads pin epochs and
+  proceed during folds; the store's background writer folds the delta
+  stream and (with ``warm_on_publish``) rebuilds invalidated artifacts off
+  the readers' critical path.
+
+Both return a :class:`MixedWorkloadResult` whose per-batch records carry
+the graph version *and the graph object* each batch was answered against,
+so :func:`verify_batch_consistency` can later check every result set
+bit-for-bit against a cold rebuild of its pinned version — the MVCC
+correctness claim, not just the throughput one.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.dynamic.delta import GraphDelta
+from repro.matching.result import Budget
+from repro.query.pattern import PatternQuery
+from repro.service.service import QueryService, ServiceConfig
+from repro.session.session import QuerySession
+from repro.store.versioned import VersionedGraphStore
+
+
+@dataclass
+class BatchRecord:
+    """One reader batch's outcome: when, against what, and what it saw."""
+
+    index: int
+    version: int
+    seconds: float
+    answers: Dict[str, frozenset]
+    #: The immutable graph the batch was answered against (retained so the
+    #: batch can be re-verified against a cold rebuild of that version).
+    graph: object = field(repr=False, default=None)
+
+
+@dataclass
+class MixedWorkloadResult:
+    """Aggregate outcome of one mixed reader/writer run."""
+
+    mode: str
+    num_queries_per_batch: int
+    batches: List[BatchRecord]
+    apply_seconds: List[float]
+    #: Wall time until the *last reader batch* finished — the serving
+    #: metric the store exists to improve.
+    reader_wall_seconds: float
+    #: Wall time until readers *and* the writer were done.
+    total_wall_seconds: float
+    service_stats: Optional[Dict[str, object]] = None
+
+    @property
+    def num_batches(self) -> int:
+        return len(self.batches)
+
+    @property
+    def batch_throughput(self) -> float:
+        """Reader batches completed per second of reader wall time."""
+        if self.reader_wall_seconds <= 0:
+            return 0.0
+        return self.num_batches / self.reader_wall_seconds
+
+    @property
+    def query_throughput_qps(self) -> float:
+        """Reader queries completed per second of reader wall time."""
+        return self.batch_throughput * self.num_queries_per_batch
+
+    @property
+    def versions_served(self) -> Dict[int, int]:
+        """Mapping version -> number of batches answered at it."""
+        counts: Dict[int, int] = {}
+        for record in self.batches:
+            counts[record.version] = counts.get(record.version, 0) + 1
+        return counts
+
+
+def _warm(session: QuerySession, queries: Mapping[str, PatternQuery], budget) -> None:
+    """Bring a session to full serving state: indexes built, RIGs cached.
+
+    Matches the dynamic-updates benchmark's warm state (reachability,
+    closure, bitmaps, partitions): the artifacts a serving deployment keeps
+    hot, and therefore the artifacts a removal-bearing delta forces the
+    serialised owner to rebuild inline.
+    """
+    session.context
+    session.transitive_closure
+    session.label_bitmaps
+    session.bitmap_universe
+    session.partitions
+    session.run_batch(queries, budget=budget)
+
+
+def run_serialised_workload(
+    graph,
+    queries: Mapping[str, PatternQuery],
+    num_batches: int,
+    deltas: Sequence[GraphDelta],
+    budget: Optional[Budget] = None,
+    **session_kwargs,
+) -> MixedWorkloadResult:
+    """The single-owner baseline: one session, one lock, submission order.
+
+    Deltas are interleaved ahead of the batches (delta ``i`` folds before
+    batch ``i``), which is how a serialised owner must sequence a feed: a
+    batch admitted after an update has to see it, so it also has to wait
+    for it.  After each fold the owner restores full serving state
+    (rebuilding whatever the delta invalidated) — the same policy the
+    store applies with ``warm_on_publish`` — so both execution models
+    maintain identical artifacts and differ only in *whose* wall clock the
+    maintenance lands on.
+    """
+    warm_builders = VersionedGraphStore._WARM_BUILDERS
+    session = QuerySession(graph, budget=budget, **session_kwargs)
+    _warm(session, queries, budget)
+    lock = threading.Lock()
+    batches: List[BatchRecord] = []
+    apply_seconds: List[float] = []
+
+    start = time.perf_counter()
+    for index in range(num_batches):
+        with lock:
+            if index < len(deltas):
+                apply_start = time.perf_counter()
+                report = session.apply(deltas[index])
+                for key in report.invalidated:
+                    builder = warm_builders.get(key)
+                    if builder is not None:
+                        builder(session)
+                apply_seconds.append(time.perf_counter() - apply_start)
+            batch_start = time.perf_counter()
+            report = session.run_batch(queries, budget=budget)
+            batches.append(
+                BatchRecord(
+                    index=index,
+                    version=session.version,
+                    seconds=time.perf_counter() - batch_start,
+                    answers=report.answers(),
+                    graph=session.graph,
+                )
+            )
+    reader_wall = time.perf_counter() - start
+    with lock:
+        for delta in deltas[num_batches:]:
+            apply_start = time.perf_counter()
+            session.apply(delta)
+            apply_seconds.append(time.perf_counter() - apply_start)
+    total_wall = time.perf_counter() - start
+    return MixedWorkloadResult(
+        mode="serialised",
+        num_queries_per_batch=len(queries),
+        batches=batches,
+        apply_seconds=apply_seconds,
+        reader_wall_seconds=reader_wall,
+        total_wall_seconds=total_wall,
+    )
+
+
+def run_concurrent_workload(
+    graph,
+    queries: Mapping[str, PatternQuery],
+    num_batches: int,
+    deltas: Sequence[GraphDelta],
+    reader_threads: int = 4,
+    budget: Optional[Budget] = None,
+    warm_on_publish: bool = True,
+    **session_kwargs,
+) -> MixedWorkloadResult:
+    """The MVCC path: pinned reader batches racing the background writer.
+
+    All deltas are enqueued on the store's writer at t0 and all batches are
+    drained by ``reader_threads`` workers, each batch pinning the head it
+    starts on.  Readers therefore never wait on a fold: a batch admitted
+    while delta ``k`` folds answers from the last published epoch.
+    """
+    session = QuerySession(graph, budget=budget, **session_kwargs)
+    _warm(session, queries, budget)
+    store = VersionedGraphStore(session, warm_on_publish=warm_on_publish)
+    service = QueryService(
+        store, config=ServiceConfig(workers=reader_threads, default_budget=budget)
+    )
+    batches: List[BatchRecord] = []
+    batches_lock = threading.Lock()
+    next_batch = iter(range(num_batches))
+
+    def reader_loop() -> None:
+        while True:
+            with batches_lock:
+                index = next(next_batch, None)
+            if index is None:
+                return
+            # Batches go through the service (so its stats describe the
+            # measured workload), pinned to an explicitly held snapshot;
+            # each reader thread is the unit of parallelism, so the batch
+            # itself runs single-worker.
+            with store.pin() as snapshot:
+                batch_start = time.perf_counter()
+                report = service.run_batch(
+                    queries, budget=budget, workers=1, snapshot=snapshot
+                )
+                record = BatchRecord(
+                    index=index,
+                    version=snapshot.version,
+                    seconds=time.perf_counter() - batch_start,
+                    answers=report.answers(),
+                    graph=snapshot.graph,
+                )
+            with batches_lock:
+                batches.append(record)
+
+    readers = [
+        threading.Thread(target=reader_loop, name=f"bench-reader-{i}")
+        for i in range(reader_threads)
+    ]
+    start = time.perf_counter()
+    futures = [store.apply_async(delta) for delta in deltas]
+    for thread in readers:
+        thread.start()
+    for thread in readers:
+        thread.join()
+    reader_wall = time.perf_counter() - start
+    store.drain()
+    total_wall = time.perf_counter() - start
+    apply_seconds = [future.result().seconds for future in futures]
+    stats = service.stats_snapshot()
+    service.close()
+    store.close()
+    batches.sort(key=lambda record: record.index)
+    return MixedWorkloadResult(
+        mode="concurrent",
+        num_queries_per_batch=len(queries),
+        batches=batches,
+        apply_seconds=apply_seconds,
+        reader_wall_seconds=reader_wall,
+        total_wall_seconds=total_wall,
+        service_stats=stats,
+    )
+
+
+def verify_batch_consistency(
+    result: MixedWorkloadResult,
+    queries: Mapping[str, PatternQuery],
+    budget: Optional[Budget] = None,
+) -> None:
+    """Check every batch against a cold rebuild of its pinned version.
+
+    For each distinct version a batch was answered at, a fresh
+    :class:`QuerySession` is built on that version's retained graph and
+    the query set re-run from scratch; every batch pinned to that version
+    must have produced exactly those answers.  Raises ``AssertionError``
+    naming the first diverging (batch, query) otherwise.
+    """
+    graphs: Dict[int, object] = {}
+    for record in result.batches:
+        graphs.setdefault(record.version, record.graph)
+    expected: Dict[int, Dict[str, frozenset]] = {}
+    for version, graph in graphs.items():
+        cold = QuerySession(graph, budget=budget)
+        expected[version] = cold.run_batch(queries, budget=budget).answers()
+    for record in result.batches:
+        for name, answer in expected[record.version].items():
+            got = record.answers.get(name)
+            if got != answer:
+                raise AssertionError(
+                    f"{result.mode} batch {record.index} diverged from a cold "
+                    f"rebuild of version {record.version} on query {name!r}: "
+                    f"{len(got or ())} vs {len(answer)} occurrences"
+                )

@@ -32,6 +32,7 @@ feeds stream in.  This package provides the machinery that makes
 from repro.dynamic.delta import GraphDelta, merged_delta
 from repro.dynamic.maintenance import (
     ApplyReport,
+    patch_expanded_graph,
     patch_label_bitmaps,
     patch_partitions,
     patch_universe,
@@ -44,6 +45,7 @@ __all__ = [
     "GraphDelta",
     "MutableDataGraph",
     "merged_delta",
+    "patch_expanded_graph",
     "patch_label_bitmaps",
     "patch_partitions",
     "patch_universe",

@@ -6,9 +6,13 @@ maintenance classes:
 
 * **incrementally patchable** — the reachability index and the transitive
   closure (``apply_delta`` on the index classes), the per-label bitmaps and
-  the EH edge partitions (helpers below);
-* **cheaply recomputable and lazily rebuilt** — the GF catalog, the
-  closure-expanded graph, the label summaries inside the match context;
+  the EH edge partitions (helpers below), and — for insert-only deltas —
+  the closure-expanded graph (:func:`patch_expanded_graph`, fed by the
+  closure patch's added pairs) and the GF catalog
+  (:func:`repro.engines.wcoj.patch_catalog`);
+* **cheaply recomputable and lazily rebuilt** — the label summaries inside
+  the match context, and any of the above artifacts whose delta shape was
+  not patchable;
 * **per-query** — RIG caches and matcher instances, which are dropped on
   every version bump (they embed node candidates of the old state).
 
@@ -96,6 +100,49 @@ def patch_universe(universe, delta: GraphDelta) -> bool:
     for node_id, _label in delta.added_nodes:
         universe.add(node_id)
     return True
+
+
+def patch_expanded_graph(expanded, new_graph, delta: GraphDelta, closure_additions):
+    """Patch the closure-expanded data graph for an insert-only delta.
+
+    The expanded graph is ``graph edges ∪ closure pairs``; an insert-only
+    delta can only ever *add* members to both sets, so the new expanded
+    graph is the old one plus the delta's nodes/edges plus exactly the
+    reachable pairs the closure patch added (``closure_additions``, the
+    ``(source, added_mask)`` rows from
+    :meth:`TransitiveClosureIndex.last_patch_additions`).  The overlay work
+    is proportional to the delta, not to the closure; only the final
+    freeze into an immutable :class:`DataGraph` pays the usual
+    construction pass.
+
+    Returns the patched expanded graph (carrying ``new_graph``'s version so
+    engine staleness checks accept it), or ``None`` when the delta shape is
+    not patchable (removals / relabels change label keys and reachable
+    pairs non-monotonically — rebuild lazily instead).
+    """
+    if not delta.is_insert_only:
+        return None
+    from repro.bitmap.intbitset import IntBitSet
+    from repro.dynamic.overlay import MutableDataGraph
+    from repro.graph.digraph import DataGraph
+
+    overlay = MutableDataGraph(expanded)
+    for _node, label in delta.added_nodes:
+        overlay.add_node(label)
+    for source, target in delta.added_edges:
+        overlay.add_edge(source, target)
+    for source, mask in closure_additions:
+        for target in IntBitSet.from_mask(mask):
+            if target != source:
+                overlay.add_edge(source, target)
+    # Freeze with the *data graph's* version, not the overlay's per-batch
+    # bumped one: the expanded graph must carry the version it serves.
+    return DataGraph(
+        overlay.labels,
+        overlay.edges(),
+        name=expanded.name,
+        version=getattr(new_graph, "version", 0),
+    )
 
 
 def patch_partitions(

@@ -7,7 +7,13 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
-from repro.exceptions import EngineError, MemoryBudgetExceeded, TimeoutExceeded
+from repro.exceptions import (
+    EngineError,
+    MemoryBudgetExceeded,
+    QueryCancelled,
+    StaleIndexError,
+    TimeoutExceeded,
+)
 from repro.graph.digraph import DataGraph
 from repro.matching.result import Budget, MatchReport, MatchStatus
 from repro.query.pattern import EdgeType, PatternEdge, PatternQuery
@@ -128,17 +134,21 @@ class Engine(ABC):
 
         A shared cache may outlive a graph update; comparing node count and
         the monotone data version catches a stale injection before it
-        silently produces answers for the wrong graph.
+        silently produces answers for the wrong graph.  Raises
+        :class:`~repro.exceptions.StaleIndexError` naming both versions.
         """
         if expanded.num_nodes != self.graph.num_nodes or getattr(
             expanded, "version", 0
         ) != getattr(self.graph, "version", 0):
-            raise EngineError(
-                f"{self.name}: injected expanded graph is stale "
-                f"(expanded {expanded.num_nodes} nodes "
-                f"v{getattr(expanded, 'version', 0)}, data graph "
-                f"{self.graph.num_nodes} nodes "
-                f"v{getattr(self.graph, 'version', 0)})"
+            raise StaleIndexError(
+                engine=self.name,
+                artifact="expanded graph",
+                expected_version=getattr(self.graph, "version", 0),
+                found_version=getattr(expanded, "version", 0),
+                detail=(
+                    f"expanded graph has {expanded.num_nodes} nodes, "
+                    f"data graph has {self.graph.num_nodes}"
+                ),
             )
         return expanded
 
@@ -188,6 +198,13 @@ class Engine(ABC):
                 query_name=query.name,
                 algorithm=self.name,
                 status=MatchStatus.TIMEOUT,
+                matching_seconds=time.perf_counter() - start,
+            )
+        except QueryCancelled:
+            report = MatchReport(
+                query_name=query.name,
+                algorithm=self.name,
+                status=MatchStatus.CANCELLED,
                 matching_seconds=time.perf_counter() - start,
             )
         except MemoryBudgetExceeded:

@@ -67,5 +67,75 @@ class MemoryBudgetExceeded(BudgetExceeded):
         self.limit_items = limit_items
 
 
+class QueryCancelled(BudgetExceeded):
+    """Raised when a query is cancelled cooperatively mid-evaluation.
+
+    The query service sets a cancellation event on the query's
+    :class:`repro.matching.result.Budget`; the amortised budget clock
+    observes it at the next checkpoint inside the match loops and unwinds
+    the evaluation.  Public APIs report the outcome as
+    :attr:`repro.matching.result.MatchStatus.CANCELLED`.
+    """
+
+    def __init__(self, detail: str = "") -> None:
+        super().__init__("cancelled", detail)
+
+
 class EngineError(ReproError):
     """Raised by the comparator query engines for unsupported operations."""
+
+
+class StaleIndexError(EngineError):
+    """Raised when an engine is handed an index built for another graph version.
+
+    A shared cache (a :class:`~repro.session.QuerySession`, or a pinned
+    store snapshot) may outlive a graph update; injecting its
+    closure-expanded graph into an engine bound to a newer graph would
+    silently produce answers for the wrong data.  The error names both
+    monotone versions so the mismatch is diagnosable.
+    """
+
+    def __init__(
+        self,
+        engine: str,
+        artifact: str,
+        expected_version: int,
+        found_version: int,
+        detail: str = "",
+    ) -> None:
+        message = (
+            f"{engine}: injected {artifact} is stale "
+            f"(built for graph version {found_version}, data graph is "
+            f"version {expected_version})"
+        )
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
+        self.engine = engine
+        self.artifact = artifact
+        self.expected_version = expected_version
+        self.found_version = found_version
+
+
+class StoreError(ReproError):
+    """Raised for invalid versioned-graph-store operations.
+
+    Typical causes: applying a delta through a frozen per-version session
+    instead of the owning store, or using a snapshot after it was released.
+    """
+
+
+class ServiceOverloadedError(ReproError):
+    """Raised when the query service sheds a request under admission control.
+
+    ``reason`` is ``"queue_full"`` (the bounded admission queue was at
+    capacity) or ``"deadline"`` (the request's deadline expired before a
+    worker picked it up).
+    """
+
+    def __init__(self, reason: str, detail: str = "") -> None:
+        super().__init__(
+            f"service overloaded: {reason}" + (f" ({detail})" if detail else "")
+        )
+        self.reason = reason
+        self.detail = detail

@@ -21,7 +21,7 @@ from dataclasses import dataclass, replace
 from enum import Enum
 from typing import MutableMapping, Optional, Sequence
 
-from repro.exceptions import BudgetExceeded, TimeoutExceeded
+from repro.exceptions import BudgetExceeded, QueryCancelled, TimeoutExceeded
 from repro.graph.digraph import DataGraph
 from repro.matching.mjoin import mjoin
 from repro.matching.ordering import OrderingMethod, search_order
@@ -197,6 +197,17 @@ class GraphMatcher:
                 query_name=query.name,
                 algorithm=self.algorithm_name(),
                 status=MatchStatus.TIMEOUT,
+                occurrences=[],
+                num_matches=0,
+                matching_seconds=elapsed,
+                enumeration_seconds=0.0,
+            )
+        except QueryCancelled:
+            elapsed = time.perf_counter() - start
+            return MatchReport(
+                query_name=query.name,
+                algorithm=self.algorithm_name(),
+                status=MatchStatus.CANCELLED,
                 occurrences=[],
                 num_matches=0,
                 matching_seconds=elapsed,

@@ -10,11 +10,11 @@ evaluation — matches found, phase timings, and how the evaluation ended.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from enum import Enum
 from typing import Dict, List, Optional, Tuple
 
-from repro.exceptions import MemoryBudgetExceeded, TimeoutExceeded
+from repro.exceptions import MemoryBudgetExceeded, QueryCancelled, TimeoutExceeded
 
 
 class MatchStatus(Enum):
@@ -28,6 +28,8 @@ class MatchStatus(Enum):
     TIMEOUT = "timeout"
     #: Stopped by the intermediate-result cap (the paper's "out of memory").
     OUT_OF_MEMORY = "out_of_memory"
+    #: Cancelled cooperatively (service-side cancel / shed mid-evaluation).
+    CANCELLED = "cancelled"
 
     def is_solved(self) -> bool:
         """True if the query is counted as solved in the paper's tables."""
@@ -45,10 +47,35 @@ class Budget:
     #: Cap on intermediate-result tuples for join-based algorithms
     #: (None = unlimited); models the paper's out-of-memory failures.
     max_intermediate_results: Optional[int] = 2_000_000
+    #: Cooperative cancellation flag (any object with ``is_set()``, e.g. a
+    #: :class:`threading.Event`).  When set, the next budget-clock
+    #: checkpoint inside a match loop raises
+    #: :class:`~repro.exceptions.QueryCancelled`.  ``None`` disables the
+    #: check.  Compared by identity only; excluded from equality.
+    cancel_event: Optional[object] = field(default=None, compare=False)
 
     def start_clock(self) -> "BudgetClock":
         """Begin tracking this budget for one query evaluation."""
         return BudgetClock(self)
+
+    def with_deadline(self, deadline: Optional[float]) -> "Budget":
+        """A copy whose time limit is clamped to ``deadline - now``.
+
+        ``deadline`` is an absolute :func:`time.monotonic` timestamp (the
+        admission-control convention); ``None`` returns ``self`` unchanged.
+        A deadline already in the past yields a zero time limit, so the
+        first clock checkpoint times the query out immediately.
+        """
+        if deadline is None:
+            return self
+        remaining = max(0.0, deadline - time.monotonic())
+        if self.time_limit_seconds is not None:
+            remaining = min(remaining, self.time_limit_seconds)
+        return replace(self, time_limit_seconds=remaining)
+
+    def with_cancel_event(self, event: Optional[object]) -> "Budget":
+        """A copy carrying ``event`` as its cooperative cancellation flag."""
+        return replace(self, cancel_event=event)
 
 
 class BudgetClock:
@@ -72,14 +99,23 @@ class BudgetClock:
         return time.perf_counter() - self._start
 
     def check_time(self) -> None:
-        """Raise :class:`TimeoutExceeded` if the time budget is exhausted."""
+        """Raise on an exhausted time budget or a set cancellation flag.
+
+        This is the single checkpoint every match loop already calls, so
+        both the wall-clock deadline and cooperative cancellation ride the
+        same amortised check: the wall clock (and the cancel event) is
+        consulted only every ``check_interval`` calls.
+        """
         limit = self.budget.time_limit_seconds
-        if limit is None:
+        event = self.budget.cancel_event
+        if limit is None and event is None:
             return
         self._calls += 1
         if self._calls % self.check_interval:
             return
-        if self.elapsed > limit:
+        if event is not None and event.is_set():
+            raise QueryCancelled()
+        if limit is not None and self.elapsed > limit:
             raise TimeoutExceeded(limit)
 
     def check_matches(self, count: int) -> bool:

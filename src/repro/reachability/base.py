@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import copy as _copy
 import time
 from abc import ABC, abstractmethod
 from typing import Iterable, Tuple
@@ -62,6 +63,19 @@ class ReachabilityIndex(ABC):
         False, so a failed patch never corrupts the running index.
         """
         return False
+
+    def copy(self) -> "ReachabilityIndex":
+        """An independent copy safe to :meth:`apply_delta` without aliasing.
+
+        The copy-on-write contract used by the versioned graph store: after
+        ``clone = index.copy()``, patching ``clone`` in place must never
+        change an answer ``index`` returns.  The default shallow copy is
+        sufficient for indexes whose ``apply_delta`` only *rebinds*
+        attributes; schemes that mutate container state in place must
+        override and copy those containers (see
+        :class:`~repro.reachability.transitive_closure.TransitiveClosureIndex`).
+        """
+        return _copy.copy(self)
 
     def reaches_strict(self, source: int, target: int) -> bool:
         """Reachability through a path of length >= 1.

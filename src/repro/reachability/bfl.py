@@ -264,6 +264,24 @@ class BloomFilterLabeling(ReachabilityIndex):
         """Number of successful :meth:`apply_delta` patches."""
         return self._patch_count
 
+    def copy(self) -> "BloomFilterLabeling":
+        """Aliasing-safe copy (see :meth:`ReachabilityIndex.copy`).
+
+        :meth:`apply_delta` already stages its changes in fresh lists and
+        commits by attribute rebinding, so a shallow copy would suffice
+        today; the label/interval lists are copied anyway so the clone
+        stays safe even if a future patch path mutates them in place.
+        """
+        clone = super().copy()
+        clone._tokens = list(self._tokens)
+        clone._l_out = list(self._l_out)
+        clone._l_in = list(self._l_in)
+        clone._topo_order = list(self._topo_order)
+        clone._topo_position = list(self._topo_position)
+        clone._begin = list(self._begin)
+        clone._end = list(self._end)
+        return clone
+
     # ------------------------------------------------------------------ #
     # queries
     # ------------------------------------------------------------------ #

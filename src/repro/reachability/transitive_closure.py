@@ -44,6 +44,20 @@ class TransitiveClosureIndex(ReachabilityIndex):
                             next_frontier.append(child)
                 frontier = next_frontier
         self._closure = closure
+        self._last_additions: List[Tuple[int, int]] = []
+
+    def copy(self) -> "TransitiveClosureIndex":
+        """Aliasing-safe copy (see :meth:`ReachabilityIndex.copy`).
+
+        ``apply_delta`` mutates the row list in place (``append`` /
+        per-row replacement), so the list itself must be copied; the
+        :class:`IntBitSet` rows are replaced rather than mutated by the
+        patch path and can be shared.
+        """
+        clone = super().copy()
+        clone._closure = list(self._closure)
+        clone._last_additions = []
+        return clone
 
     def apply_delta(self, graph: DataGraph, delta) -> bool:
         """Patch the closure in place for an insertion-only delta.
@@ -66,6 +80,7 @@ class TransitiveClosureIndex(ReachabilityIndex):
         closure = self._closure
         if delta.base_num_nodes != len(closure):
             return False  # delta written against a different graph state
+        additions: List[Tuple[int, int]] = []
         for node_id, _label in delta.added_nodes:
             closure.append(IntBitSet((node_id,)))
         n = len(closure)
@@ -78,9 +93,22 @@ class TransitiveClosureIndex(ReachabilityIndex):
                 if source in row:
                     merged = row.mask | target_mask
                     if merged != row.mask:
+                        additions.append((node, merged & ~row.mask))
                         closure[node] = IntBitSet.from_mask(merged)
         self._graph = graph
+        self._last_additions = additions
         return True
+
+    def last_patch_additions(self) -> List[Tuple[int, int]]:
+        """Reachable pairs added by the most recent successful patch.
+
+        Returned as ``(source, added_mask)`` rows: ``added_mask`` is the
+        bit set of targets that became reachable from ``source`` during the
+        last :meth:`apply_delta`.  This is what lets the closure-expanded
+        data graph be patched with exactly the new pairs instead of being
+        rebuilt from the full closure (empty until a patch succeeds).
+        """
+        return list(getattr(self, "_last_additions", ()))
 
     def reaches(self, source: int, target: int) -> bool:
         return target in self._closure[source]

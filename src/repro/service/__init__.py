@@ -1,0 +1,58 @@
+"""Concurrent query service: admission control, pinned execution, streaming.
+
+The serving layer on top of :mod:`repro.store`:
+
+* :class:`QueryService` — a worker pool executing queries against pinned
+  MVCC snapshots; batch execution (:meth:`~QueryService.run_batch`) pins
+  one version for the whole batch, single submits pin the head at
+  execution time.  Writes delegate to the store (synchronous
+  :meth:`~QueryService.apply` or the background writer queue).
+* **Admission control** — a bounded queue sheds on overload
+  (:class:`~repro.exceptions.ServiceOverloadedError`), per-request
+  deadlines shed stale queued work and clamp the running query's
+  :class:`~repro.matching.result.Budget`, and
+  :meth:`QueryTicket.cancel` unwinds a running query at its next budget
+  checkpoint.
+* :class:`StreamingResult` — paginated result iteration that holds its
+  snapshot pin until the consumer finishes, so pagination never tears
+  across versions.
+* :class:`ServiceStats` — throughput, p50/p95/p99 latency, shed counts,
+  per-version load; :meth:`QueryService.stats_snapshot` merges in the
+  store gauges (pinned epochs, retained versions, GC count).
+
+>>> with QueryService(graph, config=ServiceConfig(workers=4)) as service:
+...     ticket = service.submit(query)            # admission-controlled
+...     batch = service.run_batch(queries)        # one pinned version
+...     service.apply(delta)                      # publishes a new head
+...     service.stats_snapshot()["latency_p95_seconds"]
+"""
+
+from repro.service.service import (
+    QueryService,
+    QueryTicket,
+    ServiceBatchReport,
+    ServiceConfig,
+    StreamingResult,
+    TICKET_CANCELLED,
+    TICKET_DONE,
+    TICKET_FAILED,
+    TICKET_QUEUED,
+    TICKET_RUNNING,
+    TICKET_SHED,
+)
+from repro.service.stats import ServiceStats
+
+__all__ = [
+    "QueryService",
+    "QueryTicket",
+    "ServiceBatchReport",
+    "ServiceConfig",
+    "ServiceStats",
+    "StreamingResult",
+    "TICKET_CANCELLED",
+    "TICKET_DONE",
+    "TICKET_FAILED",
+    "TICKET_QUEUED",
+    "TICKET_RUNNING",
+    "TICKET_SHED",
+]

@@ -1,0 +1,563 @@
+"""Concurrent query service over a versioned graph store.
+
+:class:`QueryService` is the serving layer: a fixed worker pool executes
+admitted queries against **pinned store snapshots**, so a query (or a whole
+batch) always answers from one consistent graph version while the store
+folds updates behind it.
+
+Admission control
+-----------------
+The service holds a bounded queue.  At submit time, a request beyond
+``queue_limit`` is **shed** immediately
+(:class:`~repro.exceptions.ServiceOverloadedError`, reason
+``"queue_full"``); a queued request whose deadline expires before a worker
+picks it up is shed at dequeue (reason ``"deadline"``).  A running query is
+bounded by its :class:`~repro.matching.result.Budget` — the service clamps
+the budget's time limit to the request's remaining deadline and wires a
+cancellation event through it, so the match loops' amortised checkpoints
+(:meth:`BudgetClock.check_time`) observe both.
+
+Results
+-------
+:meth:`QueryService.submit` returns a :class:`QueryTicket` future;
+:meth:`QueryService.stream` returns a :class:`StreamingResult` that holds
+its snapshot pin until the consumer finishes paging, so pagination stays
+consistent with the version the query ran on even if the head moves.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue as queue_module
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple, Union
+
+from repro.dynamic.delta import GraphDelta
+from repro.dynamic.maintenance import ApplyReport
+from repro.exceptions import ServiceOverloadedError, StoreError
+from repro.graph.digraph import DataGraph
+from repro.matching.result import Budget, MatchReport, MatchStatus
+from repro.query.pattern import PatternQuery
+from repro.session.batch import BatchReport
+from repro.service.stats import ServiceStats
+from repro.store.versioned import StoreSnapshot, VersionedGraphStore
+
+#: Ticket lifecycle states.
+TICKET_QUEUED = "queued"
+TICKET_RUNNING = "running"
+TICKET_DONE = "done"
+TICKET_SHED = "shed"
+TICKET_CANCELLED = "cancelled"
+TICKET_FAILED = "failed"
+
+
+@dataclass
+class ServiceConfig:
+    """Tuning knobs for a :class:`QueryService`."""
+
+    #: Worker threads — also the maximum number of in-flight queries.
+    workers: int = 4
+    #: Bounded admission queue: submits beyond this many waiting requests
+    #: are shed with reason ``"queue_full"``.
+    queue_limit: int = 64
+    #: Default end-to-end deadline per request (submit to completion);
+    #: ``None`` disables deadline shedding/clamping.
+    deadline_seconds: Optional[float] = None
+    #: Default engine for requests that do not name one.
+    default_engine: str = "GM"
+    #: Default per-query budget (falls back to the store session's budget).
+    default_budget: Optional[Budget] = None
+    #: Sliding-window size of the latency reservoir.
+    latency_window: int = 4096
+
+
+class QueryTicket:
+    """A submitted query: future-style handle with cancellation.
+
+    ``result()`` blocks until the query finishes and returns its
+    :class:`MatchReport`; shed tickets raise
+    :class:`~repro.exceptions.ServiceOverloadedError` and failed tickets
+    re-raise the worker-side exception.  ``cancel()`` is cooperative: a
+    queued ticket is dropped at dequeue, a running one unwinds at the
+    match loop's next budget checkpoint (status
+    :attr:`MatchStatus.CANCELLED`).
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        query: PatternQuery,
+        engine: str,
+        budget: Optional[Budget],
+        deadline: Optional[float],
+        snapshot: Optional[StoreSnapshot] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.ticket_id = next(self._ids)
+        self.name = name or query.name
+        self.query = query
+        self.engine = engine
+        self.budget = budget
+        self.deadline = deadline
+        self.snapshot = snapshot
+        self.submitted_at = time.monotonic()
+        self.status = TICKET_QUEUED
+        self.report: Optional[MatchReport] = None
+        self.error: Optional[BaseException] = None
+        self.pinned_version: Optional[int] = None
+        self.seconds: Optional[float] = None
+        self.cancel_event = threading.Event()
+        self._done = threading.Event()
+
+    def cancel(self) -> None:
+        """Request cooperative cancellation (idempotent)."""
+        self.cancel_event.set()
+
+    @property
+    def done(self) -> bool:
+        """True once the ticket reached a terminal state."""
+        return self._done.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until terminal (or ``timeout``); True if terminal."""
+        return self._done.wait(timeout)
+
+    def result(self, timeout: Optional[float] = None) -> MatchReport:
+        """The query's :class:`MatchReport` (blocking).
+
+        Raises :class:`~repro.exceptions.ServiceOverloadedError` for shed
+        tickets, the original exception for failed ones, and
+        :class:`TimeoutError` if the ticket is not terminal in time.
+        """
+        if not self._done.wait(timeout):
+            raise TimeoutError(f"ticket {self.ticket_id} still {self.status}")
+        if self.error is not None:
+            raise self.error
+        if self.report is None:  # defensive: every terminal path sets one
+            raise StoreError(
+                f"ticket {self.ticket_id} finished as {self.status} "
+                "without a report"
+            )
+        return self.report
+
+    # internal: terminal transitions (worker / service side only) -------- #
+
+    def _finish(self, status: str, report=None, error=None) -> None:
+        self.status = status
+        self.report = report
+        self.error = error
+        self.seconds = time.monotonic() - self.submitted_at
+        self._done.set()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"QueryTicket(#{self.ticket_id} {self.name!r}, {self.status})"
+
+
+@dataclass
+class ServiceBatchReport(BatchReport):
+    """A :class:`BatchReport` that also names the pinned graph version."""
+
+    #: The store version every query of the batch was answered against.
+    version: int = -1
+
+
+class StreamingResult:
+    """Paginated iteration over one query's occurrences, pinned to a version.
+
+    The snapshot pin is held from submission until :meth:`close` (or
+    exhaustion, or context-manager exit), so every page — no matter how
+    slowly the consumer drains — describes the same graph version.
+    """
+
+    def __init__(self, ticket: QueryTicket, snapshot: StoreSnapshot, page_size: int) -> None:
+        if page_size <= 0:
+            raise ValueError(f"page_size must be positive, got {page_size}")
+        self.ticket = ticket
+        self.page_size = page_size
+        self._snapshot = snapshot
+        self._version = snapshot.version
+        self._closed = False
+
+    @property
+    def version(self) -> int:
+        """The pinned graph version the occurrences describe.
+
+        Cached at pin time so it stays readable after the pin is released.
+        """
+        return self._version
+
+    def report(self, timeout: Optional[float] = None) -> MatchReport:
+        """The underlying :class:`MatchReport` (blocks until finished)."""
+        return self.ticket.result(timeout)
+
+    def pages(self, timeout: Optional[float] = None) -> Iterator[Tuple[Tuple[int, ...], ...]]:
+        """Yield occurrence pages of ``page_size``; releases the pin at the end."""
+        try:
+            occurrences = self.report(timeout).occurrences
+            for start in range(0, len(occurrences), self.page_size):
+                yield tuple(occurrences[start : start + self.page_size])
+        finally:
+            self.close()
+
+    def __iter__(self) -> Iterator[Tuple[int, ...]]:
+        """Yield occurrences one by one; releases the pin at the end."""
+        for page in self.pages():
+            for occurrence in page:
+                yield occurrence
+
+    def close(self) -> None:
+        """Cancel if still running and release the snapshot pin (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            if not self.ticket.done:
+                self.ticket.cancel()
+            self._snapshot.release()
+
+    def __enter__(self) -> "StreamingResult":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class QueryService:
+    """Admission-controlled concurrent query execution over a store.
+
+    Parameters
+    ----------
+    store:
+        A :class:`VersionedGraphStore`, or a plain :class:`DataGraph` /
+        :class:`~repro.session.QuerySession` (a store is created and owned;
+        it is closed with the service).
+    config:
+        A :class:`ServiceConfig`; defaults are serving-friendly.
+
+    The service starts its worker pool immediately and is a context
+    manager; :meth:`close` drains the backlog and stops the workers.
+    """
+
+    def __init__(
+        self,
+        store: Union[VersionedGraphStore, DataGraph, "QuerySession"],
+        config: Optional[ServiceConfig] = None,
+        **store_kwargs,
+    ) -> None:
+        if isinstance(store, VersionedGraphStore):
+            self.store = store
+            self._owns_store = False
+        else:
+            self.store = VersionedGraphStore(store, **store_kwargs)
+            self._owns_store = True
+        self.config = config or ServiceConfig()
+        if self.config.workers < 1:
+            raise ValueError("service needs at least one worker")
+        self.stats = ServiceStats(latency_window=self.config.latency_window)
+        self._queue: "queue_module.Queue" = queue_module.Queue()
+        self._admission_lock = threading.Lock()
+        self._queued = 0
+        self._closed = False
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"query-service-worker-{index}", daemon=True
+            )
+            for index in range(self.config.workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------ #
+    # admission + submission
+    # ------------------------------------------------------------------ #
+
+    def submit(
+        self,
+        query: PatternQuery,
+        engine: Optional[str] = None,
+        budget: Optional[Budget] = None,
+        deadline_seconds: Optional[float] = None,
+        name: Optional[str] = None,
+        snapshot: Optional[StoreSnapshot] = None,
+    ) -> QueryTicket:
+        """Admit one query for asynchronous execution.
+
+        Raises :class:`~repro.exceptions.ServiceOverloadedError`
+        (``reason="queue_full"``) when the bounded queue is at capacity —
+        the request is shed *before* queuing, which is what keeps tail
+        latency bounded under overload.  ``snapshot`` pins the execution
+        to an explicitly pinned epoch (the caller keeps ownership of the
+        pin); by default each query pins the head at execution time.
+        """
+        self.stats.note_submitted()
+        effective_deadline = (
+            deadline_seconds
+            if deadline_seconds is not None
+            else self.config.deadline_seconds
+        )
+        deadline = (
+            time.monotonic() + effective_deadline
+            if effective_deadline is not None
+            else None
+        )
+        ticket = QueryTicket(
+            query,
+            engine=engine or self.config.default_engine,
+            budget=budget or self.config.default_budget,
+            deadline=deadline,
+            snapshot=snapshot,
+            name=name,
+        )
+        with self._admission_lock:
+            if self._closed:
+                raise StoreError("service is closed")
+            if self._queued >= self.config.queue_limit:
+                self.stats.note_shed("queue_full")
+                ticket._finish(
+                    TICKET_SHED,
+                    error=ServiceOverloadedError(
+                        "queue_full",
+                        f"{self._queued} queued >= limit {self.config.queue_limit}",
+                    ),
+                )
+                raise ticket.error
+            self._queued += 1
+            # Enqueue under the admission lock — the same lock close() holds
+            # while putting the worker shutdown sentinels — so an admitted
+            # ticket can never land behind a sentinel and starve.
+            self._queue.put(ticket)
+        return ticket
+
+    def query(
+        self,
+        query: PatternQuery,
+        engine: Optional[str] = None,
+        budget: Optional[Budget] = None,
+        deadline_seconds: Optional[float] = None,
+        timeout: Optional[float] = None,
+    ) -> MatchReport:
+        """Synchronous convenience: submit and wait for the report."""
+        return self.submit(
+            query, engine=engine, budget=budget, deadline_seconds=deadline_seconds
+        ).result(timeout)
+
+    def stream(
+        self,
+        query: PatternQuery,
+        engine: Optional[str] = None,
+        budget: Optional[Budget] = None,
+        page_size: int = 256,
+        deadline_seconds: Optional[float] = None,
+    ) -> StreamingResult:
+        """Submit a query and page through its results at a pinned version."""
+        snapshot = self.store.pin()
+        try:
+            ticket = self.submit(
+                query,
+                engine=engine,
+                budget=budget,
+                deadline_seconds=deadline_seconds,
+                snapshot=snapshot,
+            )
+        except Exception:
+            snapshot.release()
+            raise
+        return StreamingResult(ticket, snapshot, page_size)
+
+    # ------------------------------------------------------------------ #
+    # batches
+    # ------------------------------------------------------------------ #
+
+    def run_batch(
+        self,
+        queries: Union[Mapping[str, PatternQuery], Iterable[PatternQuery]],
+        engine: Optional[str] = None,
+        budget: Optional[Budget] = None,
+        workers: Optional[int] = None,
+        keep_occurrences: bool = True,
+        snapshot: Optional[StoreSnapshot] = None,
+    ) -> ServiceBatchReport:
+        """Execute a whole batch against one pinned version.
+
+        The batch pins the head (or runs inside the caller's ``snapshot``)
+        and fans out over the epoch session's thread pool; every query of
+        the batch is therefore answered from the same graph version even
+        while the store publishes new heads.  The report carries that
+        version alongside the usual latency/throughput aggregates.
+        """
+        own_pin = snapshot is None
+        snap = snapshot or self.store.pin()
+        try:
+            report = snap.run_batch(
+                queries,
+                engine=engine or self.config.default_engine,
+                workers=workers if workers is not None else self.config.workers,
+                budget=budget or self.config.default_budget,
+                keep_occurrences=keep_occurrences,
+            )
+            for outcome in report.outcomes:
+                self.stats.note_submitted()
+                self.stats.note_completed(outcome.seconds, outcome.status, snap.version)
+            return ServiceBatchReport(
+                engine=report.engine,
+                outcomes=report.outcomes,
+                wall_seconds=report.wall_seconds,
+                workers=report.workers,
+                cache_hits=report.cache_hits,
+                cache_misses=report.cache_misses,
+                version=snap.version,
+            )
+        finally:
+            if own_pin:
+                snap.release()
+
+    # ------------------------------------------------------------------ #
+    # writes (delegated to the store)
+    # ------------------------------------------------------------------ #
+
+    def apply(self, delta: GraphDelta, materialize: bool = True) -> ApplyReport:
+        """Fold a delta synchronously (see :meth:`VersionedGraphStore.apply`)."""
+        return self.store.apply(delta, materialize=materialize)
+
+    def apply_async(self, delta: GraphDelta, materialize: bool = True):
+        """Queue a delta on the store's background writer; returns a future."""
+        return self.store.apply_async(delta, materialize=materialize)
+
+    # ------------------------------------------------------------------ #
+    # worker pool
+    # ------------------------------------------------------------------ #
+
+    def _worker_loop(self) -> None:
+        while True:
+            ticket = self._queue.get()
+            try:
+                if ticket is None:
+                    return
+                with self._admission_lock:
+                    self._queued -= 1
+                self._execute(ticket)
+            finally:
+                self._queue.task_done()
+
+    def _execute(self, ticket: QueryTicket) -> None:
+        now = time.monotonic()
+        if ticket.cancel_event.is_set():
+            # Cancelled while still queued: never ran, so don't record a
+            # completion (no latency sample, no per-version count) — just
+            # the cancellation.  result() still returns a CANCELLED report.
+            ticket._finish(
+                TICKET_CANCELLED,
+                report=MatchReport(
+                    query_name=ticket.query.name,
+                    algorithm=ticket.engine,
+                    status=MatchStatus.CANCELLED,
+                ),
+            )
+            self.stats.note_cancelled()
+            return
+        if ticket.deadline is not None and now > ticket.deadline:
+            self.stats.note_shed("deadline")
+            ticket._finish(
+                TICKET_SHED,
+                error=ServiceOverloadedError(
+                    "deadline",
+                    f"expired {now - ticket.deadline:.3f}s before execution",
+                ),
+            )
+            return
+        ticket.status = TICKET_RUNNING
+        own_pin = ticket.snapshot is None
+        try:
+            snapshot = ticket.snapshot or self.store.pin()
+        except StoreError as exc:  # closed mid-flight
+            ticket._finish(TICKET_FAILED, error=exc)
+            self.stats.note_failed()
+            return
+        try:
+            session = snapshot.session
+            budget = (
+                (ticket.budget or session.budget)
+                .with_deadline(ticket.deadline)
+                .with_cancel_event(ticket.cancel_event)
+            )
+            report = session.query(ticket.query, engine=ticket.engine, budget=budget)
+            ticket.pinned_version = snapshot.version
+            if report.status is MatchStatus.CANCELLED:
+                ticket._finish(TICKET_CANCELLED, report=report)
+            else:
+                ticket._finish(TICKET_DONE, report=report)
+            self.stats.note_completed(
+                ticket.seconds, report.status.value, snapshot.version
+            )
+        except Exception as exc:  # engine/user errors surface via result()
+            if ticket.cancel_event.is_set():
+                # A cancel that landed mid-setup (e.g. StreamingResult.close()
+                # released the caller's pin while this worker was starting)
+                # is a cancellation, not a failure.
+                ticket._finish(
+                    TICKET_CANCELLED,
+                    report=MatchReport(
+                        query_name=ticket.query.name,
+                        algorithm=ticket.engine,
+                        status=MatchStatus.CANCELLED,
+                    ),
+                )
+                self.stats.note_cancelled()
+            else:
+                ticket._finish(TICKET_FAILED, error=exc)
+                self.stats.note_failed()
+        finally:
+            if own_pin:
+                snapshot.release()
+
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
+
+    def stats_snapshot(self) -> Dict[str, object]:
+        """Service counters merged with the store's version-chain gauges."""
+        return self.stats.snapshot(
+            extra={
+                "head_version": self.store.head_version,
+                "pinned_epochs": self.store.pinned_epoch_count,
+                "versions_retained": self.store.num_versions_retained,
+                "store": self.store.stats.snapshot(),
+            }
+        )
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Drain the backlog, stop the workers, close an owned store.
+
+        The shutdown sentinels are enqueued under the admission lock — the
+        lock :meth:`submit` enqueues under — so every admitted ticket sits
+        ahead of them in the FIFO queue and is executed before the workers
+        exit.
+        """
+        with self._admission_lock:
+            if self._closed:
+                return
+            self._closed = True
+            for _worker in self._workers:
+                self._queue.put(None)
+        for worker in self._workers:
+            worker.join(timeout=30.0)
+        if self._owns_store:
+            self.store.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QueryService(workers={self.config.workers}, "
+            f"head=v{self.store.head_version}, "
+            f"completed={self.stats.completed})"
+        )

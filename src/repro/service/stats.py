@@ -1,0 +1,167 @@
+"""Service-side observability: latency, throughput and shed counters."""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional
+
+from repro.session.batch import percentile
+
+
+class ServiceStats:
+    """Thread-safe counters and a bounded latency reservoir.
+
+    Latencies are recorded from admission to completion over a sliding
+    window of the most recent ``latency_window`` completions; percentiles
+    are nearest-rank over that window.  For queued submits
+    (:meth:`QueryService.submit`) that includes queueing delay; for batch
+    queries (:meth:`QueryService.run_batch`) admission and execution
+    coincide, so the sample is the query's execution time.  Shed counters
+    split by admission-control reason: ``queue_full`` (bounded queue at
+    capacity at submit time) and ``deadline`` (the request expired before
+    a worker picked it up).
+    """
+
+    def __init__(self, latency_window: int = 4096) -> None:
+        self._lock = threading.Lock()
+        self._started = time.monotonic()
+        self._latencies = deque(maxlen=latency_window)
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.cancelled = 0
+        self.shed_queue_full = 0
+        self.shed_deadline = 0
+        self._status_counts: Dict[str, int] = {}
+        self._version_counts: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+
+    def note_submitted(self) -> None:
+        with self._lock:
+            self.submitted += 1
+
+    def note_completed(self, seconds: float, status: str, version: int) -> None:
+        with self._lock:
+            self.completed += 1
+            self._latencies.append(seconds)
+            self._status_counts[status] = self._status_counts.get(status, 0) + 1
+            self._version_counts[version] = self._version_counts.get(version, 0) + 1
+            if status == "cancelled":
+                self.cancelled += 1
+
+    def note_cancelled(self) -> None:
+        """A request cancelled before it ever ran (no latency / version)."""
+        with self._lock:
+            self.cancelled += 1
+
+    def note_failed(self) -> None:
+        with self._lock:
+            self.failed += 1
+
+    def note_shed(self, reason: str) -> None:
+        with self._lock:
+            if reason == "deadline":
+                self.shed_deadline += 1
+            else:
+                self.shed_queue_full += 1
+
+    # ------------------------------------------------------------------ #
+    # aggregates
+    # ------------------------------------------------------------------ #
+
+    @property
+    def shed_count(self) -> int:
+        """Total requests shed by admission control (both reasons)."""
+        with self._lock:
+            return self.shed_queue_full + self.shed_deadline
+
+    @property
+    def uptime_seconds(self) -> float:
+        """Seconds since the stats object (the service) was created."""
+        return time.monotonic() - self._started
+
+    @property
+    def throughput_qps(self) -> float:
+        """Completed queries per second of service uptime."""
+        uptime = self.uptime_seconds
+        if uptime <= 0:
+            return 0.0
+        with self._lock:
+            return self.completed / uptime
+
+    def latency_percentile(self, fraction: float) -> float:
+        """Nearest-rank end-to-end latency percentile over the window."""
+        with self._lock:
+            samples: List[float] = list(self._latencies)
+        return percentile(samples, fraction)
+
+    @property
+    def p50(self) -> float:
+        """Median end-to-end latency."""
+        return self.latency_percentile(0.50)
+
+    @property
+    def p95(self) -> float:
+        """95th-percentile end-to-end latency."""
+        return self.latency_percentile(0.95)
+
+    @property
+    def p99(self) -> float:
+        """99th-percentile end-to-end latency."""
+        return self.latency_percentile(0.99)
+
+    def versions_served(self) -> Dict[int, int]:
+        """Mapping graph version -> completed query count (per-version load)."""
+        with self._lock:
+            return dict(self._version_counts)
+
+    def status_counts(self) -> Dict[int, int]:
+        """Mapping match status -> completed query count."""
+        with self._lock:
+            return dict(self._status_counts)
+
+    def snapshot(self, extra: Optional[Dict[str, object]] = None) -> Dict[str, object]:
+        """One JSON-serialisable view of every counter and percentile.
+
+        ``extra`` (e.g. the owning service's store gauges: pinned epochs,
+        head version, GC count) is merged into the result.
+        """
+        with self._lock:
+            samples = list(self._latencies)
+            document: Dict[str, object] = {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "failed": self.failed,
+                "cancelled": self.cancelled,
+                "shed_queue_full": self.shed_queue_full,
+                "shed_deadline": self.shed_deadline,
+                "shed_count": self.shed_queue_full + self.shed_deadline,
+                "status_counts": dict(self._status_counts),
+                "versions_served": {
+                    str(version): count
+                    for version, count in sorted(self._version_counts.items())
+                },
+            }
+        document["uptime_seconds"] = round(self.uptime_seconds, 6)
+        document["throughput_qps"] = (
+            round(document["completed"] / document["uptime_seconds"], 3)
+            if document["uptime_seconds"] > 0
+            else 0.0
+        )
+        document["latency_p50_seconds"] = round(percentile(samples, 0.50), 6)
+        document["latency_p95_seconds"] = round(percentile(samples, 0.95), 6)
+        document["latency_p99_seconds"] = round(percentile(samples, 0.99), 6)
+        if extra:
+            document.update(extra)
+        return document
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ServiceStats(completed={self.completed}, shed={self.shed_count}, "
+            f"p50={self.p50 * 1000:.2f}ms)"
+        )

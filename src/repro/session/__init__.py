@@ -37,6 +37,18 @@ Cache lifecycle
   is reused.  (Before this contract, counters survived ``clear()`` and
   post-clear hit rates lied.)
 
+One session = one epoch
+-----------------------
+Under concurrency a session is exactly **one epoch** of a
+:class:`~repro.store.VersionedGraphStore`: the store keeps one (frozen)
+session per published graph version and never mutates any of them.  Two
+methods implement that contract: :meth:`QuerySession.fork` produces a
+copy-on-write clone whose artifacts can be patched without aliasing the
+original (the store's write path), and :meth:`QuerySession.freeze` makes
+in-place :meth:`~QuerySession.apply` raise so updates cannot bypass the
+store.  A standalone (unfrozen) session still supports in-place ``apply``
+for single-owner use.
+
 When to prefer ``run_batch``
 ----------------------------
 Use :meth:`QuerySession.query` for one-off, latency-sensitive calls.  Use

@@ -22,17 +22,19 @@ from repro.bitmap.roaring import RoaringBitmap
 from repro.dynamic.delta import GraphDelta
 from repro.dynamic.maintenance import (
     ApplyReport,
+    patch_expanded_graph,
     patch_label_bitmaps,
     patch_partitions,
     patch_universe,
     should_patch,
 )
+from repro.exceptions import StoreError
 from repro.dynamic.overlay import MutableDataGraph
 from repro.engines.base import Engine, EngineResult, expand_descendant_edges
 from repro.engines.binary_join import BinaryJoinEngine
 from repro.engines.relational import RelationalEngine, build_edge_partitions
 from repro.engines.treedecomp import TreeDecompEngine
-from repro.engines.wcoj import WCOJEngine, build_catalog
+from repro.engines.wcoj import WCOJEngine, build_catalog, patch_catalog
 from repro.graph.digraph import DataGraph
 from repro.matching.gm import GMVariant, GraphMatcher
 from repro.matching.ordering import OrderingMethod
@@ -253,6 +255,9 @@ class QuerySession:
         self._rig_caches: Dict[Tuple[str, int], _ObservedRigCache] = {}
         self._matchers: Dict[str, object] = {}
         self._artifact_versions: Dict[str, int] = {}
+        # A frozen session is one epoch of a VersionedGraphStore: it serves
+        # reads forever at its version and refuses in-place mutation.
+        self._frozen = False
 
     # ------------------------------------------------------------------ #
     # cached artifacts
@@ -587,6 +592,12 @@ class QuerySession:
         """
         started = time.perf_counter()
         with self._lock:
+            if self._frozen:
+                raise StoreError(
+                    "session is a frozen store epoch "
+                    f"(graph {self.graph.name!r} version {self.version}); "
+                    "apply deltas through the owning VersionedGraphStore"
+                )
             old_version = self.version
             current = self.graph
             if isinstance(current, MutableDataGraph):
@@ -619,6 +630,10 @@ class QuerySession:
             patchable = should_patch(self.graph, effective)
 
             # Reachability index (and the closure, when they are one object).
+            # ``patched_closure`` is the in-place-patched closure index, if
+            # any: the closure-expanded graph can then be patched with
+            # exactly the reachable pairs that closure patch added.
+            patched_closure = None
             context_index = (
                 self._context.reachability if self._context is not None else None
             )
@@ -633,6 +648,7 @@ class QuerySession:
                     note_patch("reachability")
                     if shared_closure:
                         note_patch("closure")
+                        patched_closure = context_index
                 else:
                     self._context = None
                     note_invalidate("reachability")
@@ -642,17 +658,31 @@ class QuerySession:
             if self._closure is not None and not shared_closure:
                 if patchable and self._closure.apply_delta(new_graph, effective):
                     note_patch("closure")
+                    patched_closure = self._closure
                 else:
                     self._closure = None
                     note_invalidate("closure")
 
-            # Derived-by-recomputation artifacts: rebuild lazily.
+            # Closure-derived artifacts: patchable for insert-only deltas.
             if self._expanded_graph is not None:
-                self._expanded_graph = None
-                note_invalidate("expanded_graph")
+                new_expanded = None
+                additions = getattr(patched_closure, "last_patch_additions", None)
+                if additions is not None:
+                    new_expanded = patch_expanded_graph(
+                        self._expanded_graph, new_graph, effective, additions()
+                    )
+                if new_expanded is not None:
+                    self._expanded_graph = new_expanded
+                    note_patch("expanded_graph")
+                else:
+                    self._expanded_graph = None
+                    note_invalidate("expanded_graph")
             if self._catalog is not None:
-                self._catalog = None
-                note_invalidate("catalog")
+                if patchable and patch_catalog(self._catalog, current, effective):
+                    note_patch("catalog")
+                else:
+                    self._catalog = None
+                    note_invalidate("catalog")
 
             # Delta-refreshable artifacts.
             if self._partitions is not None:
@@ -690,6 +720,83 @@ class QuerySession:
                 patched=patched,
                 invalidated=invalidated,
             )
+
+    def freeze(self) -> None:
+        """Mark this session as an immutable store epoch.
+
+        A frozen session keeps serving reads (queries, batches) but
+        :meth:`apply` raises :class:`~repro.exceptions.StoreError`: graph
+        updates must flow through the owning
+        :class:`~repro.store.VersionedGraphStore`, which forks a fresh
+        session per version instead of mutating a shared one.
+        """
+        with self._lock:
+            self._frozen = True
+
+    @property
+    def frozen(self) -> bool:
+        """True if this session is an immutable store epoch."""
+        return self._frozen
+
+    def fork(self, copy_rig_caches: bool = True) -> "QuerySession":
+        """A copy-on-write clone whose artifacts can be patched independently.
+
+        The clone serves the same graph at the same version, but every
+        cached artifact that in-place patching could mutate — reachability
+        index, transitive closure, catalog, partitions, bitmaps — is
+        copied, so ``clone.apply(delta)`` never changes an answer this
+        session returns.  Immutable artifacts (the closure-expanded
+        :class:`DataGraph`) are shared.  RIG caches are carried over (their
+        entries are immutable per (variant, query, version)) unless
+        ``copy_rig_caches=False`` — the right choice when the clone is
+        about to absorb a delta, which strands every old-version RIG
+        anyway.  Matcher instances are never carried (they are cheap and
+        rebind to the clone's artifacts on first use).  The clone starts
+        with fresh :class:`CacheStats` and is never frozen, regardless of
+        this session's frozen state.
+
+        This is the copy-on-write primitive behind
+        :meth:`VersionedGraphStore.apply`: fork the head epoch, fold the
+        delta into the fork with the existing patch-or-rebuild machinery,
+        publish the fork as the new head — readers pinned to the old epoch
+        never observe a torn artifact.
+        """
+        with self._lock:
+            clone = QuerySession(
+                self.graph,
+                reachability_kind=self.reachability_kind,
+                ordering=self.ordering,
+                rig_options=self.rig_options,
+                budget=self.budget,
+            )
+            if self._context is not None:
+                index = self._context.reachability.copy()
+                clone._context = MatchContext(self.graph, reachability=index)
+                if self._closure is self._context.reachability:
+                    clone._closure = index
+            if self._closure is not None and clone._closure is None:
+                clone._closure = self._closure.copy()
+            clone._expanded_graph = self._expanded_graph
+            if self._catalog is not None:
+                clone._catalog = self._catalog.copy()
+            if self._partitions is not None:
+                clone._partitions = {
+                    key: list(edges) for key, edges in self._partitions.items()
+                }
+            if self._label_bitmaps is not None:
+                clone._label_bitmaps = {
+                    label: bitmap.copy()
+                    for label, bitmap in self._label_bitmaps.items()
+                }
+            if self._universe is not None:
+                clone._universe = self._universe.copy()
+            clone._artifact_versions = dict(self._artifact_versions)
+            if copy_rig_caches:
+                for key, cache in self._rig_caches.items():
+                    fresh = _ObservedRigCache(clone.stats)
+                    dict.update(fresh, cache)
+                    clone._rig_caches[key] = fresh
+            return clone
 
     def clear(self) -> None:
         """Drop every cached artifact and reset all cache counters.

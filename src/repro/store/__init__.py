@@ -1,0 +1,46 @@
+"""Versioned graph store: MVCC snapshots over one evolving data graph.
+
+The dynamic subsystem (PR 2) made *update-then-query* cheap for a
+single-threaded owner: :meth:`QuerySession.apply` patches the cached
+indexes in place.  In-place patching is exactly what concurrent readers
+cannot tolerate, though — a long-running batch would observe a torn index
+mid-patch.  This package resolves the tension with multi-version
+concurrency control:
+
+* :class:`VersionedGraphStore` — an immutable **version chain**.  Each
+  epoch owns a frozen :class:`~repro.graph.digraph.DataGraph` snapshot and
+  its per-version artifact cache (a frozen
+  :class:`~repro.session.QuerySession`).  Writers fork the head
+  copy-on-write, fold a :class:`~repro.dynamic.GraphDelta` through the
+  existing patch-or-rebuild machinery, and publish with one pointer swap;
+  an optional background writer queue (:meth:`~VersionedGraphStore.apply_async`)
+  folds a streamed feed in submission order.
+* :class:`StoreSnapshot` — an epoch **pin** with refcounted release.  A
+  batch pins the version it starts on and is guaranteed bit-identical
+  answers for that version no matter how many writes land meanwhile;
+  releasing the last pin lets the store garbage-collect the epoch and its
+  cached indexes.
+* :class:`StoreStats` — applies, no-ops, GC count, peak chain length.
+
+Readers never block writers and writers never block readers: pinning takes
+a tiny chain mutex, folding happens outside it.
+
+>>> store = VersionedGraphStore(graph)
+>>> with store.pin() as snap:          # epoch pinned
+...     snap.run_batch(queries)        # consistent at snap.version
+>>> store.apply(delta)                 # publishes a new head meanwhile
+"""
+
+from repro.store.versioned import (
+    StoreSnapshot,
+    StoreStats,
+    VersionedGraphStore,
+    VersionRecord,
+)
+
+__all__ = [
+    "StoreSnapshot",
+    "StoreStats",
+    "VersionRecord",
+    "VersionedGraphStore",
+]

@@ -1,0 +1,504 @@
+"""MVCC versioned graph store: immutable epochs, pinning, a writer queue.
+
+The store keeps an **immutable version chain**: one :class:`VersionRecord`
+per published graph version, each owning the frozen :class:`DataGraph`
+snapshot of that version plus its per-version artifact cache (a frozen
+:class:`~repro.session.QuerySession` — the reachability index, closure,
+bitmaps, catalogs and RIGs of exactly that epoch).
+
+Concurrency contract
+--------------------
+* **Readers pin, never lock.**  :meth:`VersionedGraphStore.pin` increments
+  a refcount on the current head under a tiny chain mutex and hands back a
+  :class:`StoreSnapshot`; every read the snapshot serves — single queries,
+  whole batches — sees that one version forever, no matter how many writes
+  publish behind it.
+* **Writers fold, then publish.**  :meth:`VersionedGraphStore.apply` forks
+  the head's session copy-on-write (:meth:`QuerySession.fork`), folds the
+  :class:`~repro.dynamic.GraphDelta` into the fork through the existing
+  patch-or-rebuild machinery, and publishes the fork as the new head with
+  one pointer swap under the chain mutex.  Readers pinned to older epochs
+  never observe a torn artifact because no artifact they can reach is ever
+  mutated.
+* **Writers are serialised, readers are not.**  A writer mutex orders
+  concurrent ``apply`` calls; the fold itself runs outside the chain
+  mutex, so pinning (and reading) proceeds during even a slow fold.
+* **Unpinned epochs are garbage-collected.**  When the head advances or a
+  pin is released, every non-head record with zero pins is retired: its
+  artifact caches are dropped and the record leaves the chain
+  (:attr:`StoreStats.gc_count` counts them).
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.dynamic.delta import GraphDelta
+from repro.dynamic.maintenance import ApplyReport
+from repro.exceptions import StoreError
+from repro.graph.digraph import DataGraph
+from repro.matching.result import Budget, MatchReport
+from repro.query.pattern import PatternQuery
+from repro.session.batch import BatchReport
+from repro.session.session import QuerySession
+
+
+class VersionRecord:
+    """One epoch of the version chain: a frozen graph + its artifact cache."""
+
+    __slots__ = ("version", "graph", "session", "pins", "retired")
+
+    def __init__(self, version: int, graph, session: QuerySession) -> None:
+        self.version = version
+        self.graph = graph
+        self.session = session
+        self.pins = 0
+        self.retired = False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"VersionRecord(version={self.version}, pins={self.pins}, "
+            f"retired={self.retired})"
+        )
+
+
+class StoreSnapshot:
+    """A pinned, immutable read view of one store epoch.
+
+    Obtained from :meth:`VersionedGraphStore.pin`; usable as a context
+    manager so the pin is always released::
+
+        with store.pin() as snap:
+            report = snap.query(query)
+
+    Every read goes through the epoch's frozen session, so repeated queries
+    enjoy the same artifact reuse a plain :class:`QuerySession` gives —
+    just guaranteed against one version.  After :meth:`release`, reads
+    raise :class:`~repro.exceptions.StoreError`.
+    """
+
+    __slots__ = ("_store", "_record", "_released", "_release_lock")
+
+    def __init__(self, store: "VersionedGraphStore", record: VersionRecord) -> None:
+        self._store = store
+        self._record = record
+        self._released = False
+        self._release_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # pinned state
+    # ------------------------------------------------------------------ #
+
+    def _require_pinned(self) -> VersionRecord:
+        if self._released:
+            raise StoreError("snapshot was already released")
+        return self._record
+
+    @property
+    def version(self) -> int:
+        """The pinned graph version."""
+        return self._require_pinned().version
+
+    @property
+    def graph(self):
+        """The pinned immutable data graph."""
+        return self._require_pinned().graph
+
+    @property
+    def session(self) -> QuerySession:
+        """The pinned epoch's frozen artifact cache / query executor."""
+        return self._require_pinned().session
+
+    @property
+    def released(self) -> bool:
+        """True once the pin has been given back."""
+        return self._released
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+
+    def query(
+        self,
+        query: PatternQuery,
+        engine: str = "GM",
+        budget: Optional[Budget] = None,
+        injective: bool = False,
+    ) -> MatchReport:
+        """Evaluate one query against the pinned version."""
+        return self._require_pinned().session.query(
+            query, engine=engine, budget=budget, injective=injective
+        )
+
+    def count(
+        self, query: PatternQuery, engine: str = "GM", budget: Optional[Budget] = None
+    ) -> int:
+        """Number of occurrences of ``query`` at the pinned version."""
+        return self.query(query, engine=engine, budget=budget).num_matches
+
+    def run_batch(self, queries, **kwargs) -> BatchReport:
+        """Execute a batch against the pinned version (see
+        :meth:`QuerySession.run_batch`)."""
+        return self._require_pinned().session.run_batch(queries, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def release(self) -> None:
+        """Give the pin back (idempotent).  Unpinned old epochs may be GCed.
+
+        Safe under concurrent release attempts (e.g. a worker finishing a
+        caller-pinned ticket racing the caller's own cleanup): exactly one
+        of them decrements the record's pin count.
+        """
+        with self._release_lock:
+            if self._released:
+                return
+            self._released = True
+        self._store._release(self._record)
+
+    def __enter__(self) -> "StoreSnapshot":
+        self._require_pinned()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "released" if self._released else "pinned"
+        return f"StoreSnapshot(version={self._record.version}, {state})"
+
+
+class StoreStats:
+    """Counters describing the store's write / GC activity."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.applies = 0
+        self.noop_applies = 0
+        self.apply_seconds = 0.0
+        self.gc_count = 0
+        self.peak_versions = 1
+
+    def note_apply(self, report: ApplyReport) -> None:
+        with self._lock:
+            if report.new_version == report.old_version:
+                self.noop_applies += 1
+            else:
+                self.applies += 1
+                self.apply_seconds += report.seconds
+
+    def note_gc(self, count: int = 1) -> None:
+        with self._lock:
+            self.gc_count += count
+
+    def note_versions(self, retained: int) -> None:
+        with self._lock:
+            if retained > self.peak_versions:
+                self.peak_versions = retained
+
+    def snapshot(self) -> Dict[str, object]:
+        """A copy of every counter (for reports and the service stats)."""
+        with self._lock:
+            return {
+                "applies": self.applies,
+                "noop_applies": self.noop_applies,
+                "apply_seconds": round(self.apply_seconds, 6),
+                "gc_count": self.gc_count,
+                "peak_versions": self.peak_versions,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StoreStats({self.snapshot()})"
+
+
+class VersionedGraphStore:
+    """Concurrent MVCC store over one evolving data graph.
+
+    Parameters
+    ----------
+    graph:
+        The initial :class:`DataGraph`, or an existing
+        :class:`~repro.session.QuerySession` whose artifacts seed the first
+        epoch.  Either way the store takes ownership: the epoch session is
+        frozen, so in-place ``apply`` on it raises and all writes flow
+        through the store.
+    warm_on_publish:
+        When True, the writer rebuilds — *before* publishing — every
+        artifact the fold had to invalidate, so a new head is always as
+        warm as its predecessor and readers never pay a rebuild.  Costs
+        writer latency, never reader latency.
+    session_kwargs:
+        Forwarded to :class:`QuerySession` when ``graph`` is a plain data
+        graph (``reachability_kind``, ``ordering``, ``budget``, ...).
+    """
+
+    def __init__(
+        self,
+        graph: Union[DataGraph, QuerySession],
+        warm_on_publish: bool = False,
+        **session_kwargs,
+    ) -> None:
+        if isinstance(graph, QuerySession):
+            session = graph
+        else:
+            session = QuerySession(graph, **session_kwargs)
+        session.freeze()
+        record = VersionRecord(session.version, session.graph, session)
+        self._chain_lock = threading.Lock()
+        self._writer_lock = threading.Lock()
+        self._records: "OrderedDict[int, VersionRecord]" = OrderedDict(
+            [(record.version, record)]
+        )
+        self._head = record
+        self._closed = False
+        self.warm_on_publish = warm_on_publish
+        self.stats = StoreStats()
+        # Lazily started background writer (apply_async).
+        self._write_queue: Optional[queue_module.Queue] = None
+        self._writer_thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------ #
+    # read side: pinning
+    # ------------------------------------------------------------------ #
+
+    def pin(self, version: Optional[int] = None) -> StoreSnapshot:
+        """Pin an epoch (the head by default) and return its snapshot.
+
+        Pinning a specific retained ``version`` is allowed while that
+        version is still in the chain (pinned by someone, or the head);
+        asking for a retired version raises :class:`StoreError`.
+        """
+        with self._chain_lock:
+            if self._closed:
+                raise StoreError("store is closed")
+            if version is None:
+                record = self._head
+            else:
+                record = self._records.get(version)
+                if record is None:
+                    raise StoreError(
+                        f"version {version} is not retained "
+                        f"(chain holds {sorted(self._records)})"
+                    )
+            record.pins += 1
+            return StoreSnapshot(self, record)
+
+    def _release(self, record: VersionRecord) -> None:
+        with self._chain_lock:
+            record.pins -= 1
+            self._gc_locked()
+
+    def _gc_locked(self) -> None:
+        """Retire every non-head, unpinned record (chain lock held)."""
+        retired: List[VersionRecord] = []
+        for version in list(self._records):
+            record = self._records[version]
+            if record is self._head or record.pins > 0:
+                continue
+            del self._records[version]
+            record.retired = True
+            retired.append(record)
+        if retired:
+            self.stats.note_gc(len(retired))
+        # Drop the artifact caches outside the record dict; the sessions
+        # are frozen but clear() only drops caches, which is the point.
+        for record in retired:
+            record.session.clear()
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def head_version(self) -> int:
+        """The latest published graph version."""
+        with self._chain_lock:
+            return self._head.version
+
+    @property
+    def graph(self):
+        """The head epoch's immutable graph."""
+        with self._chain_lock:
+            return self._head.graph
+
+    @property
+    def num_versions_retained(self) -> int:
+        """Number of epochs currently in the chain (head + pinned)."""
+        with self._chain_lock:
+            return len(self._records)
+
+    @property
+    def pinned_epoch_count(self) -> int:
+        """Number of epochs with at least one live pin."""
+        with self._chain_lock:
+            return sum(1 for record in self._records.values() if record.pins > 0)
+
+    def retained_versions(self) -> Tuple[int, ...]:
+        """The versions currently in the chain, oldest first."""
+        with self._chain_lock:
+            return tuple(self._records)
+
+    # ------------------------------------------------------------------ #
+    # write side: fold + publish
+    # ------------------------------------------------------------------ #
+
+    _WARM_BUILDERS = {
+        "reachability": lambda session: session.context,
+        "closure": lambda session: session.transitive_closure,
+        "expanded_graph": lambda session: session.expanded_graph,
+        "catalog": lambda session: session.catalog,
+        "partitions": lambda session: session.partitions,
+        "bitmaps": lambda session: session.label_bitmaps,
+        "universe": lambda session: session.bitmap_universe,
+    }
+
+    def apply(self, delta: GraphDelta, materialize: bool = True) -> ApplyReport:
+        """Fold a delta into a new epoch and publish it as the head.
+
+        Copy-on-write: the head session is forked, the fork absorbs the
+        delta through :meth:`QuerySession.apply` (patch where the delta
+        shape allows, invalidate-for-lazy-rebuild otherwise), and the fork
+        becomes the new head in one atomic pointer swap.  Readers pinned
+        before the swap keep their version; readers pinning after it see
+        the new one.  A delta that turns out to be a no-op publishes
+        nothing.
+        """
+        started = time.perf_counter()
+        with self._writer_lock:
+            if self._closed:
+                raise StoreError("store is closed")
+            head = self._head  # only writers move the head; lock held
+            # Cheap no-op probe before paying the copy-on-write fork: a
+            # feed replayed against a moving head routinely contains
+            # already-applied edits, and forking copies O(V + E) state.
+            head_graph = head.session.graph
+            if isinstance(head_graph, DataGraph):
+                from repro.dynamic.overlay import MutableDataGraph
+
+                if not MutableDataGraph(head_graph, delta).delta_since_base():
+                    report = ApplyReport(
+                        old_version=head.version,
+                        new_version=head.version,
+                        num_ops=0,
+                        seconds=time.perf_counter() - started,
+                    )
+                    self.stats.note_apply(report)
+                    return report
+            fork = head.session.fork(copy_rig_caches=False)
+            report = fork.apply(delta, materialize=materialize)
+            if report.new_version == report.old_version:
+                self.stats.note_apply(report)
+                return report
+            if self.warm_on_publish and report.invalidated:
+                started = time.perf_counter()
+                for key in report.invalidated:
+                    builder = self._WARM_BUILDERS.get(key)
+                    if builder is not None:
+                        builder(fork)
+                report.seconds += time.perf_counter() - started
+            fork.freeze()
+            record = VersionRecord(fork.version, fork.graph, fork)
+            with self._chain_lock:
+                self._records[record.version] = record
+                self._head = record
+                self._gc_locked()
+                self.stats.note_versions(len(self._records))
+            self.stats.note_apply(report)
+            return report
+
+    # ------------------------------------------------------------------ #
+    # write side: background writer queue
+    # ------------------------------------------------------------------ #
+
+    def _ensure_writer(self) -> None:
+        with self._chain_lock:
+            if self._closed:
+                raise StoreError("store is closed")
+            if self._writer_thread is None:
+                self._write_queue = queue_module.Queue()
+                self._writer_thread = threading.Thread(
+                    target=self._writer_loop, name="graph-store-writer", daemon=True
+                )
+                self._writer_thread.start()
+
+    def _writer_loop(self) -> None:
+        queue = self._write_queue
+        while True:
+            item = queue.get()
+            try:
+                if item is None:
+                    return
+                delta, materialize, future = item
+                try:
+                    future.set_result(self.apply(delta, materialize=materialize))
+                except BaseException as exc:  # propagate through the future
+                    future.set_exception(exc)
+            finally:
+                queue.task_done()
+
+    def apply_async(self, delta: GraphDelta, materialize: bool = True) -> "Future[ApplyReport]":
+        """Queue a delta for the background writer; returns a future.
+
+        Deltas are folded strictly in submission order (one writer thread);
+        the future resolves to the :class:`ApplyReport` once that delta's
+        epoch is published.  This is the streaming-feed entry point: a
+        producer enqueues edits and readers keep serving pinned snapshots
+        while the writer folds.
+        """
+        self._ensure_writer()
+        future: "Future[ApplyReport]" = Future()
+        # Enqueue under the chain lock so a racing close() cannot slot its
+        # shutdown sentinel ahead of this item (which would strand the
+        # future unresolved and deadlock drain()).
+        with self._chain_lock:
+            if self._closed:
+                raise StoreError("store is closed")
+            self._write_queue.put((delta, materialize, future))
+        return future
+
+    def drain(self) -> None:
+        """Block until every queued async delta has been folded."""
+        if self._write_queue is not None:
+            self._write_queue.join()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Stop the background writer and refuse new pins/applies.
+
+        The shutdown sentinel is enqueued under the chain lock — the same
+        lock :meth:`apply_async` enqueues under — so every item admitted
+        before the close is queued ahead of the sentinel and still folds.
+        """
+        thread = None
+        with self._chain_lock:
+            if self._closed:
+                return
+            self._closed = True
+            thread = self._writer_thread
+            if thread is not None:
+                self._write_queue.put(None)
+        if thread is not None:
+            thread.join(timeout=30.0)
+
+    def __enter__(self) -> "VersionedGraphStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"VersionedGraphStore(head=v{self._head.version}, "
+            f"versions={len(self._records)}, "
+            f"pinned={self.pinned_epoch_count})"
+        )

@@ -1,0 +1,226 @@
+"""Tests for the MVCC versioned graph store: chain, pinning, GC, forks."""
+
+import pytest
+
+from fixtures_paper import A1, B0, C0, PAPER_ANSWER
+from repro.dynamic import GraphDelta
+from repro.exceptions import StoreError
+from repro.session import QuerySession
+from repro.store import VersionedGraphStore
+
+
+@pytest.fixture()
+def store(paper_graph) -> VersionedGraphStore:
+    store = VersionedGraphStore(paper_graph)
+    yield store
+    store.close()
+
+
+def _new_a_delta(graph):
+    """A new A-node pointing at b0 and c0: adds exactly one GM match."""
+    delta = GraphDelta.for_graph(graph)
+    node = delta.add_node("A")
+    delta.add_edge(node, B0)
+    delta.add_edge(node, C0)
+    return delta, node
+
+
+class TestVersionChain:
+    def test_initial_head(self, store, paper_graph):
+        assert store.head_version == 0
+        assert store.num_versions_retained == 1
+        assert store.retained_versions() == (0,)
+        assert store.graph is paper_graph
+
+    def test_apply_publishes_new_head(self, store, paper_query):
+        delta, node = _new_a_delta(store.graph)
+        report = store.apply(delta)
+        assert report.old_version == 0 and report.new_version == 1
+        assert store.head_version == 1
+        with store.pin() as snap:
+            answers = snap.query(paper_query).occurrence_set()
+        assert (node, B0, C0) in answers and PAPER_ANSWER < answers
+
+    def test_noop_delta_publishes_nothing(self, store):
+        delta = GraphDelta.for_graph(store.graph)
+        delta.add_edge(A1, B0)  # already present
+        report = store.apply(delta)
+        assert report.num_ops == 0
+        assert store.head_version == 0
+        assert store.stats.noop_applies == 1 and store.stats.applies == 0
+
+    def test_successive_applies_advance_versions(self, store):
+        for expected in (1, 2, 3):
+            delta, _node = _new_a_delta(store.graph)
+            store.apply(delta)
+            assert store.head_version == expected
+        # nothing pinned: only the head is retained
+        assert store.num_versions_retained == 1
+
+    def test_closed_store_refuses(self, paper_graph):
+        store = VersionedGraphStore(paper_graph)
+        store.close()
+        with pytest.raises(StoreError):
+            store.pin()
+        with pytest.raises(StoreError):
+            store.apply(GraphDelta.for_graph(paper_graph).remove_edge(A1, B0))
+
+
+class TestPinningAndGC:
+    def test_pinned_version_survives_applies(self, store, paper_query):
+        snap = store.pin()
+        baseline = snap.query(paper_query).occurrence_set()
+        assert baseline == PAPER_ANSWER
+        for _round in range(3):
+            delta, _node = _new_a_delta(store.graph)
+            store.apply(delta)
+        # the pinned epoch still answers version 0 exactly
+        assert snap.version == 0
+        assert snap.query(paper_query).occurrence_set() == PAPER_ANSWER
+        assert store.num_versions_retained == 2  # v0 (pinned) + head v3
+        snap.release()
+        assert store.num_versions_retained == 1
+        assert store.stats.gc_count >= 1
+
+    def test_release_is_idempotent_and_final(self, store, paper_query):
+        snap = store.pin()
+        snap.release()
+        snap.release()
+        with pytest.raises(StoreError):
+            snap.query(paper_query)
+        with pytest.raises(StoreError):
+            snap.version
+
+    def test_context_manager_releases(self, store):
+        with store.pin() as snap:
+            assert store.pinned_epoch_count == 1
+            assert snap.version == 0
+        assert store.pinned_epoch_count == 0
+
+    def test_pin_specific_retained_version(self, store):
+        snap0 = store.pin()
+        delta, _node = _new_a_delta(store.graph)
+        store.apply(delta)
+        other = store.pin(0)
+        assert other.version == 0
+        snap0.release()
+        other.release()
+        with pytest.raises(StoreError, match="not retained"):
+            store.pin(0)
+
+    def test_multiple_pins_refcount(self, store):
+        first, second = store.pin(), store.pin()
+        delta, _node = _new_a_delta(store.graph)
+        store.apply(delta)
+        first.release()
+        assert store.num_versions_retained == 2  # second still pins v0
+        second.release()
+        assert store.num_versions_retained == 1
+
+
+class TestCopyOnWrite:
+    def test_fold_does_not_disturb_pinned_artifacts(self, store, paper_query):
+        # warm the head's expensive artifacts, then pin it
+        with store.pin() as warmup:
+            warmup.session.transitive_closure
+            warmup.session.label_bitmaps
+            warmup.session.partitions
+            warmup.query(paper_query)
+        snap = store.pin()
+        reachability_before = snap.session.reachability
+        delta, _node = _new_a_delta(store.graph)
+        report = store.apply(delta)
+        # the fold patched artifacts — but on the fork, not the pinned epoch
+        assert "reachability" in report.patched
+        assert snap.session.reachability is reachability_before
+        assert snap.query(paper_query).occurrence_set() == PAPER_ANSWER
+        snap.release()
+
+    def test_removal_fold_keeps_old_epoch_exact(self, store, paper_query):
+        with store.pin() as warmup:
+            warmup.session.transitive_closure
+            warmup.query(paper_query)
+        snap = store.pin()
+        delta = GraphDelta.for_graph(store.graph).remove_edge(A1, B0)
+        report = store.apply(delta)
+        assert "reachability" in report.invalidated
+        assert snap.query(paper_query).occurrence_set() == PAPER_ANSWER
+        with store.pin() as head:
+            new_answers = head.query(paper_query).occurrence_set()
+        assert all(occurrence[:2] != (A1, B0) for occurrence in new_answers)
+        snap.release()
+
+    def test_frozen_epoch_refuses_inplace_apply(self, store):
+        delta, _node = _new_a_delta(store.graph)
+        with store.pin() as snap:
+            assert snap.session.frozen
+            with pytest.raises(StoreError, match="frozen"):
+                snap.session.apply(delta)
+
+    def test_store_adopts_existing_session(self, paper_graph, paper_query):
+        session = QuerySession(paper_graph)
+        session.query(paper_query)
+        misses_before = session.stats.misses("reachability")
+        store = VersionedGraphStore(session)
+        try:
+            with store.pin() as snap:
+                assert snap.session is session
+                snap.query(paper_query)
+            # adopted artifacts were reused, not rebuilt
+            assert session.stats.misses("reachability") == misses_before
+            with pytest.raises(StoreError):
+                session.apply(GraphDelta.for_graph(paper_graph))
+        finally:
+            store.close()
+
+
+class TestWarmOnPublish:
+    def test_invalidated_artifacts_are_rebuilt_before_publish(self, paper_graph, paper_query):
+        store = VersionedGraphStore(paper_graph, warm_on_publish=True)
+        try:
+            with store.pin() as snap:
+                snap.session.transitive_closure
+                snap.query(paper_query)
+            delta = GraphDelta.for_graph(store.graph).remove_edge(A1, B0)
+            report = store.apply(delta)
+            assert "reachability" in report.invalidated
+            with store.pin() as head:
+                # the new head was warmed by the writer: the first read
+                # records a hit, not a rebuild miss
+                head.query(paper_query)
+                assert head.session.stats.misses("reachability") == 1  # warm build
+                assert head.session.stats.hits("reachability") >= 1
+        finally:
+            store.close()
+
+
+class TestWriterQueue:
+    def test_async_applies_fold_in_order(self, store, paper_query):
+        # node-free deltas stay valid against any head; enqueue a burst
+        futures = []
+        for offset in range(3):
+            delta = GraphDelta.for_graph(store.graph)
+            delta.add_edge(A1, 4 + offset)  # a1 -> b1 / b2 / b3: all new edges
+            futures.append(store.apply_async(delta))
+        reports = [future.result(timeout=30.0) for future in futures]
+        versions = [report.new_version for report in reports]
+        assert versions == sorted(versions) and len(set(versions)) == 3
+        store.drain()
+        assert store.head_version == versions[-1]
+
+    def test_async_node_additions_fold_sequentially(self, store, paper_query):
+        # a delta that adds nodes must be built against the head it folds
+        # into (the overlay validates the base); fold one at a time
+        for _round in range(3):
+            delta, _node = _new_a_delta(store.graph)
+            store.apply_async(delta).result(timeout=30.0)
+        assert store.head_version == 3
+
+    def test_async_writer_coexists_with_sync_apply(self, store):
+        future = store.apply_async(
+            GraphDelta.for_graph(store.graph).remove_edge(A1, B0)
+        )
+        future.result(timeout=30.0)
+        delta, _node = _new_a_delta(store.graph)
+        report = store.apply(delta)
+        assert report.new_version == store.head_version
