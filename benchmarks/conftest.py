@@ -53,6 +53,9 @@ BENCH_JSON_PATH = RESULTS_DIR / "BENCH_session.json"
 #: Machine-readable trajectory of the concurrent-service benchmarks.
 SERVICE_JSON_PATH = RESULTS_DIR / "BENCH_service.json"
 
+#: Machine-readable trajectory of the pipelined-streaming benchmarks.
+STREAMING_JSON_PATH = RESULTS_DIR / "BENCH_streaming.json"
+
 
 def _update_json(path: Path, section: str, payload: dict) -> Path:
     """Merge one benchmark's results into a sectioned JSON document.
@@ -85,6 +88,11 @@ def update_bench_json(section: str, payload: dict) -> Path:
 def update_service_json(section: str, payload: dict) -> Path:
     """Merge one benchmark's results into ``results/BENCH_service.json``."""
     return _update_json(SERVICE_JSON_PATH, section, payload)
+
+
+def update_streaming_json(section: str, payload: dict) -> Path:
+    """Merge one benchmark's results into ``results/BENCH_streaming.json``."""
+    return _update_json(STREAMING_JSON_PATH, section, payload)
 
 
 @pytest.fixture(scope="session")

@@ -1,153 +1,110 @@
-"""Quickstart: build a small graph, write a hybrid pattern, run GM.
+"""Quickstart: one `GraphDB`, the whole stack.
 
-Four ways to work with queries:
-
-* one-off: construct a :class:`GraphMatcher` and call ``match`` — simplest,
-  but every matcher construction rebuilds the per-graph indexes;
-* many queries on one graph: open a :class:`QuerySession` — the reachability
-  index, label lists and per-query RIGs are built once, cached, and shared
-  by every subsequent query, and ``run_batch`` executes whole workloads
-  (optionally on a thread pool) returning latency/throughput statistics;
-* an evolving graph: batch edits into a :class:`GraphDelta` and push it
-  through ``session.apply`` — the cached indexes are patched in place (not
-  rebuilt) and the very next query sees the new data;
-* concurrent readers *and* writers: put the graph behind a
-  :class:`QueryService` — every batch pins an MVCC snapshot in the
-  underlying :class:`VersionedGraphStore`, so reads stay consistent while
-  updates publish new versions behind them.
-
-See ``docs/architecture.md`` for how these layers stack (graph → indexes →
-session → store → service) and the epoch/pinning lifecycle.
+:class:`repro.GraphDB` is the unified entry point: ingest a graph, run
+hybrid pattern queries (direct ``->`` and reachability ``=>`` edges),
+stream results as they are found, fold updates into new versions, and read
+the serving statistics — all through one object.  Underneath it composes
+the layers the library grew PR by PR (cached-index sessions, dynamic
+deltas, the MVCC store, the concurrent query service), and each of those
+remains available on its own — see ``docs/architecture.md`` for the layer
+diagram and the migration table from the older entry points.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import (
-    GraphBuilder,
-    GraphDelta,
-    GraphMatcher,
-    QueryService,
-    QuerySession,
-    ServiceConfig,
-    parse_query,
-)
+from repro import GraphDB
 
 
 def main() -> None:
-    # 1. Build a small data graph: people, the projects they lead, and the
-    #    tasks those projects (transitively) contain.
-    builder = GraphBuilder()
-    builder.add_node("ana", "Person")
-    builder.add_node("bob", "Person")
-    builder.add_node("atlas", "Project")
-    builder.add_node("hermes", "Project")
-    builder.add_node("design", "Task")
-    builder.add_node("review", "Task")
-    builder.add_node("deploy", "Task")
-
-    builder.add_edge("ana", "atlas")        # ana leads atlas
-    builder.add_edge("bob", "hermes")       # bob leads hermes
-    builder.add_edge("atlas", "design")     # atlas contains design
-    builder.add_edge("design", "review")    # design is followed by review
-    builder.add_edge("hermes", "deploy")    # hermes contains deploy
-    graph = builder.build(name="quickstart")
-    ids = builder.id_mapping()
-    names = {node_id: key for key, node_id in ids.items()}
-
-    # 2. A hybrid pattern: a person leading a project (direct edge ->) that
-    #    directly or indirectly contains a task (reachability edge =>).
-    query = parse_query(
-        """
-        node p Person
-        node proj Project
-        node t Task
-        edge p -> proj
-        edge proj => t
-        """,
-        name="person-project-task",
+    # 1. Open an empty database and ingest a small graph: people, the
+    #    projects they lead, and the tasks those projects (transitively)
+    #    contain.  New nodes get the next dense ids, so the edge list may
+    #    reference nodes created in the same call.
+    db = GraphDB.open()
+    names = ["ana", "bob", "atlas", "hermes", "design", "review", "deploy"]
+    ids = {name: index for index, name in enumerate(names)}
+    db.ingest(
+        labels=["Person", "Person", "Project", "Project", "Task", "Task", "Task"],
+        edges=[
+            (ids["ana"], ids["atlas"]),      # ana leads atlas
+            (ids["bob"], ids["hermes"]),     # bob leads hermes
+            (ids["atlas"], ids["design"]),   # atlas contains design
+            (ids["design"], ids["review"]),  # design is followed by review
+            (ids["hermes"], ids["deploy"]),  # hermes contains deploy
+        ],
     )
 
-    # 3. Evaluate with GM (double simulation + runtime index graph + MJoin).
-    matcher = GraphMatcher(graph)
-    report = matcher.match(query)
+    # 2. A hybrid pattern, written in the query DSL: a person leading a
+    #    project (direct edge ->) that directly or indirectly contains a
+    #    task (reachability edge =>).
+    pattern = """
+    node p Person
+    node proj Project
+    node t Task
+    edge p -> proj
+    edge proj => t
+    """
 
-    print(f"query '{query.name}': {report.num_matches} occurrences "
+    # 3. Evaluate to completion.  The GM pipeline (double simulation +
+    #    runtime index graph + MJoin) runs on a pinned snapshot through the
+    #    service's worker pool.
+    report = db.query(pattern, name="person-project-task")
+    print(f"query '{report.query_name}': {report.num_matches} occurrences "
           f"({report.total_seconds * 1000:.2f} ms, status={report.status.value})")
     for person, project, task in sorted(report.occurrences):
         print(f"  {names[person]:>4} -> {names[project]:<6} => {names[task]}")
-
     # The reachability edge is what finds (ana, atlas, review): the task is
     # two hops away from the project.  A child-only pattern would miss it.
 
-    # 4. Serving many queries on the same graph?  Open a QuerySession: the
-    #    per-graph indexes are built once on the first query and reused by
-    #    every later one (the cache counters prove it), and run_batch gives
-    #    aggregate latency / throughput statistics for a whole workload.
-    session = QuerySession(graph)
-    session.query(query)  # warm-up: builds the indexes and this query's RIG
-    workload = {
-        "person-project-task": query,  # identical query: served from the RIG cache
-        "person-any-task": parse_query(
-            """
-            node p Person
-            node t Task
-            edge p => t
-            """,
-            name="person-any-task",
-        ),
-        "repeat": query,  # cache-served too
-    }
-    batch = session.run_batch(workload, workers=2)
-    print()
-    print(batch.summary())
-    print(f"cache counters after the batch: {session.stats}")
+    # 4. Stream instead of waiting: pages are fed from the worker as the
+    #    matcher produces them, so the first page is consumable *before*
+    #    the query finishes — on large graphs this is the difference
+    #    between milliseconds and minutes to the first result.
+    with db.stream(pattern, page_size=2) as stream:
+        for page_number, page in enumerate(stream.pages(timeout=30.0)):
+            print(f"  streamed page {page_number}: {len(page)} occurrence(s)")
+    # Need only a count?  db.count() drains the same iterator without ever
+    # materialising the occurrence list.
+    print(f"count via counting drain: {db.count(pattern)}")
 
     # 5. The graph evolves: a new task lands under atlas, and ana picks up
-    #    hermes too.  Batch the edits into a GraphDelta and apply it to the
-    #    running session — the reachability index and friends are *patched*
-    #    (see report.patched), not rebuilt, and the next query answers
-    #    against the new state immediately.
-    delta = GraphDelta.for_graph(session.graph)
-    launch = delta.add_node("Task")
-    names[launch] = "launch"
-    delta.add_edge(ids["review"], launch)   # review is followed by launch
-    delta.add_edge(ids["ana"], ids["hermes"])  # ana now co-leads hermes
-    report = session.apply(delta)
-    print()
-    print(f"applied update: {report.summary()}")
-
-    requery = session.query(query)
-    print(f"re-query after update: {requery.num_matches} occurrences "
-          f"(graph version {session.version})")
+    #    hermes too.  ingest()/apply() fold the edits into a *new version*
+    #    behind any running readers (MVCC: a pinned stream keeps answering
+    #    from the version it started on).
+    launch = db.num_nodes  # id the new node will receive
+    names.append("launch")
+    db.ingest(
+        labels=["Task"],
+        edges=[(ids["review"], launch),        # review is followed by launch
+               (ids["ana"], ids["hermes"])],   # ana now co-leads hermes
+    )
+    requery = db.query(pattern, name="person-project-task")
+    print(f"\nafter update (version {db.head_version}): "
+          f"{requery.num_matches} occurrences")
     for person, project, task in sorted(requery.occurrences):
         print(f"  {names[person]:>4} -> {names[project]:<6} => {names[task]}")
-    # The new (ana, atlas, launch), (ana, hermes, deploy) rows appear without
-    # any index rebuild — that is the dynamic subsystem's whole point.
+    # The cached indexes were *patched* in place (not rebuilt) where the
+    # delta shape allowed — that is the dynamic subsystem's whole point.
 
-    # 6. Serving readers *while* the graph changes?  Put the session behind
-    #    a QueryService: batches pin an MVCC snapshot of the store, so a
-    #    batch started before an update answers its whole workload from the
-    #    pre-update version — no torn reads, no locking readers out.
-    with QueryService(session.graph, config=ServiceConfig(workers=2)) as service:
-        snapshot = service.store.pin()           # e.g. a long-running batch
-        delta = GraphDelta.for_graph(service.store.graph)
-        delta.add_edge(ids["bob"], ids["atlas"])  # bob joins atlas...
-        service.apply(delta)                      # ...published as a new version
-        stale_free = service.run_batch(workload)  # new batches see the update
-        pinned = snapshot.run_batch(workload)     # the pinned one does not
-        pinned_version = snapshot.version
-        snapshot.release()
-        print()
-        print(f"service: pinned batch answered at v{pinned_version}, "
-              f"fresh batch at v{stale_free.version} "
-              f"(bob->atlas visible: "
-              f"{stale_free.total_matches > pinned.total_matches})")
-        stats = service.stats_snapshot()
-        print(f"service stats: {stats['completed']} queries, "
-              f"p95 {stats['latency_p95_seconds'] * 1000:.2f}ms, "
-              f"{stats['shed_count']} shed, head v{stats['head_version']}")
+    # 6. Prepared deltas give finer control than ingest(): batch several
+    #    edits, then fold them in one version bump (or apply_async to queue
+    #    them on the background writer).
+    delta = db.delta()
+    delta.add_edge(ids["bob"], ids["atlas"])   # bob joins atlas
+    db.apply(delta)
+
+    # 7. Serving statistics: service counters (throughput, latency
+    #    percentiles, shed counts) merged with the store gauges (head
+    #    version, pinned epochs, GC activity).
+    stats = db.stats()
+    print(f"\nstats: {stats['completed']} queries, "
+          f"p95 {stats['latency_p95_seconds'] * 1000:.2f}ms, "
+          f"{stats['shed_count']} shed, head v{stats['head_version']}, "
+          f"{stats['versions_retained']} version(s) retained")
+
+    db.close()
 
 
 if __name__ == "__main__":

@@ -14,9 +14,13 @@ the pieces most applications need:
 * :func:`build_reachability_index` — reachability indexes (BFL, intervals,
   transitive closure);
 * :class:`Budget` / :class:`MatchReport` — per-query limits and outcomes;
+* :class:`MatchStream` — incremental (pipelined) match iteration with
+  running counters, finalising into a :class:`MatchReport`;
 * :class:`QuerySession` — cached-index batch execution over one graph;
 * :class:`GraphDelta` / :class:`MutableDataGraph` — batched graph updates
-  with incremental index maintenance (``session.apply(delta)``).
+  with incremental index maintenance (``session.apply(delta)``);
+* :class:`GraphDB` — the unified facade: open / ingest / apply / query /
+  stream / count / stats over the whole store + service stack.
 """
 
 from repro.exceptions import (
@@ -54,10 +58,12 @@ from repro.matching import (
     Budget,
     MatchReport,
     MatchStatus,
+    MatchStream,
     GraphMatcher,
     GMVariant,
     OrderingMethod,
     mjoin,
+    mjoin_iter,
 )
 from repro.baselines import JMMatcher, TMMatcher, ISOMatcher, bruteforce_homomorphisms
 from repro.dynamic import ApplyReport, GraphDelta, MutableDataGraph
@@ -71,6 +77,7 @@ from repro.service import (
     ServiceStats,
     StreamingResult,
 )
+from repro.api import GraphDB
 
 __version__ = "1.0.0"
 
@@ -109,10 +116,12 @@ __all__ = [
     "Budget",
     "MatchReport",
     "MatchStatus",
+    "MatchStream",
     "GraphMatcher",
     "GMVariant",
     "OrderingMethod",
     "mjoin",
+    "mjoin_iter",
     "JMMatcher",
     "TMMatcher",
     "ISOMatcher",
@@ -136,5 +145,6 @@ __all__ = [
     "ServiceConfig",
     "ServiceStats",
     "StreamingResult",
+    "GraphDB",
     "__version__",
 ]

@@ -1,0 +1,311 @@
+"""GraphDB: the unified facade over the whole execution stack.
+
+Every capability the library grew — cached-index sessions (PR 1), dynamic
+updates (PR 2), the MVCC store and the concurrent query service (PR 3),
+pipelined streaming (this layer) — historically had its own entry point:
+build a :class:`~repro.graph.digraph.DataGraph`, wrap a
+:class:`~repro.session.QuerySession`, wrap *that* in a
+:class:`~repro.store.VersionedGraphStore`, put a
+:class:`~repro.service.QueryService` in front, and parse query text with
+:func:`~repro.query.parse_query` on the side.  :class:`GraphDB` unifies
+them behind one object with a database-shaped surface::
+
+    from repro import GraphDB
+
+    with GraphDB.open() as db:                    # empty database
+        people = db.ingest(labels=["Person", "Person", "Project"],
+                           edges=[(0, 2), (1, 2)])
+        report = db.query("node p Person\\nnode j Project\\nedge p -> j")
+        for page in db.stream("node p Person\\nnode j Project\\nedge p => j").pages():
+            ...
+        db.apply(delta)                           # publishes a new version
+        db.stats()                                # service + store gauges
+
+``open`` also accepts an existing :class:`DataGraph`, a
+:class:`QuerySession` (its warm artifacts seed the first epoch), a
+:class:`VersionedGraphStore`, or a path to a graph saved with
+:func:`~repro.graph.io.save_graph_json`.  The old entry points all keep
+working — the facade only composes them.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
+
+from repro.dynamic.delta import GraphDelta
+from repro.dynamic.maintenance import ApplyReport
+from repro.graph.digraph import DataGraph
+from repro.graph.io import load_graph_json, save_graph_json
+from repro.matching.result import Budget, MatchReport
+from repro.query.parser import parse_query
+from repro.query.pattern import PatternQuery
+from repro.service.service import QueryService, ServiceBatchReport, ServiceConfig, StreamingResult
+from repro.session.session import QuerySession
+from repro.store.versioned import StoreSnapshot, VersionedGraphStore
+
+#: Anything :meth:`GraphDB.open` can bootstrap from.
+GraphSource = Union[DataGraph, QuerySession, VersionedGraphStore, str, os.PathLike, None]
+
+#: A query, as a parsed pattern or DSL text (``node a L\nedge a -> b`` ...).
+QueryLike = Union[PatternQuery, str]
+
+
+class GraphDB:
+    """One graph database: storage, versioning, serving, streaming.
+
+    Composed of the existing layers — a :class:`VersionedGraphStore` for
+    MVCC versioning and a :class:`QueryService` for admission-controlled
+    concurrent execution — so everything those layers guarantee (pinned
+    snapshots, copy-on-write folds, bounded queues, budget enforcement,
+    pipelined streaming) holds here too.
+
+    Construct via :meth:`open` / :meth:`from_edges`; the instance is a
+    context manager and must be :meth:`close`\\ d to stop the worker pool.
+    """
+
+    def __init__(
+        self,
+        store: VersionedGraphStore,
+        config: Optional[ServiceConfig] = None,
+        owns_store: bool = True,
+    ) -> None:
+        self.store = store
+        self.service = QueryService(store, config=config)
+        self._owns_store = owns_store
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def open(
+        cls,
+        source: GraphSource = None,
+        config: Optional[ServiceConfig] = None,
+        warm_on_publish: bool = False,
+        **session_kwargs,
+    ) -> "GraphDB":
+        """Open a database over ``source``.
+
+        ``source`` may be:
+
+        * ``None`` — an empty database (grow it with :meth:`ingest`);
+        * a :class:`DataGraph` — served as version 0;
+        * a :class:`QuerySession` — its already-built artifacts seed the
+          first epoch (the store freezes and takes ownership of it);
+        * a :class:`VersionedGraphStore` — served as-is (not closed with
+          the database);
+        * a path to a JSON graph file written by
+          :func:`~repro.graph.io.save_graph_json` / :meth:`save`.
+
+        ``session_kwargs`` (``reachability_kind``, ``budget``, ...) are
+        forwarded to the underlying :class:`QuerySession` when one is
+        created here; ``config`` tunes the serving layer.
+        """
+        owns_store = True
+        if isinstance(source, VersionedGraphStore):
+            store = source
+            owns_store = False
+        else:
+            if source is None:
+                graph: Union[DataGraph, QuerySession] = DataGraph([], [], name="graphdb")
+            elif isinstance(source, (DataGraph, QuerySession)):
+                graph = source
+            elif isinstance(source, (str, os.PathLike)):
+                graph = load_graph_json(os.fspath(source))
+            else:
+                raise TypeError(
+                    "GraphDB.open expects a DataGraph, QuerySession, "
+                    f"VersionedGraphStore, path or None — got {type(source).__name__}"
+                )
+            store = VersionedGraphStore(
+                graph, warm_on_publish=warm_on_publish, **session_kwargs
+            )
+        return cls(store, config=config, owns_store=owns_store)
+
+    @classmethod
+    def from_edges(
+        cls,
+        labels: Sequence[str],
+        edges: Iterable[Tuple[int, int]],
+        name: str = "graphdb",
+        config: Optional[ServiceConfig] = None,
+        **session_kwargs,
+    ) -> "GraphDB":
+        """Open a database directly over node labels and an edge list."""
+        return cls.open(
+            DataGraph(list(labels), sorted(set(edges)), name=name),
+            config=config,
+            **session_kwargs,
+        )
+
+    # ------------------------------------------------------------------ #
+    # writes
+    # ------------------------------------------------------------------ #
+
+    def ingest(
+        self,
+        labels: Sequence[str] = (),
+        edges: Iterable[Tuple[int, int]] = (),
+        remove_edges: Iterable[Tuple[int, int]] = (),
+    ) -> ApplyReport:
+        """Fold new nodes and edges into a new published version.
+
+        ``labels`` appends one node per label; the new nodes receive the
+        next dense ids (``db.num_nodes`` before the call, onward), so
+        ``edges`` may reference both existing and just-added ids.  Under
+        the hood this is one :class:`~repro.dynamic.GraphDelta` folded
+        through the store's copy-on-write writer — pinned readers are
+        never disturbed.  Returns the fold's
+        :class:`~repro.dynamic.ApplyReport`.
+        """
+        delta = GraphDelta.for_graph(self.store.graph)
+        for label in labels:
+            delta.add_node(label)
+        for source, target in edges:
+            delta.add_edge(source, target)
+        for source, target in remove_edges:
+            delta.remove_edge(source, target)
+        return self.store.apply(delta)
+
+    def apply(self, delta: GraphDelta, materialize: bool = True) -> ApplyReport:
+        """Fold a prepared delta synchronously (see :meth:`VersionedGraphStore.apply`)."""
+        return self.store.apply(delta, materialize=materialize)
+
+    def apply_async(self, delta: GraphDelta, materialize: bool = True):
+        """Queue a delta on the store's background writer; returns a future."""
+        return self.store.apply_async(delta, materialize=materialize)
+
+    def delta(self) -> GraphDelta:
+        """A fresh :class:`GraphDelta` written against the current head."""
+        return GraphDelta.for_graph(self.store.graph)
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _as_query(query: QueryLike, name: Optional[str] = None) -> PatternQuery:
+        if isinstance(query, PatternQuery):
+            return query
+        return parse_query(query, name=name or "query")
+
+    def query(
+        self,
+        query: QueryLike,
+        engine: Optional[str] = None,
+        budget: Optional[Budget] = None,
+        deadline_seconds: Optional[float] = None,
+        timeout: Optional[float] = None,
+        name: Optional[str] = None,
+    ) -> MatchReport:
+        """Evaluate one query (DSL text or :class:`PatternQuery`) to completion.
+
+        Admission-controlled and version-pinned: the query runs on a
+        worker against a pinned snapshot of the head.
+        """
+        return self.service.query(
+            self._as_query(query, name),
+            engine=engine,
+            budget=budget,
+            deadline_seconds=deadline_seconds,
+            timeout=timeout,
+        )
+
+    def stream(
+        self,
+        query: QueryLike,
+        engine: Optional[str] = None,
+        budget: Optional[Budget] = None,
+        page_size: int = 256,
+        deadline_seconds: Optional[float] = None,
+        keep_occurrences: bool = True,
+        name: Optional[str] = None,
+    ) -> StreamingResult:
+        """Evaluate incrementally: pages flow before the query finishes."""
+        return self.service.stream(
+            self._as_query(query, name),
+            engine=engine,
+            budget=budget,
+            page_size=page_size,
+            deadline_seconds=deadline_seconds,
+            keep_occurrences=keep_occurrences,
+        )
+
+    def count(
+        self,
+        query: QueryLike,
+        engine: str = "GM",
+        budget: Optional[Budget] = None,
+        name: Optional[str] = None,
+    ) -> int:
+        """Number of occurrences at the current head (counting drain).
+
+        Runs in the calling thread against a pinned snapshot, through the
+        streaming iterator — no occurrence list is ever materialised.
+        """
+        with self.store.pin() as snapshot:
+            return snapshot.count(self._as_query(query, name), engine=engine, budget=budget)
+
+    def run_batch(self, queries, **kwargs) -> ServiceBatchReport:
+        """Execute a whole batch against one pinned version (see
+        :meth:`QueryService.run_batch`)."""
+        return self.service.run_batch(queries, **kwargs)
+
+    def pin(self, version: Optional[int] = None) -> StoreSnapshot:
+        """Pin a version (head by default) for repeated consistent reads."""
+        return self.store.pin(version)
+
+    # ------------------------------------------------------------------ #
+    # introspection / persistence
+    # ------------------------------------------------------------------ #
+
+    @property
+    def graph(self) -> DataGraph:
+        """The head version's immutable data graph."""
+        return self.store.graph
+
+    @property
+    def num_nodes(self) -> int:
+        """Node count of the head version."""
+        return self.store.graph.num_nodes
+
+    @property
+    def head_version(self) -> int:
+        """The latest published graph version."""
+        return self.store.head_version
+
+    def stats(self) -> Dict[str, object]:
+        """Service counters merged with the store's version-chain gauges."""
+        return self.service.stats_snapshot()
+
+    def save(self, path: str) -> str:
+        """Persist the head version as one JSON document (see :meth:`open`)."""
+        return save_graph_json(self.store.graph, path)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Stop the service workers (and an owned store's writer)."""
+        self.service.close()
+        if not self._owns_store:
+            return
+        # The service closes a store it created itself; here the store was
+        # created by (and belongs to) the facade.
+        self.store.close()
+
+    def __enter__(self) -> "GraphDB":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GraphDB(head=v{self.store.head_version}, "
+            f"nodes={self.store.graph.num_nodes}, "
+            f"workers={self.service.config.workers})"
+        )

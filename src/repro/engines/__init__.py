@@ -21,6 +21,13 @@ All four only support edge-to-edge (child) semantics natively, mirroring the
 original systems; descendant edges must be rewritten through a transitive
 closure (see :func:`expand_descendant_edges`), which is exactly the
 experimental setup of Fig. 18.
+
+Execution is incremental-first: every engine implements a lazy
+``_iter_evaluate`` generator, :meth:`Engine.iter_matches` is the public
+streaming primitive (GF and RM yield each embedding as the innermost
+extension completes; EH and Neo4j stream their projection tails over
+materialised join pipelines), and ``match()`` / ``count()`` are thin
+drivers that drain the iterator.
 """
 
 from repro.engines.base import Engine, EngineResult, expand_descendant_edges

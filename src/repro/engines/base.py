@@ -1,21 +1,28 @@
-"""Common scaffolding for the comparator query engines."""
+"""Common scaffolding for the comparator query engines.
+
+The execution primitive is :meth:`Engine.iter_matches`: a lazy generator
+that yields occurrences as the engine's search finds them.  ``match()`` is
+a thin driver that drains the iterator into a
+:class:`~repro.matching.result.MatchReport` (via
+:class:`~repro.matching.stream.MatchStream`), so eager and incremental
+consumption always agree on the occurrence set, the status and the budget
+semantics.  Early termination — the match cap, a deadline, cooperative
+cancellation, or the consumer simply abandoning the generator
+(``generator.close()``) — stops the enumeration mid-search.
+"""
 
 from __future__ import annotations
 
 import time
-from abc import ABC, abstractmethod
+import warnings
+from abc import ABC
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
 
-from repro.exceptions import (
-    EngineError,
-    MemoryBudgetExceeded,
-    QueryCancelled,
-    StaleIndexError,
-    TimeoutExceeded,
-)
+from repro.exceptions import EngineError, StaleIndexError
 from repro.graph.digraph import DataGraph
-from repro.matching.result import Budget, MatchReport, MatchStatus
+from repro.matching.result import Budget, MatchReport
+from repro.matching.stream import MatchStream
 from repro.query.pattern import EdgeType, PatternEdge, PatternQuery
 from repro.reachability.transitive_closure import TransitiveClosureIndex
 
@@ -114,11 +121,52 @@ class Engine(ABC):
     def _precompute(self, graph: DataGraph) -> None:
         """Per-engine precomputation (catalogs, indexes).  Default: none."""
 
-    @abstractmethod
+    def _iter_evaluate(
+        self, graph: DataGraph, query: PatternQuery, budget: Budget
+    ) -> Iterator[Tuple[int, ...]]:
+        """Lazily enumerate occurrences of a child-only query on ``graph``.
+
+        The streaming primitive every engine implements.  Implementations
+        yield occurrences as the search finds them, call the budget
+        clock's checkpoints from their inner loops, and must *not* enforce
+        ``budget.max_matches`` themselves — the :meth:`iter_matches`
+        driver stops the generator at the cap, which also makes
+        first-``k`` prefixes identical to a capped eager run.
+
+        The default implementation adapts a legacy blocking
+        :meth:`_evaluate` override (materialise, then replay); that path
+        bypasses the streaming budget plumbing and is deprecated.
+        """
+        if type(self)._evaluate is Engine._evaluate:
+            raise NotImplementedError(
+                f"{type(self).__name__} must implement _iter_evaluate "
+                "(preferred) or the legacy _evaluate"
+            )
+        warnings.warn(
+            f"{type(self).__name__} only implements the blocking _evaluate; "
+            "occurrences are fully materialised before the first one is "
+            "yielded, bypassing the streaming budget plumbing. "
+            "Implement _iter_evaluate instead.",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        yield from self._evaluate(graph, query, budget)
+
     def _evaluate(
         self, graph: DataGraph, query: PatternQuery, budget: Budget
     ) -> List[Tuple[int, ...]]:
-        """Enumerate occurrences of a child-only query on ``graph``."""
+        """Eagerly enumerate occurrences (legacy hook).
+
+        Kept for backwards compatibility with pre-streaming subclasses;
+        the default drains :meth:`_iter_evaluate` under the match cap.
+        """
+        clock = budget.start_clock()
+        occurrences: List[Tuple[int, ...]] = []
+        for occurrence in self._iter_evaluate(graph, query, budget):
+            occurrences.append(occurrence)
+            if clock.check_matches(len(occurrences)):
+                break
+        return occurrences
 
     # ------------------------------------------------------------------ #
     # public API
@@ -174,44 +222,91 @@ class Engine(ABC):
         ]
         return self._expanded_graph, query.with_edges(rewritten_edges, name=query.name)
 
+    def iter_matches(
+        self, query: PatternQuery, budget: Optional[Budget] = None
+    ) -> Iterator[Tuple[int, ...]]:
+        """Lazily enumerate occurrences of ``query`` (the streaming primitive).
+
+        A generator: nothing is evaluated until the first ``next()``.
+        Yields occurrence tuples (indexed by query-node id) as the engine's
+        search finds them, stops at ``budget.max_matches``, and raises
+        :class:`~repro.exceptions.TimeoutExceeded` /
+        :class:`~repro.exceptions.QueryCancelled` /
+        :class:`~repro.exceptions.MemoryBudgetExceeded` when the budget is
+        exhausted mid-enumeration.  Closing the generator (or breaking out
+        of a ``for`` loop that owns it) stops the search immediately.
+
+        Wrap with :meth:`match_stream` for exception-free consumption with
+        running counters and report finalisation.
+        """
+        budget = budget or self.budget
+        graph, rewritten = self._graph_for(query)
+        clock = budget.start_clock()
+        count = 0
+        for occurrence in self._iter_evaluate(graph, rewritten, budget):
+            clock.check_time()
+            yield occurrence
+            count += 1
+            if clock.check_matches(count):
+                return
+
+    def match_stream(
+        self,
+        query: PatternQuery,
+        budget: Optional[Budget] = None,
+        keep_occurrences: bool = True,
+    ) -> MatchStream:
+        """An incremental evaluation of ``query`` as a :class:`MatchStream`.
+
+        Budget exhaustion terminates the stream with the corresponding
+        :class:`~repro.matching.result.MatchStatus` instead of raising;
+        ``stream.report()`` finalises into the same :class:`MatchReport`
+        the eager :meth:`match` would have produced.
+        """
+        budget = budget or self.budget
+        info: Dict[str, object] = {
+            "extra": {"precompute_seconds": self._precompute_seconds}
+        }
+        return MatchStream(
+            self.iter_matches(query, budget=budget),
+            query_name=query.name,
+            algorithm=self.name,
+            budget=budget,
+            info=info,
+            keep_occurrences=keep_occurrences,
+        )
+
     def match(self, query: PatternQuery, budget: Optional[Budget] = None) -> EngineResult:
-        """Evaluate ``query`` and wrap the outcome in an :class:`EngineResult`."""
+        """Evaluate ``query`` and wrap the outcome in an :class:`EngineResult`.
+
+        A thin driver over :meth:`iter_matches`: the stream is drained to
+        completion and finalised into a :class:`MatchReport`.
+        """
         budget = budget or self.budget
         start = time.perf_counter()
-        try:
-            graph, rewritten = self._graph_for(query)
-            occurrences = self._evaluate(graph, rewritten, budget)
-            hit_limit = (
-                budget.max_matches is not None and len(occurrences) >= budget.max_matches
-            )
+        report = self.match_stream(query, budget=budget).report()
+        if not report.status.is_solved():
+            # Match the historical eager shape: a failed evaluation reports
+            # its elapsed time under matching_seconds with no occurrences.
             report = MatchReport(
                 query_name=query.name,
                 algorithm=self.name,
-                status=MatchStatus.MATCH_LIMIT if hit_limit else MatchStatus.OK,
-                occurrences=occurrences,
-                num_matches=len(occurrences),
-                matching_seconds=0.0,
-                enumeration_seconds=time.perf_counter() - start,
-            )
-        except TimeoutExceeded:
-            report = MatchReport(
-                query_name=query.name,
-                algorithm=self.name,
-                status=MatchStatus.TIMEOUT,
-                matching_seconds=time.perf_counter() - start,
-            )
-        except QueryCancelled:
-            report = MatchReport(
-                query_name=query.name,
-                algorithm=self.name,
-                status=MatchStatus.CANCELLED,
-                matching_seconds=time.perf_counter() - start,
-            )
-        except MemoryBudgetExceeded:
-            report = MatchReport(
-                query_name=query.name,
-                algorithm=self.name,
-                status=MatchStatus.OUT_OF_MEMORY,
+                status=report.status,
                 matching_seconds=time.perf_counter() - start,
             )
         return EngineResult(report=report, precompute_seconds=self._precompute_seconds)
+
+    def count(self, query: PatternQuery, budget: Optional[Budget] = None) -> int:
+        """Number of occurrences of ``query``, without materialising them.
+
+        Routed through :meth:`iter_matches` with a counting drain, so
+        ``max_matches`` / deadline budgets short-circuit the enumeration
+        without ever building the occurrence list.  A non-solved
+        termination (timeout, cancellation, memory budget) stops the
+        drain and returns the matches counted *so far*; use :meth:`match`
+        when the terminal status matters.
+        """
+        stream = self.match_stream(query, budget=budget, keep_occurrences=False)
+        for _ in stream:
+            pass
+        return stream.num_yielded

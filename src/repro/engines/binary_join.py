@@ -11,7 +11,7 @@ binding tables explode on cyclic and clique patterns.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.graph.digraph import DataGraph
 from repro.matching.result import Budget
@@ -55,9 +55,18 @@ class BinaryJoinEngine(Engine):
         self._plan_cache[cache_key] = (anchor, plan)
         return anchor, plan
 
-    def _evaluate(
+    def _iter_evaluate(
         self, graph: DataGraph, query: PatternQuery, budget: Budget
-    ) -> List[Tuple[int, ...]]:
+    ) -> Iterator[Tuple[int, ...]]:
+        """Expand-and-filter pipeline with a streaming projection tail.
+
+        The algorithm is inherently blocking — every expansion step
+        materialises its whole intermediate binding table (which is exactly
+        the weakness the paper measures) — so true per-match laziness is
+        not available.  The final projection/dedup pass *is* streamed, and
+        because it runs inside a generator, nothing at all is computed
+        until the first occurrence is requested.
+        """
         clock = budget.start_clock()
         anchor, plan = self._plan(graph, query)
 
@@ -105,16 +114,11 @@ class BinaryJoinEngine(Engine):
             if not bindings:
                 break
 
-        occurrences: List[Tuple[int, ...]] = []
         seen = set()
         position_of: Dict[int, int] = {node: index for index, node in enumerate(bound)}
-        limit = budget.max_matches
         for row in bindings:
             occurrence = tuple(row[position_of[node]] for node in query.nodes())
             if occurrence in seen:
                 continue
             seen.add(occurrence)
-            occurrences.append(occurrence)
-            if limit is not None and len(occurrences) >= limit:
-                break
-        return occurrences
+            yield occurrence

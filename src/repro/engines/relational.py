@@ -15,7 +15,7 @@ relations in its trie layout).  The stand-in mirrors that cost profile:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.graph.digraph import DataGraph
 from repro.matching.result import Budget
@@ -74,13 +74,22 @@ class RelationalEngine(Engine):
             if graph.label(u) == key[0] and graph.label(v) == key[1]
         ]
 
-    def _evaluate(
+    def _iter_evaluate(
         self, graph: DataGraph, query: PatternQuery, budget: Budget
-    ) -> List[Tuple[int, ...]]:
+    ) -> Iterator[Tuple[int, ...]]:
+        """Hash-join pipeline with a streaming projection tail.
+
+        Like the binary-join engine, the hash joins materialise every
+        intermediate relation (EH's measured cost profile), so only the
+        final projection/dedup pass streams — but the whole pipeline is
+        deferred until the first occurrence is requested, and abandoning
+        the iterator skips the un-projected remainder.
+        """
         clock = budget.start_clock()
         edges = list(query.edges())
         if not edges:
-            return [(node,) for node in graph.inverted_list(query.label(0))]
+            yield from ((node,) for node in graph.inverted_list(query.label(0)))
+            return
 
         # Connected join order, smallest relation first.
         sizes = {
@@ -154,16 +163,11 @@ class RelationalEngine(Engine):
             if not rows:
                 break
 
-        occurrences: List[Tuple[int, ...]] = []
         seen = set()
         position_of = {node: index for index, node in enumerate(bound)}
-        limit = budget.max_matches
         for row in rows:
             occurrence = tuple(row[position_of[node]] for node in query.nodes())
             if occurrence in seen:
                 continue
             seen.add(occurrence)
-            occurrences.append(occurrence)
-            if limit is not None and len(occurrences) >= limit:
-                break
-        return occurrences
+            yield occurrence

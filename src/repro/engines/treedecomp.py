@@ -18,7 +18,7 @@ transitive-closure expansion of the base class.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.graph.digraph import DataGraph
 from repro.matching.result import Budget
@@ -122,18 +122,23 @@ class TreeDecompEngine(Engine):
     # evaluation
     # ------------------------------------------------------------------ #
 
-    def _evaluate(
+    def _iter_evaluate(
         self, graph: DataGraph, query: PatternQuery, budget: Budget
-    ) -> List[Tuple[int, ...]]:
+    ) -> Iterator[Tuple[int, ...]]:
+        """Tree-filter, then enumerate lazily.
+
+        The spanning-tree candidate refinement is a genuine barrier (it
+        must converge before enumeration starts), but every occurrence
+        after it streams out of the WCO backtracking generator as soon as
+        its innermost extension completes.
+        """
         clock = budget.start_clock()
         candidates = self._filter_candidates(graph, query, clock)
         if any(not candidate_set for candidate_set in candidates.values()):
-            return []
+            return
         order = self._order(query, candidates)
         n = query.num_nodes
         assignment: List[Optional[int]] = [None] * n
-        occurrences: List[Tuple[int, ...]] = []
-        limit = budget.max_matches
 
         def local_candidates(position: int) -> List[int]:
             node = order[position]
@@ -154,19 +159,15 @@ class TreeDecompEngine(Engine):
                     break
             return list(result)
 
-        def recurse(position: int) -> bool:
+        def extend(position: int) -> Iterator[Tuple[int, ...]]:
             clock.check_time()
             if position == n:
-                occurrences.append(tuple(assignment))
-                return limit is not None and len(occurrences) >= limit
+                yield tuple(assignment)
+                return
             node = order[position]
             for value in local_candidates(position):
                 assignment[node] = value
-                stop = recurse(position + 1)
+                yield from extend(position + 1)
                 assignment[node] = None
-                if stop:
-                    return True
-            return False
 
-        recurse(0)
-        return occurrences
+        yield from extend(0)

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.exceptions import MemoryBudgetExceeded
 from repro.graph.digraph import DataGraph
@@ -222,15 +222,20 @@ class WCOJEngine(Engine):
     # evaluation
     # ------------------------------------------------------------------ #
 
-    def _evaluate(
+    def _iter_evaluate(
         self, graph: DataGraph, query: PatternQuery, budget: Budget
-    ) -> List[Tuple[int, ...]]:
+    ) -> Iterator[Tuple[int, ...]]:
+        """Node-at-a-time WCO join as a lazy generator.
+
+        Each full assignment is yielded the moment the innermost extension
+        completes, so the first occurrence costs one root-to-leaf descent —
+        not the whole search.  Closing the generator abandons the
+        backtracking stack wherever it stands.
+        """
         clock = budget.start_clock()
         order = self._order(graph, query)
         n = query.num_nodes
         assignment: List[Optional[int]] = [None] * n
-        occurrences: List[Tuple[int, ...]] = []
-        limit = budget.max_matches
         label_sets = {node: graph.inverted_set(query.label(node)) for node in query.nodes()}
 
         def candidates(position: int) -> List[int]:
@@ -252,19 +257,15 @@ class WCOJEngine(Engine):
                     break
             return list(result)
 
-        def recurse(position: int) -> bool:
+        def extend(position: int) -> Iterator[Tuple[int, ...]]:
             clock.check_time()
             if position == n:
-                occurrences.append(tuple(assignment))
-                return limit is not None and len(occurrences) >= limit
+                yield tuple(assignment)
+                return
             node = order[position]
             for value in candidates(position):
                 assignment[node] = value
-                stop = recurse(position + 1)
+                yield from extend(position + 1)
                 assignment[node] = None
-                if stop:
-                    return True
-            return False
 
-        recurse(0)
-        return occurrences
+        yield from extend(0)

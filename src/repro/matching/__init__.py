@@ -14,19 +14,22 @@ from repro.matching.ordering import (
     bj_order,
     search_order,
 )
-from repro.matching.mjoin import mjoin, count_matches
+from repro.matching.mjoin import mjoin, mjoin_iter, count_matches
+from repro.matching.stream import MatchStream
 from repro.matching.gm import GraphMatcher, GMVariant
 
 __all__ = [
     "Budget",
     "MatchReport",
     "MatchStatus",
+    "MatchStream",
     "OrderingMethod",
     "jo_order",
     "ri_order",
     "bj_order",
     "search_order",
     "mjoin",
+    "mjoin_iter",
     "count_matches",
     "GraphMatcher",
     "GMVariant",

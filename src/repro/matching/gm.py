@@ -19,13 +19,13 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, replace
 from enum import Enum
-from typing import MutableMapping, Optional, Sequence
+from typing import Iterator, MutableMapping, Optional, Sequence, Tuple
 
-from repro.exceptions import BudgetExceeded, QueryCancelled, TimeoutExceeded
 from repro.graph.digraph import DataGraph
-from repro.matching.mjoin import mjoin
+from repro.matching.mjoin import mjoin_iter
 from repro.matching.ordering import OrderingMethod, search_order
-from repro.matching.result import Budget, MatchReport, MatchStatus
+from repro.matching.result import Budget, MatchReport
+from repro.matching.stream import MatchStream
 from repro.query.pattern import PatternQuery
 from repro.reachability.base import ReachabilityIndex
 from repro.rig.build import RIGBuildReport, RIGOptions, build_rig
@@ -137,6 +137,94 @@ class GraphMatcher:
             self.rig_cache[query] = report
         return report, False
 
+    def iter_matches(
+        self,
+        query: PatternQuery,
+        budget: Optional[Budget] = None,
+        order: Optional[Sequence[int]] = None,
+        injective: bool = False,
+        _info: Optional[dict] = None,
+    ) -> Iterator[Tuple[int, ...]]:
+        """Lazily enumerate occurrences of ``query`` (the streaming primitive).
+
+        A generator over the full GM pipeline: the matching phase (steps
+        1–4: reduction, filtering, RIG, search order) runs on the first
+        ``next()``, then occurrences stream straight out of the MJoin
+        backtracking search — each one yielded the moment its embedding
+        completes, with the budget clock's time / cancellation checks in
+        the yield loop.  Stops at ``budget.max_matches``; raises
+        :class:`~repro.exceptions.TimeoutExceeded` /
+        :class:`~repro.exceptions.QueryCancelled` on budget exhaustion;
+        closing the generator abandons the search mid-backtrack.
+
+        ``_info`` is the mutable channel to :meth:`match_stream`: the
+        matching-phase timing and RIG statistics are recorded there once
+        the pipeline reaches enumeration.
+        """
+        budget = budget or self.budget
+        start = time.perf_counter()
+        report, rig_cached = self._rig_for(query)
+        rig = report.rig
+        if rig.is_empty():
+            if _info is not None:
+                _info["matching_seconds"] = time.perf_counter() - start
+                _info["extra"] = {
+                    "rig_size": rig.size(),
+                    "empty_rig": True,
+                    "rig_cached": rig_cached,
+                }
+            return
+        chosen_order = list(order) if order is not None else search_order(
+            report.query, rig, self.ordering
+        )
+        if _info is not None:
+            _info["matching_seconds"] = time.perf_counter() - start
+            _info["extra"] = {
+                "rig_size": rig.size(),
+                "rig_nodes": rig.num_rig_nodes(),
+                "rig_edges": rig.num_rig_edges(),
+                "search_order": chosen_order,
+                "simulation_passes": report.simulation.passes if report.simulation else 0,
+                "rig_cached": rig_cached,
+            }
+        clock = budget.start_clock()
+        count = 0
+        for occurrence in mjoin_iter(
+            rig, order=chosen_order, budget=budget, injective=injective
+        ):
+            yield occurrence
+            count += 1
+            if clock.check_matches(count):
+                return
+
+    def match_stream(
+        self,
+        query: PatternQuery,
+        budget: Optional[Budget] = None,
+        order: Optional[Sequence[int]] = None,
+        injective: bool = False,
+        keep_occurrences: bool = True,
+    ) -> MatchStream:
+        """An incremental evaluation of ``query`` as a :class:`MatchStream`.
+
+        Nothing runs until the first occurrence is pulled; budget
+        exhaustion terminates the stream with the matching
+        :class:`MatchStatus` instead of raising, and ``stream.report()``
+        finalises into the exact report :meth:`match` would return.
+        """
+        budget = budget or self.budget
+        info: dict = {}
+        return MatchStream(
+            self.iter_matches(
+                query, budget=budget, order=order, injective=injective, _info=info
+            ),
+            query_name=query.name,
+            algorithm=self.algorithm_name(),
+            budget=budget,
+            info=info,
+            keep_occurrences=keep_occurrences,
+        )
+
     def match(
         self,
         query: PatternQuery,
@@ -146,85 +234,39 @@ class GraphMatcher:
     ) -> MatchReport:
         """Evaluate ``query`` and return a :class:`MatchReport`.
 
+        A thin driver that drains :meth:`iter_matches` to completion.
         ``injective=True`` enumerates isomorphic (one-to-one) matches instead
         of homomorphic ones.
         """
         budget = budget or self.budget
         start = time.perf_counter()
-        try:
-            report, rig_cached = self._rig_for(query)
-            rig = report.rig
-            if rig.is_empty():
-                matching_seconds = time.perf_counter() - start
-                return MatchReport(
-                    query_name=query.name,
-                    algorithm=self.algorithm_name(),
-                    status=MatchStatus.OK,
-                    occurrences=[],
-                    num_matches=0,
-                    matching_seconds=matching_seconds,
-                    enumeration_seconds=0.0,
-                    extra={"rig_size": rig.size(), "empty_rig": True, "rig_cached": rig_cached},
-                )
-            chosen_order = list(order) if order is not None else search_order(
-                report.query, rig, self.ordering
-            )
-            matching_seconds = time.perf_counter() - start
-            occurrences, hit_limit, enumeration_seconds = mjoin(
-                rig, order=chosen_order, budget=budget, injective=injective
-            )
-            status = MatchStatus.MATCH_LIMIT if hit_limit else MatchStatus.OK
+        report = self.match_stream(
+            query, budget=budget, order=order, injective=injective
+        ).report()
+        if not report.status.is_solved():
+            # Historical shape for failed evaluations: elapsed time under
+            # matching_seconds, no occurrences, no RIG statistics.
             return MatchReport(
                 query_name=query.name,
                 algorithm=self.algorithm_name(),
-                status=status,
-                occurrences=occurrences,
-                num_matches=len(occurrences),
-                matching_seconds=matching_seconds,
-                enumeration_seconds=enumeration_seconds,
-                extra={
-                    "rig_size": rig.size(),
-                    "rig_nodes": rig.num_rig_nodes(),
-                    "rig_edges": rig.num_rig_edges(),
-                    "search_order": chosen_order,
-                    "simulation_passes": report.simulation.passes if report.simulation else 0,
-                    "rig_cached": rig_cached,
-                },
-            )
-        except TimeoutExceeded:
-            elapsed = time.perf_counter() - start
-            return MatchReport(
-                query_name=query.name,
-                algorithm=self.algorithm_name(),
-                status=MatchStatus.TIMEOUT,
+                status=report.status,
                 occurrences=[],
                 num_matches=0,
-                matching_seconds=elapsed,
+                matching_seconds=time.perf_counter() - start,
                 enumeration_seconds=0.0,
             )
-        except QueryCancelled:
-            elapsed = time.perf_counter() - start
-            return MatchReport(
-                query_name=query.name,
-                algorithm=self.algorithm_name(),
-                status=MatchStatus.CANCELLED,
-                occurrences=[],
-                num_matches=0,
-                matching_seconds=elapsed,
-                enumeration_seconds=0.0,
-            )
-        except BudgetExceeded:
-            elapsed = time.perf_counter() - start
-            return MatchReport(
-                query_name=query.name,
-                algorithm=self.algorithm_name(),
-                status=MatchStatus.OUT_OF_MEMORY,
-                occurrences=[],
-                num_matches=0,
-                matching_seconds=elapsed,
-                enumeration_seconds=0.0,
-            )
+        return report
 
     def count(self, query: PatternQuery, budget: Optional[Budget] = None) -> int:
-        """Convenience: number of occurrences of ``query`` (subject to budget)."""
-        return self.match(query, budget=budget).num_matches
+        """Number of occurrences of ``query`` (subject to budget).
+
+        Routed through :meth:`iter_matches` with a counting drain: the
+        occurrences are never accumulated, and ``max_matches`` / deadline
+        budgets short-circuit the enumeration.  A non-solved termination
+        (timeout, cancellation) returns the matches counted *so far*; use
+        :meth:`match` when the terminal status matters.
+        """
+        stream = self.match_stream(query, budget=budget, keep_occurrences=False)
+        for _ in stream:
+            pass
+        return stream.num_yielded

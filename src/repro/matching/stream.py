@@ -1,0 +1,264 @@
+"""MatchStream: incremental match iteration with running counters.
+
+The eager execution contract — evaluate, materialise every occurrence,
+*then* hand the caller a finished :class:`~repro.matching.result.MatchReport`
+— makes downstream consumers wait for the slowest part of query evaluation
+(the paper caps enumeration at 10^7 matches precisely because it dominates).
+:class:`MatchStream` is the incremental half of the redesigned execution
+API: it wraps a lazy occurrence iterator (``Engine.iter_matches`` /
+``GraphMatcher.iter_matches``), tracks running counters (matches yielded,
+time to first match, elapsed wall clock), converts budget exhaustion into a
+terminal :class:`~repro.matching.result.MatchStatus` instead of an
+exception, and *finalises* into the exact :class:`MatchReport` the eager
+path would have produced — same occurrence set, same status.
+
+Consumption patterns::
+
+    stream = session.stream(query)          # nothing evaluated yet
+    first = next(stream)                    # time-to-first-match
+    for occurrence in stream:               # pipelined enumeration
+        ...
+    report = stream.report()                # drains the rest, finalises
+
+    session.stream(query).report()          # equivalent to session.query()
+
+Abandoning a stream (``close()``, context-manager exit, or letting it be
+garbage-collected) closes the underlying generator, which stops the
+producer's backtracking search mid-flight — early termination costs
+nothing beyond the matches already produced.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.exceptions import (
+    BudgetExceeded,
+    MemoryBudgetExceeded,
+    QueryCancelled,
+    TimeoutExceeded,
+)
+from repro.matching.result import Budget, MatchReport, MatchStatus
+
+#: One occurrence: data-node ids indexed by query-node id.
+Occurrence = Tuple[int, ...]
+
+
+class MatchStream:
+    """An in-flight query evaluation, consumable one occurrence at a time.
+
+    Parameters
+    ----------
+    iterator:
+        The lazy occurrence producer.  It may raise
+        :class:`~repro.exceptions.TimeoutExceeded`,
+        :class:`~repro.exceptions.QueryCancelled` or
+        :class:`~repro.exceptions.MemoryBudgetExceeded`; the stream converts
+        each into the corresponding terminal status and stops iteration.
+        It is expected to stop on its own at the budget's match cap (both
+        ``Engine.iter_matches`` and ``GraphMatcher.iter_matches`` do).
+    query_name / algorithm:
+        Report identity, copied into the finalised :class:`MatchReport`.
+    budget:
+        The budget the producer runs under; used only to classify a clean
+        stop at exactly ``max_matches`` yields as
+        :attr:`MatchStatus.MATCH_LIMIT`.
+    info:
+        A *mutable* mapping the producer may update while running (e.g. the
+        GM pipeline records ``matching_seconds`` and its RIG ``extra`` only
+        once the matching phase inside the generator finishes).  Read at
+        finalisation time.  Recognised keys: ``matching_seconds`` (float)
+        and ``extra`` (dict merged into the report's ``extra``).
+    keep_occurrences:
+        When False the stream only counts matches — the finalised report
+        has ``num_matches`` but an empty ``occurrences`` list.  This is the
+        counting drain behind ``Engine.count`` / ``QuerySession.count``.
+    """
+
+    def __init__(
+        self,
+        iterator: Iterator[Occurrence],
+        query_name: str,
+        algorithm: str,
+        budget: Optional[Budget] = None,
+        info: Optional[Dict[str, object]] = None,
+        keep_occurrences: bool = True,
+    ) -> None:
+        self._iterator = iterator
+        self.query_name = query_name
+        self.algorithm = algorithm
+        self.budget = budget
+        self._info = info if info is not None else {}
+        self.keep_occurrences = keep_occurrences
+        self.occurrences: List[Occurrence] = []
+        #: Number of occurrences produced so far.
+        self.num_yielded = 0
+        #: Seconds from stream creation to the first occurrence (None until then).
+        self.first_match_seconds: Optional[float] = None
+        self._started = time.perf_counter()
+        self._elapsed: Optional[float] = None
+        self._status: Optional[MatchStatus] = None
+
+    # ------------------------------------------------------------------ #
+    # iteration
+    # ------------------------------------------------------------------ #
+
+    def __iter__(self) -> "MatchStream":
+        return self
+
+    def __next__(self) -> Occurrence:
+        if self._status is not None:
+            raise StopIteration
+        try:
+            occurrence = next(self._iterator)
+        except StopIteration:
+            self._finish(self._exhausted_status())
+            raise
+        except TimeoutExceeded:
+            self._finish(MatchStatus.TIMEOUT)
+            raise StopIteration from None
+        except QueryCancelled:
+            self._finish(MatchStatus.CANCELLED)
+            raise StopIteration from None
+        except MemoryBudgetExceeded:
+            self._finish(MatchStatus.OUT_OF_MEMORY)
+            raise StopIteration from None
+        except BudgetExceeded:
+            # Any other budget shape (JM-style intermediate explosion)
+            # reports as the paper's out-of-memory failure mode.
+            self._finish(MatchStatus.OUT_OF_MEMORY)
+            raise StopIteration from None
+        if self.num_yielded == 0:
+            self.first_match_seconds = time.perf_counter() - self._started
+        self.num_yielded += 1
+        if self.keep_occurrences:
+            self.occurrences.append(occurrence)
+        return occurrence
+
+    def _exhausted_status(self) -> MatchStatus:
+        limit = self.budget.max_matches if self.budget is not None else None
+        if limit is not None and self.num_yielded >= limit:
+            return MatchStatus.MATCH_LIMIT
+        return MatchStatus.OK
+
+    def _finish(self, status: MatchStatus) -> None:
+        if self._status is None:
+            self._status = status
+            self._elapsed = time.perf_counter() - self._started
+
+    # ------------------------------------------------------------------ #
+    # state
+    # ------------------------------------------------------------------ #
+
+    @property
+    def finished(self) -> bool:
+        """True once the stream reached a terminal status."""
+        return self._status is not None
+
+    @property
+    def status(self) -> Optional[MatchStatus]:
+        """The terminal status, or None while the stream is still live."""
+        return self._status
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Wall-clock seconds since creation (frozen at termination)."""
+        if self._elapsed is not None:
+            return self._elapsed
+        return time.perf_counter() - self._started
+
+    # ------------------------------------------------------------------ #
+    # finalisation
+    # ------------------------------------------------------------------ #
+
+    def report(self, drain: bool = True) -> MatchReport:
+        """Finalise into a :class:`MatchReport`.
+
+        With ``drain=True`` (default) the remaining occurrences are pulled
+        first, so the report is exactly what the eager ``match()`` path
+        would have returned.  With ``drain=False`` the report describes the
+        matches consumed so far; a still-live stream is closed and reported
+        with its current (partial) counters and status ``CANCELLED``.
+        """
+        if self._status is None:
+            if drain:
+                for _ in self:
+                    pass
+            else:
+                self.close()
+        source: Optional[MatchReport] = getattr(self, "_source_report", None)
+        if source is not None and self.num_yielded == source.num_matches:
+            # A fully drained pre-materialised stream: the original report
+            # (with its true phase timings) is strictly more faithful.
+            return source
+        matching_seconds = float(self._info.get("matching_seconds", 0.0))
+        extra = dict(self._info.get("extra", ()))
+        if self.first_match_seconds is not None:
+            extra.setdefault("first_match_seconds", self.first_match_seconds)
+        extra.setdefault("streamed", True)
+        return MatchReport(
+            query_name=self.query_name,
+            algorithm=self.algorithm,
+            status=self._status or MatchStatus.CANCELLED,
+            occurrences=self.occurrences if self.keep_occurrences else [],
+            num_matches=self.num_yielded,
+            matching_seconds=matching_seconds,
+            enumeration_seconds=max(0.0, self.elapsed_seconds - matching_seconds),
+            extra=extra,
+        )
+
+    def close(self) -> None:
+        """Stop the producer (idempotent).  A live stream terminates CANCELLED."""
+        close = getattr(self._iterator, "close", None)
+        if close is not None:
+            close()
+        self._finish(MatchStatus.CANCELLED)
+
+    def __enter__(self) -> "MatchStream":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = self._status.value if self._status else "live"
+        return (
+            f"MatchStream({self.algorithm} on {self.query_name!r}, "
+            f"{self.num_yielded} yielded, {state})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # adapters
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_report(cls, report: MatchReport, budget: Optional[Budget] = None) -> "MatchStream":
+        """Wrap a finished :class:`MatchReport` as a (degenerate) stream.
+
+        Used for matchers whose algorithm is inherently blocking (the JM /
+        TM / ISO baselines): the evaluation has already completed, so the
+        stream merely replays its occurrences.  The finalised report keeps
+        the original's status and phase timings.
+        """
+        stream = cls(
+            iter(report.occurrences),
+            query_name=report.query_name,
+            algorithm=report.algorithm,
+            budget=budget,
+            info={
+                "matching_seconds": report.matching_seconds,
+                "extra": dict(report.extra, pre_materialized=True),
+            },
+        )
+        stream._source_report = report  # type: ignore[attr-defined]
+        original = stream._exhausted_status
+
+        def exhausted() -> MatchStatus:
+            status = original()
+            # A blocking producer may have ended on a budget failure the
+            # occurrences alone cannot reveal; trust its recorded status.
+            return report.status if status is MatchStatus.OK else status
+
+        stream._exhausted_status = exhausted  # type: ignore[method-assign]
+        return stream

@@ -20,9 +20,14 @@ cancellation event through it, so the match loops' amortised checkpoints
 Results
 -------
 :meth:`QueryService.submit` returns a :class:`QueryTicket` future;
-:meth:`QueryService.stream` returns a :class:`StreamingResult` that holds
-its snapshot pin until the consumer finishes paging, so pagination stays
-consistent with the version the query ran on even if the head moves.
+:meth:`QueryService.stream` returns a :class:`StreamingResult` whose pages
+are **pipelined**: the worker feeds a bounded page queue as the matcher's
+streaming iterator produces occurrences, so the first page is consumable
+while the query is still enumerating.  The result holds its snapshot pin
+until the consumer finishes (or abandons) paging, so pagination stays
+consistent with the version the query ran on even if the head moves; a
+consumer that walks away mid-stream cancels the producer and releases the
+pin through the page generator's ``finally``.
 """
 
 from __future__ import annotations
@@ -71,6 +76,88 @@ class ServiceConfig:
     default_budget: Optional[Budget] = None
     #: Sliding-window size of the latency reservoir.
     latency_window: int = 4096
+    #: Backpressure depth of a streaming query's page queue: the producer
+    #: runs at most this many pages ahead of the consumer before blocking.
+    #: With ``keep_occurrences=False`` this bounds the stream's in-flight
+    #: occurrence buffering to ``(stream_buffer_pages + 1) * page_size``;
+    #: the default ``keep_occurrences=True`` additionally accumulates the
+    #: full occurrence list worker-side for the final ``report()``.
+    stream_buffer_pages: int = 4
+
+
+class _StreamBuffer:
+    """Bounded page queue between a streaming worker and its consumer.
+
+    The worker calls :meth:`put_page` as pages fill (blocking once the
+    consumer is ``max_pages`` behind — that backpressure is what bounds a
+    stream's in-flight buffering) and the ticket's terminal transition
+    calls :meth:`finish` exactly once.  The consumer iterates
+    :meth:`pages`.  :meth:`abandon` (consumer walked away) unblocks a
+    waiting producer and makes every later ``put_page`` a fast no-op.
+    """
+
+    _DONE = object()
+    #: Producer poll period while blocked on a full queue (seconds); each
+    #: wakeup re-checks abandonment so a stalled consumer never wedges a
+    #: worker thread.
+    _POLL_SECONDS = 0.05
+
+    def __init__(self, max_pages: int) -> None:
+        self._queue: "queue_module.Queue" = queue_module.Queue(maxsize=max(1, max_pages))
+        self._abandoned = threading.Event()
+        self._error: Optional[BaseException] = None
+        self._finished = threading.Event()
+
+    def put_page(self, page: Tuple[Tuple[int, ...], ...]) -> bool:
+        """Enqueue one page; False once the consumer abandoned the stream."""
+        while not self._abandoned.is_set():
+            try:
+                self._queue.put(page, timeout=self._POLL_SECONDS)
+                return True
+            except queue_module.Full:
+                continue
+        return False
+
+    def finish(self, error: Optional[BaseException] = None) -> None:
+        """Mark the stream complete (idempotent); wakes the consumer."""
+        if self._finished.is_set():
+            return
+        self._error = error
+        self._finished.set()
+        while not self._abandoned.is_set():
+            try:
+                self._queue.put(self._DONE, timeout=self._POLL_SECONDS)
+                return
+            except queue_module.Full:
+                continue
+
+    def abandon(self) -> None:
+        """Consumer-side teardown: unblock the producer, drop queued pages."""
+        self._abandoned.set()
+        while True:
+            try:
+                self._queue.get_nowait()
+            except queue_module.Empty:
+                return
+
+    def pages(self, timeout: Optional[float] = None) -> Iterator[Tuple[Tuple[int, ...], ...]]:
+        """Yield pages until the stream finishes; re-raises a failed ticket.
+
+        ``timeout`` bounds the wait for *each* page; exceeding it raises
+        :class:`TimeoutError` (same contract as :meth:`QueryTicket.result`).
+        """
+        while True:
+            try:
+                item = self._queue.get(timeout=timeout)
+            except queue_module.Empty:
+                raise TimeoutError(
+                    f"no streamed page within {timeout}s"
+                ) from None
+            if item is self._DONE:
+                if self._error is not None:
+                    raise self._error
+                return
+            yield item
 
 
 class QueryTicket:
@@ -95,6 +182,9 @@ class QueryTicket:
         deadline: Optional[float],
         snapshot: Optional[StoreSnapshot] = None,
         name: Optional[str] = None,
+        page_size: Optional[int] = None,
+        stream_buffer: Optional[_StreamBuffer] = None,
+        keep_occurrences: bool = True,
     ) -> None:
         self.ticket_id = next(self._ids)
         self.name = name or query.name
@@ -103,6 +193,11 @@ class QueryTicket:
         self.budget = budget
         self.deadline = deadline
         self.snapshot = snapshot
+        #: Streaming execution: page size and the bounded page queue the
+        #: worker feeds (None for plain submit-and-wait tickets).
+        self.page_size = page_size
+        self.stream_buffer = stream_buffer
+        self.keep_occurrences = keep_occurrences
         self.submitted_at = time.monotonic()
         self.status = TICKET_QUEUED
         self.report: Optional[MatchReport] = None
@@ -146,11 +241,20 @@ class QueryTicket:
     # internal: terminal transitions (worker / service side only) -------- #
 
     def _finish(self, status: str, report=None, error=None) -> None:
+        if self._done.is_set():
+            # Already terminal: a late failure after a successful finish
+            # (e.g. a post-completion bookkeeping error in the worker) must
+            # not overwrite the delivered result.
+            return
         self.status = status
         self.report = report
         self.error = error
         self.seconds = time.monotonic() - self.submitted_at
         self._done.set()
+        if self.stream_buffer is not None:
+            # Every terminal path — done, cancelled, shed at dequeue,
+            # failed — wakes a paging consumer exactly once.
+            self.stream_buffer.finish(error=error)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"QueryTicket(#{self.ticket_id} {self.name!r}, {self.status})"
@@ -165,18 +269,28 @@ class ServiceBatchReport(BatchReport):
 
 
 class StreamingResult:
-    """Paginated iteration over one query's occurrences, pinned to a version.
+    """Pipelined, paginated iteration over one query's occurrences.
 
-    The snapshot pin is held from submission until :meth:`close` (or
-    exhaustion, or context-manager exit), so every page — no matter how
-    slowly the consumer drains — describes the same graph version.
+    Pages are fed by the executing worker through a bounded queue **as the
+    matcher produces them**: the first page is consumable while the query
+    is still enumerating, and a slow consumer exerts backpressure that
+    caps the producer's lead at the queue depth (no unbounded buffering in
+    the pipe).  The snapshot pin is held from submission until
+    :meth:`close` (or exhaustion of :meth:`pages`, or context-manager
+    exit, or the page generator being closed/garbage-collected after an
+    abandoned ``for`` loop), so every page — no matter how slowly the
+    consumer drains — describes the same graph version.  Closing before
+    exhaustion cancels the producer cooperatively and releases the pin.
     """
 
     def __init__(self, ticket: QueryTicket, snapshot: StoreSnapshot, page_size: int) -> None:
         if page_size <= 0:
             raise ValueError(f"page_size must be positive, got {page_size}")
+        if ticket.stream_buffer is None:
+            raise ValueError("ticket was not submitted with a stream buffer")
         self.ticket = ticket
         self.page_size = page_size
+        self._buffer = ticket.stream_buffer
         self._snapshot = snapshot
         self._version = snapshot.version
         self._closed = False
@@ -190,15 +304,26 @@ class StreamingResult:
         return self._version
 
     def report(self, timeout: Optional[float] = None) -> MatchReport:
-        """The underlying :class:`MatchReport` (blocks until finished)."""
+        """The finalised :class:`MatchReport` (blocks until the query ends).
+
+        Unlike :meth:`pages` this waits for the *whole* evaluation; with
+        ``keep_occurrences=False`` at submission the report carries counts
+        and timings but an empty occurrence list.
+        """
         return self.ticket.result(timeout)
 
     def pages(self, timeout: Optional[float] = None) -> Iterator[Tuple[Tuple[int, ...], ...]]:
-        """Yield occurrence pages of ``page_size``; releases the pin at the end."""
+        """Yield occurrence pages of ``page_size`` as they are produced.
+
+        The first page arrives as soon as the worker fills it — before the
+        query finishes.  ``timeout`` bounds the wait per page
+        (:class:`TimeoutError`); a shed or failed ticket re-raises its
+        error here.  Exhaustion, an error, or abandonment (closing the
+        generator / breaking out of the loop and dropping it) all release
+        the snapshot pin and cancel a still-running producer.
+        """
         try:
-            occurrences = self.report(timeout).occurrences
-            for start in range(0, len(occurrences), self.page_size):
-                yield tuple(occurrences[start : start + self.page_size])
+            yield from self._buffer.pages(timeout)
         finally:
             self.close()
 
@@ -214,6 +339,7 @@ class StreamingResult:
             self._closed = True
             if not self.ticket.done:
                 self.ticket.cancel()
+            self._buffer.abandon()
             self._snapshot.release()
 
     def __enter__(self) -> "StreamingResult":
@@ -221,6 +347,13 @@ class StreamingResult:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else "open"
+        return (
+            f"StreamingResult(#{self.ticket.ticket_id} v{self._version}, "
+            f"page_size={self.page_size}, {state})"
+        )
 
 
 class QueryService:
@@ -280,6 +413,8 @@ class QueryService:
         deadline_seconds: Optional[float] = None,
         name: Optional[str] = None,
         snapshot: Optional[StoreSnapshot] = None,
+        page_size: Optional[int] = None,
+        keep_occurrences: bool = True,
     ) -> QueryTicket:
         """Admit one query for asynchronous execution.
 
@@ -289,6 +424,13 @@ class QueryService:
         latency bounded under overload.  ``snapshot`` pins the execution
         to an explicitly pinned epoch (the caller keeps ownership of the
         pin); by default each query pins the head at execution time.
+
+        ``page_size`` switches the ticket to streaming execution: the
+        worker feeds occurrence pages into a bounded queue as they are
+        produced (see :meth:`stream`, which wraps this in a
+        :class:`StreamingResult`).  ``keep_occurrences=False`` makes the
+        final report count-only — pages still flow, but the worker never
+        accumulates the full occurrence list.
         """
         self.stats.note_submitted()
         effective_deadline = (
@@ -301,6 +443,11 @@ class QueryService:
             if effective_deadline is not None
             else None
         )
+        stream_buffer = None
+        if page_size is not None:
+            if page_size <= 0:
+                raise ValueError(f"page_size must be positive, got {page_size}")
+            stream_buffer = _StreamBuffer(self.config.stream_buffer_pages)
         ticket = QueryTicket(
             query,
             engine=engine or self.config.default_engine,
@@ -308,6 +455,9 @@ class QueryService:
             deadline=deadline,
             snapshot=snapshot,
             name=name,
+            page_size=page_size,
+            stream_buffer=stream_buffer,
+            keep_occurrences=keep_occurrences,
         )
         with self._admission_lock:
             if self._closed:
@@ -349,8 +499,21 @@ class QueryService:
         budget: Optional[Budget] = None,
         page_size: int = 256,
         deadline_seconds: Optional[float] = None,
+        keep_occurrences: bool = True,
     ) -> StreamingResult:
-        """Submit a query and page through its results at a pinned version."""
+        """Submit a query and page through its results as they are found.
+
+        True pipelined streaming: the worker pushes each page into the
+        result's bounded queue the moment the matcher has produced
+        ``page_size`` occurrences, so the first page is available *before*
+        the query completes, and a slow consumer throttles the producer
+        instead of growing an unbounded pipe.  Pass
+        ``keep_occurrences=False`` for a strictly memory-bounded stream —
+        by default the worker also accumulates the occurrence list so
+        :meth:`StreamingResult.report` stays complete.  The whole stream
+        is pinned to one version; dropping out early cancels the query and
+        releases the pin.
+        """
         snapshot = self.store.pin()
         try:
             ticket = self.submit(
@@ -359,6 +522,8 @@ class QueryService:
                 budget=budget,
                 deadline_seconds=deadline_seconds,
                 snapshot=snapshot,
+                page_size=page_size,
+                keep_occurrences=keep_occurrences,
             )
         except Exception:
             snapshot.release()
@@ -481,15 +646,20 @@ class QueryService:
                 .with_deadline(ticket.deadline)
                 .with_cancel_event(ticket.cancel_event)
             )
-            report = session.query(ticket.query, engine=ticket.engine, budget=budget)
-            ticket.pinned_version = snapshot.version
+            if ticket.stream_buffer is not None:
+                report = self._run_streaming(ticket, session, budget)
+            else:
+                report = session.query(ticket.query, engine=ticket.engine, budget=budget)
+            # Cache the version BEFORE finishing the ticket: _finish wakes
+            # the consumer, whose prompt close() may release the snapshot,
+            # after which snapshot.version raises StoreError.
+            version = snapshot.version
+            ticket.pinned_version = version
             if report.status is MatchStatus.CANCELLED:
                 ticket._finish(TICKET_CANCELLED, report=report)
             else:
                 ticket._finish(TICKET_DONE, report=report)
-            self.stats.note_completed(
-                ticket.seconds, report.status.value, snapshot.version
-            )
+            self.stats.note_completed(ticket.seconds, report.status.value, version)
         except Exception as exc:  # engine/user errors surface via result()
             if ticket.cancel_event.is_set():
                 # A cancel that landed mid-setup (e.g. StreamingResult.close()
@@ -511,9 +681,42 @@ class QueryService:
             if own_pin:
                 snapshot.release()
 
-    # ------------------------------------------------------------------ #
-    # observability
-    # ------------------------------------------------------------------ #
+    def _run_streaming(self, ticket: QueryTicket, session, budget: Budget) -> MatchReport:
+        """Drive one streaming ticket: pump pages as matches are produced.
+
+        The matcher's :class:`~repro.matching.stream.MatchStream` is
+        consumed one occurrence at a time; every ``page_size`` occurrences
+        a page is pushed into the ticket's bounded buffer (blocking on a
+        slow consumer — that backpressure *is* the memory bound).  A
+        consumer that abandons the stream flips the buffer, which stops
+        the pump and closes the match stream, cancelling the engine's
+        enumeration mid-search.
+        """
+        stream = session.stream(
+            ticket.query,
+            engine=ticket.engine,
+            budget=budget,
+            keep_occurrences=ticket.keep_occurrences,
+        )
+        buffer = ticket.stream_buffer
+        page_size = ticket.page_size or 1
+        page: list = []
+        abandoned = False
+        with stream:
+            for occurrence in stream:
+                page.append(occurrence)
+                if len(page) >= page_size:
+                    if not buffer.put_page(tuple(page)):
+                        abandoned = True
+                        break
+                    page = []
+            if not abandoned and page:
+                buffer.put_page(tuple(page))
+        # Exiting the ``with`` closed the stream: an abandoned (still-live)
+        # evaluation finalises as CANCELLED, a finished one keeps its
+        # terminal status.  No drain — the matches already produced are
+        # exactly what the consumer saw.
+        return stream.report(drain=False)
 
     def stats_snapshot(self) -> Dict[str, object]:
         """Service counters merged with the store's version-chain gauges."""

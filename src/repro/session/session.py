@@ -39,6 +39,7 @@ from repro.graph.digraph import DataGraph
 from repro.matching.gm import GMVariant, GraphMatcher
 from repro.matching.ordering import OrderingMethod
 from repro.matching.result import Budget, MatchReport
+from repro.matching.stream import MatchStream
 from repro.query.pattern import PatternQuery
 from repro.reachability.base import ReachabilityIndex
 from repro.reachability.transitive_closure import TransitiveClosureIndex
@@ -389,6 +390,29 @@ class QuerySession:
             sorted({**cls._GM_SPECS, **cls._BASELINE_CLASSES, **cls._ENGINE_CLASSES})
         )
 
+    @classmethod
+    def register_engine(cls, name: str, engine_class) -> None:
+        """Register a custom :class:`~repro.engines.base.Engine` subclass.
+
+        The engine becomes addressable by ``name`` in :meth:`query` /
+        :meth:`stream` / :meth:`run_batch` (and therefore through the
+        store, the service and the :class:`~repro.api.GraphDB` facade).
+        Registration is process-wide (the registry is class-level) and
+        overwrites an existing entry with the same name — tests should
+        unregister with :meth:`unregister_engine` when done.
+        """
+        if not (isinstance(engine_class, type) and issubclass(engine_class, Engine)):
+            raise TypeError(
+                f"engine_class must be an Engine subclass, got {engine_class!r}"
+            )
+        cls._ENGINE_CLASSES[name] = engine_class
+
+    @classmethod
+    def unregister_engine(cls, name: str) -> None:
+        """Remove a previously registered custom engine (missing names ok)."""
+        if name not in {"Neo4j", "EH", "GF", "RM"}:
+            cls._ENGINE_CLASSES.pop(name, None)
+
     def _rig_cache_for(self, variant: GMVariant) -> _ObservedRigCache:
         key = (variant.value, self.version)
         cache = self._rig_caches.get(key)
@@ -476,9 +500,54 @@ class QuerySession:
             return matcher.match(query, budget=budget, injective=injective)
         return matcher.match(query, budget=budget)
 
+    def stream(
+        self,
+        query: PatternQuery,
+        engine: str = "GM",
+        budget: Optional[Budget] = None,
+        injective: bool = False,
+        keep_occurrences: bool = True,
+    ) -> MatchStream:
+        """Incrementally evaluate one query as a :class:`MatchStream`.
+
+        Occurrences flow out as the matcher finds them (lazily for GM and
+        the streaming-capable engines); ``stream.report()`` drains the rest
+        and finalises into the same :class:`MatchReport` :meth:`query`
+        returns.  Matchers without a streaming path (the JM / TM / ISO
+        baselines) evaluate eagerly and replay their finished result
+        through the same interface.
+        """
+        matcher = self.matcher(engine)
+        budget = budget or self.budget
+        if isinstance(matcher, GraphMatcher):
+            return matcher.match_stream(
+                query,
+                budget=budget,
+                injective=injective,
+                keep_occurrences=keep_occurrences,
+            )
+        if isinstance(matcher, Engine):
+            return matcher.match_stream(
+                query, budget=budget, keep_occurrences=keep_occurrences
+            )
+        return MatchStream.from_report(
+            matcher.match(query, budget=budget), budget=budget
+        )
+
     def count(self, query: PatternQuery, engine: str = "GM", budget: Optional[Budget] = None) -> int:
-        """Number of occurrences of ``query`` (subject to the budget)."""
-        return self.query(query, engine=engine, budget=budget).num_matches
+        """Number of occurrences of ``query`` (subject to the budget).
+
+        Uses a counting drain over the matcher's streaming iterator, so
+        the occurrence list is never materialised and ``max_matches`` /
+        deadline budgets short-circuit the enumeration.  A non-solved
+        termination (timeout, cancellation, memory budget) returns the
+        matches counted *so far*; use :meth:`query` when the terminal
+        status matters.
+        """
+        stream = self.stream(query, engine=engine, budget=budget, keep_occurrences=False)
+        for _ in stream:
+            pass
+        return stream.num_yielded
 
     def run_batch(
         self,

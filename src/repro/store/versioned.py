@@ -138,8 +138,21 @@ class StoreSnapshot:
     def count(
         self, query: PatternQuery, engine: str = "GM", budget: Optional[Budget] = None
     ) -> int:
-        """Number of occurrences of ``query`` at the pinned version."""
-        return self.query(query, engine=engine, budget=budget).num_matches
+        """Number of occurrences of ``query`` at the pinned version.
+
+        Counting drain over the streaming iterator — no occurrence list is
+        materialised (see :meth:`QuerySession.count`).
+        """
+        return self._require_pinned().session.count(query, engine=engine, budget=budget)
+
+    def stream(self, query: PatternQuery, engine: str = "GM", budget: Optional[Budget] = None):
+        """Incrementally evaluate ``query`` at the pinned version.
+
+        Returns a :class:`~repro.matching.stream.MatchStream` whose
+        occurrences are guaranteed to describe this snapshot's version; the
+        caller keeps the pin until it is done consuming.
+        """
+        return self._require_pinned().session.stream(query, engine=engine, budget=budget)
 
     def run_batch(self, queries, **kwargs) -> BatchReport:
         """Execute a batch against the pinned version (see
@@ -370,9 +383,18 @@ class VersionedGraphStore:
         the new one.  A delta that turns out to be a no-op publishes
         nothing.
         """
+        return self._apply(delta, materialize=materialize)
+
+    def _apply(
+        self, delta: GraphDelta, materialize: bool = True, from_writer: bool = False
+    ) -> ApplyReport:
+        """The fold itself.  ``from_writer`` lets the background writer
+        drain deltas that were admitted before :meth:`close` flipped
+        ``_closed`` — the close contract is that every already-queued
+        delta still folds ahead of the shutdown sentinel."""
         started = time.perf_counter()
         with self._writer_lock:
-            if self._closed:
+            if self._closed and not from_writer:
                 raise StoreError("store is closed")
             head = self._head  # only writers move the head; lock held
             # Cheap no-op probe before paying the copy-on-write fork: a
@@ -437,7 +459,9 @@ class VersionedGraphStore:
                     return
                 delta, materialize, future = item
                 try:
-                    future.set_result(self.apply(delta, materialize=materialize))
+                    future.set_result(
+                        self._apply(delta, materialize=materialize, from_writer=True)
+                    )
                 except BaseException as exc:  # propagate through the future
                     future.set_exception(exc)
             finally:

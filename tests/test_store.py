@@ -224,3 +224,19 @@ class TestWriterQueue:
         delta, _node = _new_a_delta(store.graph)
         report = store.apply(delta)
         assert report.new_version == store.head_version
+
+    def test_close_folds_already_queued_deltas(self, paper_graph):
+        # Regression: close() promises every delta admitted before the
+        # shutdown sentinel still folds; the writer must not reject them
+        # with "store is closed" once _closed flips.
+        store = VersionedGraphStore(paper_graph)
+        futures = []
+        for offset in range(3):
+            delta = GraphDelta.for_graph(store.graph)
+            delta.add_edge(A1, 4 + offset)
+            futures.append(store.apply_async(delta))
+        store.close()
+        reports = [future.result(timeout=30.0) for future in futures]
+        assert [report.new_version for report in reports] == [1, 2, 3]
+        with pytest.raises(StoreError):
+            store.apply(GraphDelta.for_graph(store.graph).add_edge(A1, 5))
