@@ -1,0 +1,390 @@
+"""Wire-protocol server — concurrent remote clients vs in-process truth.
+
+Not a paper figure: this benchmark demonstrates that putting the
+:class:`~repro.api.GraphDB` facade on the wire keeps both its semantics
+and its streaming character.  One :class:`~repro.server.GraphServer`
+process-local instance serves the ``em`` workload; two phases run:
+
+* **correctness under concurrency** — ``NUM_CLIENTS`` (>= 8) concurrent
+  :class:`~repro.client.GraphClient` connections each pin a version, run
+  query batches and drain streams against their pin while a writer thread
+  keeps publishing insert deltas behind them.  *Every* remote batch and
+  stream result is verified occurrence-for-occurrence against an
+  in-process run of the very version the remote pin named (the remote pin
+  keeps that version retained, so the in-process comparison pins it too);
+* **remote time-to-first-page** — on the full-scale ``em`` graph, the
+  wall time until the first streamed page crosses the socket is compared
+  with the wall time of the same query's full remote completion.  The
+  regenerate test asserts the speedup is at least
+  ``TARGET_FIRST_PAGE_SPEEDUP`` (3x) — pipelining must survive the
+  network hop, not just the in-process queue.
+
+Results go to ``results/server.txt`` and the ``server`` section of
+``results/BENCH_server.json``.
+"""
+
+import statistics
+import threading
+import time
+
+from conftest import RESULTS_DIR, update_server_json
+from repro.api import GraphDB
+from repro.bench.workloads import bench_graph, query_set
+from repro.client import GraphClient
+from repro.dynamic import GraphDelta
+from repro.matching.result import Budget
+from repro.server import GraphCatalog, GraphServer
+
+#: Phase-1 graph scale (matches the service-concurrency benchmark family).
+SERVER_BENCH_SCALE = 0.25
+
+#: Phase-2 graph scale: the full-size em graph of the streaming benchmark.
+STREAMING_SCALE = 1.0
+
+#: Concurrent remote clients (the acceptance bar requires >= 8).
+NUM_CLIENTS = 8
+
+#: Verified batches per client (each against a freshly pinned version).
+BATCHES_PER_CLIENT = 3
+
+#: Writer churn behind the readers: insert-only deltas, edges per delta.
+NUM_DELTAS = 12
+EDGES_PER_DELTA = 3
+
+SERVER_BUDGET = Budget(
+    max_matches=2_000, time_limit_seconds=30.0, max_intermediate_results=200_000
+)
+
+#: Phase-2 budget: enumeration-bound, like the streaming benchmark.
+FIRST_PAGE_BUDGET = Budget(
+    max_matches=200_000, time_limit_seconds=120.0, max_intermediate_results=None
+)
+
+#: Acceptance bar: remote full completion / remote time-to-first-page.
+TARGET_FIRST_PAGE_SPEEDUP = 3.0
+
+#: Measurement repetitions for phase 2 (median taken).
+ROUNDS = 3
+
+
+def batch_workload(graph):
+    """Three hybrid template queries per remote batch."""
+    return query_set(graph, kind="H", templates=("HQ0", "HQ4", "HQ8"))
+
+
+def streaming_workload(graph):
+    """The enumeration-bound queries of the streaming benchmark."""
+    queries = {}
+    for kind, template in (("H", "HQ1"), ("D", "DQ0")):
+        generated = query_set(
+            graph, kind=kind, templates=(template.replace(kind + "Q", "HQ"),)
+        )
+        queries.update(generated)
+    return queries
+
+
+def writer_churn(db, stop_event, seed_edges, applied):
+    """Publish small insert-only deltas until asked to stop."""
+    index = 0
+    while not stop_event.is_set() and index < NUM_DELTAS:
+        head = db.graph
+        delta = GraphDelta.for_graph(head)
+        for offset in range(EDGES_PER_DELTA):
+            source, target = seed_edges[(index * EDGES_PER_DELTA + offset) % len(seed_edges)]
+            # Re-route an existing edge's endpoints into a fresh pair; the
+            # modulus keeps ids valid on every published version.
+            delta.add_edge((source + 1) % head.num_nodes, (target + 2) % head.num_nodes)
+        report = db.apply(delta)
+        applied.append(report.new_version)
+        index += 1
+        time.sleep(0.01)
+
+
+def run_client(index, address, db, queries, results, errors):
+    """One remote client: pinned batches + a pinned stream, all verified."""
+    try:
+        verified_batches = 0
+        verified_streams = 0
+        versions = set()
+        with GraphClient(*address, graph="em", timeout=120.0) as client:
+            for _ in range(BATCHES_PER_CLIENT):
+                snapshot = client.pin()
+                try:
+                    versions.add(snapshot.version)
+                    remote = snapshot.run_batch(
+                        queries, engine="GM", budget=SERVER_BUDGET
+                    )
+                    assert remote.version == snapshot.version
+                    # The remote pin keeps the version retained, so the
+                    # in-process store can pin the same epoch for truth.
+                    with db.store.pin(snapshot.version) as local_snap:
+                        for outcome in remote.outcomes:
+                            local = local_snap.query(
+                                queries[outcome.name], engine="GM", budget=SERVER_BUDGET
+                            )
+                            assert outcome.occurrence_set() == local.occurrence_set(), (
+                                f"client {index}: batch query {outcome.name} diverged "
+                                f"at version {snapshot.version}"
+                            )
+                            assert outcome.num_matches == local.num_matches
+                        verified_batches += 1
+
+                        # Stream one query under the same pin and verify the
+                        # concatenated pages against the same local truth.
+                        name = next(iter(queries))
+                        streamed = []
+                        with snapshot.stream(
+                            queries[name], engine="GM", budget=SERVER_BUDGET,
+                            page_size=64,
+                        ) as stream:
+                            assert stream.version == snapshot.version
+                            for page in stream.pages(timeout=120.0):
+                                streamed.extend(page)
+                        local = local_snap.query(
+                            queries[name], engine="GM", budget=SERVER_BUDGET
+                        )
+                        assert set(streamed) == local.occurrence_set(), (
+                            f"client {index}: streamed pages diverged at "
+                            f"version {snapshot.version}"
+                        )
+                        verified_streams += 1
+                finally:
+                    snapshot.release()
+        results[index] = {
+            "verified_batches": verified_batches,
+            "verified_streams": verified_streams,
+            "versions": sorted(versions),
+        }
+    except Exception as exc:  # pragma: no cover - surfaced by the driver
+        errors.append((index, repr(exc)))
+
+
+def run_concurrent_phase(server, db, graph):
+    """Phase 1: NUM_CLIENTS concurrent verified clients racing a writer."""
+    queries = batch_workload(graph)
+    stop_event = threading.Event()
+    applied = []
+    writer = threading.Thread(
+        target=writer_churn,
+        args=(db, stop_event, list(graph.edges()), applied),
+        daemon=True,
+    )
+    results = {}
+    errors = []
+    clients = [
+        threading.Thread(
+            target=run_client,
+            args=(index, server.address, db, queries, results, errors),
+            daemon=True,
+        )
+        for index in range(NUM_CLIENTS)
+    ]
+    started = time.perf_counter()
+    writer.start()
+    for thread in clients:
+        thread.start()
+    for thread in clients:
+        thread.join(timeout=600.0)
+    stop_event.set()
+    writer.join(timeout=60.0)
+    wall = time.perf_counter() - started
+    if errors:
+        raise AssertionError(f"remote verification failed: {errors}")
+    versions_served = sorted({v for entry in results.values() for v in entry["versions"]})
+    return {
+        "clients": NUM_CLIENTS,
+        "batches_per_client": BATCHES_PER_CLIENT,
+        "queries_per_batch": len(queries),
+        "wall_seconds": round(wall, 6),
+        "deltas_published": len(applied),
+        "versions_served": versions_served,
+        "verified_batches": sum(e["verified_batches"] for e in results.values()),
+        "verified_streams": sum(e["verified_streams"] for e in results.values()),
+        "remote_matches_verified": True,
+    }
+
+
+def run_first_page_phase(server):
+    """Phase 2: remote time-to-first-page vs remote full completion (em@1.0)."""
+    graph = bench_graph("em", scale=STREAMING_SCALE)
+    db = GraphDB.open(graph)
+    server.catalog.attach("em-large", db)
+    try:
+        queries = streaming_workload(graph)
+        with GraphClient(*server.address, graph="em-large", timeout=300.0) as client:
+            per_query = {}
+            for name, query in queries.items():
+                client.query(query, budget=FIRST_PAGE_BUDGET)  # warm the epoch
+                fulls, firsts = [], []
+                num_matches = 0
+                still_running = False
+                for _ in range(ROUNDS):
+                    start = time.perf_counter()
+                    report = client.query(query, budget=FIRST_PAGE_BUDGET)
+                    fulls.append(time.perf_counter() - start)
+                    num_matches = report.num_matches
+
+                    start = time.perf_counter()
+                    stream = client.stream(
+                        query, budget=FIRST_PAGE_BUDGET, page_size=256
+                    )
+                    pages = stream.pages(timeout=300.0)
+                    first_page = next(pages)
+                    firsts.append(time.perf_counter() - start)
+                    # The query is still enumerating while we already hold
+                    # occurrences: the pipelining proof, across the socket.
+                    still_running = (
+                        still_running
+                        or client.stats()["pinned_epochs"] >= 1
+                    )
+                    assert len(first_page) >= 1
+                    stream.close()
+                full = statistics.median(fulls)
+                first = statistics.median(firsts)
+                per_query[name] = {
+                    "num_matches": num_matches,
+                    "remote_full_seconds": round(full, 6),
+                    "remote_first_page_seconds": round(first, 6),
+                    "speedup": round(full / max(first, 1e-9), 1),
+                    "stream_open_during_first_page": still_running,
+                }
+            min_speedup = min(entry["speedup"] for entry in per_query.values())
+            return {
+                "graph": "em",
+                "scale": STREAMING_SCALE,
+                "budget_max_matches": FIRST_PAGE_BUDGET.max_matches,
+                "queries": per_query,
+                "min_first_page_speedup": min_speedup,
+                "target_first_page_speedup": TARGET_FIRST_PAGE_SPEEDUP,
+            }
+    finally:
+        server.catalog.drop("em-large")
+        db.close()
+
+
+def run_server_bench():
+    """Both phases against one server; returns the ``server`` JSON section."""
+    graph = bench_graph("em", scale=SERVER_BENCH_SCALE)
+    db = GraphDB.open(graph)
+    catalog = GraphCatalog()
+    catalog.attach("em", db)
+    server = GraphServer(catalog)
+    server.start()
+    try:
+        concurrency = run_concurrent_phase(server, db, graph)
+        first_page = run_first_page_phase(server)
+    finally:
+        server.close()
+        catalog.close()
+        db.close()
+    return {
+        "concurrency": concurrency,
+        "first_page": first_page,
+        "min_first_page_speedup": first_page["min_first_page_speedup"],
+        "target_first_page_speedup": TARGET_FIRST_PAGE_SPEEDUP,
+        "remote_matches_verified": concurrency["remote_matches_verified"],
+    }
+
+
+def format_table(payload: dict) -> str:
+    concurrency = payload["concurrency"]
+    first_page = payload["first_page"]
+    lines = [
+        "Wire-protocol server: concurrent remote clients + streaming over the socket",
+        f"phase 1 (em@{SERVER_BENCH_SCALE}): {concurrency['clients']} clients x "
+        f"{concurrency['batches_per_client']} pinned batches "
+        f"({concurrency['queries_per_batch']} queries each) racing "
+        f"{concurrency['deltas_published']} published deltas "
+        f"in {concurrency['wall_seconds']:.2f}s",
+        f"  versions served: {concurrency['versions_served']}; "
+        f"{concurrency['verified_batches']} batches + "
+        f"{concurrency['verified_streams']} streams verified against "
+        "in-process runs of the same pinned versions",
+        f"phase 2 (em@{first_page['scale']}): remote first page vs remote full query",
+        f"{'query':<8} {'matches':>9} {'full':>12} {'first page':>12} {'speedup':>9}",
+    ]
+    for name, entry in first_page["queries"].items():
+        lines.append(
+            f"{name:<8} {entry['num_matches']:>9} "
+            f"{entry['remote_full_seconds'] * 1000:>10.2f}ms "
+            f"{entry['remote_first_page_seconds'] * 1000:>10.3f}ms "
+            f"{entry['speedup']:>8.1f}x"
+        )
+    lines.append(
+        f"min remote first-page speedup: {first_page['min_first_page_speedup']:.1f}x "
+        f"(target {first_page['target_first_page_speedup']}x)"
+    )
+    return "\n".join(lines)
+
+
+def check_payload(payload: dict) -> None:
+    """The acceptance bars (shared by the pytest path and __main__)."""
+    concurrency = payload["concurrency"]
+    assert concurrency["clients"] >= 8
+    assert concurrency["remote_matches_verified"] is True
+    assert concurrency["verified_batches"] == NUM_CLIENTS * BATCHES_PER_CLIENT
+    assert concurrency["verified_streams"] == NUM_CLIENTS * BATCHES_PER_CLIENT
+    assert payload["min_first_page_speedup"] >= TARGET_FIRST_PAGE_SPEEDUP, (
+        f"remote first page only {payload['min_first_page_speedup']}x faster than "
+        f"remote full completion; target {TARGET_FIRST_PAGE_SPEEDUP}x"
+    )
+
+
+# ---------------------------------------------------------------------- #
+# micro-benchmarks
+# ---------------------------------------------------------------------- #
+
+
+def test_remote_query_roundtrip(benchmark):
+    """Benchmark one warm remote query round trip (protocol overhead)."""
+    graph = bench_graph("em", scale=SERVER_BENCH_SCALE)
+    with GraphDB.open(graph) as db:
+        catalog = GraphCatalog()
+        catalog.attach("em", db)
+        with GraphServer(catalog) as server:
+            queries = batch_workload(graph)
+            name = next(iter(queries))
+            with GraphClient(*server.address, graph="em") as client:
+                client.query(queries[name], budget=SERVER_BUDGET)  # warm
+                report = benchmark(
+                    lambda: client.query(queries[name], budget=SERVER_BUDGET)
+                )
+                benchmark.extra_info["matches"] = report.num_matches
+
+
+def test_remote_ping(benchmark):
+    """Benchmark the protocol floor: one empty round trip."""
+    with GraphServer() as server:
+        with GraphClient(*server.address) as client:
+            assert benchmark(client.ping) is True
+
+
+# ---------------------------------------------------------------------- #
+# the regenerate benchmark: >= 8 verified clients + the >= 3x remote bar
+# ---------------------------------------------------------------------- #
+
+
+def test_regenerate_server(benchmark):
+    payload = benchmark.pedantic(run_server_bench, rounds=1, iterations=1)
+    check_payload(payload)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "server.txt").write_text(
+        format_table(payload) + "\n", encoding="utf-8"
+    )
+    json_path = update_server_json("server", payload)
+    benchmark.extra_info["min_speedup"] = payload["min_first_page_speedup"]
+    benchmark.extra_info["json_path"] = str(json_path)
+
+
+if __name__ == "__main__":
+    # src/ is importable via benchmarks/conftest.py (imported above).
+    started = time.perf_counter()
+    payload = run_server_bench()
+    print(format_table(payload))
+    check_payload(payload)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "server.txt").write_text(
+        format_table(payload) + "\n", encoding="utf-8"
+    )
+    path = update_server_json("server", payload)
+    print(f"wrote {path} ({time.perf_counter() - started:.1f}s)")

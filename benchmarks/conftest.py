@@ -56,6 +56,9 @@ SERVICE_JSON_PATH = RESULTS_DIR / "BENCH_service.json"
 #: Machine-readable trajectory of the pipelined-streaming benchmarks.
 STREAMING_JSON_PATH = RESULTS_DIR / "BENCH_streaming.json"
 
+#: Machine-readable trajectory of the wire-protocol server benchmarks.
+SERVER_JSON_PATH = RESULTS_DIR / "BENCH_server.json"
+
 
 def _update_json(path: Path, section: str, payload: dict) -> Path:
     """Merge one benchmark's results into a sectioned JSON document.
@@ -93,6 +96,11 @@ def update_service_json(section: str, payload: dict) -> Path:
 def update_streaming_json(section: str, payload: dict) -> Path:
     """Merge one benchmark's results into ``results/BENCH_streaming.json``."""
     return _update_json(STREAMING_JSON_PATH, section, payload)
+
+
+def update_server_json(section: str, payload: dict) -> Path:
+    """Merge one benchmark's results into ``results/BENCH_server.json``."""
+    return _update_json(SERVER_JSON_PATH, section, payload)
 
 
 @pytest.fixture(scope="session")

@@ -104,6 +104,42 @@ def main() -> None:
           f"{stats['shed_count']} shed, head v{stats['head_version']}, "
           f"{stats['versions_retained']} version(s) retained")
 
+    # 8. Analytics without materialisation: histogram() drains the same
+    #    streaming iterator as count(), tallying the distinct data nodes
+    #    of each label that participate in at least one match.
+    print(f"participating nodes per label: {db.histogram(pattern)}")
+
+    # 9. Serve the database over the network.  A GraphServer fronts a
+    #    multi-tenant catalog of named GraphDBs (attach this one, or let
+    #    clients create their own); the synchronous GraphClient mirrors
+    #    the GraphDB API, so the calls below are the ones used above —
+    #    over a length-prefixed JSON frame protocol on a socket.
+    from repro import GraphClient, GraphServer
+    from repro.server import GraphCatalog
+
+    catalog = GraphCatalog()
+    catalog.attach("quickstart", db)
+    with GraphServer(catalog) as server:
+        host, port = server.address
+        with GraphClient(host, port, graph="quickstart") as remote:
+            print(f"\nserving on {host}:{port}: "
+                  f"{[g['name'] for g in remote.graphs()]}")
+            print(f"remote query: {remote.query(pattern).num_matches} occurrences "
+                  f"(count {remote.count(pattern)}, "
+                  f"histogram {remote.histogram(pattern)})")
+            # Remote streaming stays pipelined: pages cross the socket as
+            # the server-side worker produces them, under credit-based
+            # flow control, and the first page arrives before the query
+            # finishes.  Closing early cancels the remote producer.
+            with remote.stream(pattern, page_size=2) as stream:
+                pages = [len(page) for page in stream.pages(timeout=30.0)]
+            print(f"remote stream: {len(pages)} page(s) of sizes {pages}")
+            # A second tenant is fully isolated: own store, own workers.
+            remote.create_graph("scratch", labels=["X", "Y"], edges=[(0, 1)])
+            xy = "node x X\nnode y Y\nedge x -> y"
+            print(f"tenant 'scratch': {remote.count(xy)} match(es)")
+    catalog.close()
+
     db.close()
 
 

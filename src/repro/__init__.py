@@ -20,7 +20,10 @@ the pieces most applications need:
 * :class:`GraphDelta` / :class:`MutableDataGraph` — batched graph updates
   with incremental index maintenance (``session.apply(delta)``);
 * :class:`GraphDB` — the unified facade: open / ingest / apply / query /
-  stream / count / stats over the whole store + service stack.
+  stream / count / histogram / stats over the whole store + service stack;
+* :class:`GraphServer` / :class:`GraphCatalog` / :class:`GraphClient` —
+  multi-tenant network serving of the facade over a length-prefixed JSON
+  frame protocol (``repro.server`` / ``repro.client``).
 """
 
 from repro.exceptions import (
@@ -37,6 +40,9 @@ from repro.exceptions import (
     EngineError,
     StaleIndexError,
     StoreError,
+    CatalogError,
+    UnknownGraphError,
+    ProtocolError,
     ServiceOverloadedError,
 )
 from repro.graph import DataGraph, GraphBuilder, load_dataset, available_datasets
@@ -78,6 +84,8 @@ from repro.service import (
     StreamingResult,
 )
 from repro.api import GraphDB
+from repro.server import GraphCatalog, GraphServer
+from repro.client import GraphClient, RemoteSnapshot, RemoteStream
 
 __version__ = "1.0.0"
 
@@ -146,5 +154,13 @@ __all__ = [
     "ServiceStats",
     "StreamingResult",
     "GraphDB",
+    "CatalogError",
+    "UnknownGraphError",
+    "ProtocolError",
+    "GraphCatalog",
+    "GraphServer",
+    "GraphClient",
+    "RemoteSnapshot",
+    "RemoteStream",
     "__version__",
 ]

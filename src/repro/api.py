@@ -37,10 +37,11 @@ from repro.dynamic.delta import GraphDelta
 from repro.dynamic.maintenance import ApplyReport
 from repro.graph.digraph import DataGraph
 from repro.graph.io import load_graph_json, save_graph_json
-from repro.matching.result import Budget, MatchReport
+from repro.matching.result import Budget, MatchReport, jsonable
 from repro.query.parser import parse_query
 from repro.query.pattern import PatternQuery
 from repro.service.service import QueryService, ServiceBatchReport, ServiceConfig, StreamingResult
+from repro.session.batch import QueryOutcome
 from repro.session.session import QuerySession
 from repro.store.versioned import StoreSnapshot, VersionedGraphStore
 
@@ -248,6 +249,26 @@ class GraphDB:
         with self.store.pin() as snapshot:
             return snapshot.count(self._as_query(query, name), engine=engine, budget=budget)
 
+    def histogram(
+        self,
+        query: QueryLike,
+        node: Optional[int] = None,
+        engine: str = "GM",
+        budget: Optional[Budget] = None,
+        name: Optional[str] = None,
+    ) -> Dict[str, int]:
+        """Per-label histogram of the distinct data nodes in the result set.
+
+        A streamed aggregation drain over a pinned snapshot of the head:
+        counts how many distinct data nodes of each label participate in at
+        least one occurrence (bindings of query node ``node`` only, when
+        given), without ever materialising the occurrence list.
+        """
+        with self.store.pin() as snapshot:
+            return snapshot.histogram(
+                self._as_query(query, name), node=node, engine=engine, budget=budget
+            )
+
     def run_batch(self, queries, **kwargs) -> ServiceBatchReport:
         """Execute a whole batch against one pinned version (see
         :meth:`QueryService.run_batch`)."""
@@ -309,3 +330,89 @@ class GraphDB:
             f"nodes={self.store.graph.num_nodes}, "
             f"workers={self.service.config.workers})"
         )
+
+
+# ---------------------------------------------------------------------- #
+# wire forms
+#
+# The request/response payloads the wire protocol (repro.server /
+# repro.client) exchanges are the serialisable forms of the facade's
+# domain objects.  Deltas (`GraphDelta.to_dict`), patterns
+# (`PatternQuery.to_dict`), match reports (`MatchReport.to_wire`) and
+# budgets (`Budget.to_wire`) carry their own codecs; the aggregates
+# below — apply reports and batch reports — are encoded here so both
+# endpoints share one definition.
+# ---------------------------------------------------------------------- #
+
+
+def encode_apply_report(report: ApplyReport) -> Dict[str, object]:
+    """JSON-serialisable form of an :class:`ApplyReport`."""
+    return {
+        "old_version": report.old_version,
+        "new_version": report.new_version,
+        "num_ops": report.num_ops,
+        "seconds": report.seconds,
+        "patched": list(report.patched),
+        "invalidated": list(report.invalidated),
+    }
+
+
+def decode_apply_report(payload: Dict[str, object]) -> ApplyReport:
+    """Rebuild an :class:`ApplyReport` from :func:`encode_apply_report` output."""
+    return ApplyReport(
+        old_version=int(payload.get("old_version", 0)),
+        new_version=int(payload.get("new_version", 0)),
+        num_ops=int(payload.get("num_ops", 0)),
+        seconds=float(payload.get("seconds", 0.0)),
+        patched=list(payload.get("patched", ())),
+        invalidated=list(payload.get("invalidated", ())),
+    )
+
+
+def encode_batch_report(report: ServiceBatchReport) -> Dict[str, object]:
+    """JSON-serialisable form of a :class:`ServiceBatchReport`."""
+    return {
+        "engine": report.engine,
+        "wall_seconds": report.wall_seconds,
+        "workers": report.workers,
+        "cache_hits": dict(report.cache_hits),
+        "cache_misses": dict(report.cache_misses),
+        "version": report.version,
+        "outcomes": [
+            {
+                "name": outcome.name,
+                "seconds": outcome.seconds,
+                "num_matches": outcome.num_matches,
+                "status": outcome.status,
+                "occurrences": [list(occurrence) for occurrence in outcome.occurrences],
+                "extra": {key: jsonable(value) for key, value in outcome.extra.items()},
+            }
+            for outcome in report.outcomes
+        ],
+    }
+
+
+def decode_batch_report(payload: Dict[str, object]) -> ServiceBatchReport:
+    """Rebuild a :class:`ServiceBatchReport` from :func:`encode_batch_report` output."""
+    outcomes = [
+        QueryOutcome(
+            name=str(raw.get("name", "query")),
+            seconds=float(raw.get("seconds", 0.0)),
+            num_matches=int(raw.get("num_matches", 0)),
+            status=str(raw.get("status", "ok")),
+            occurrences=tuple(
+                tuple(occurrence) for occurrence in raw.get("occurrences", ())
+            ),
+            extra=dict(raw.get("extra", ())),
+        )
+        for raw in payload.get("outcomes", ())
+    ]
+    return ServiceBatchReport(
+        engine=str(payload.get("engine", "GM")),
+        outcomes=outcomes,
+        wall_seconds=float(payload.get("wall_seconds", 0.0)),
+        workers=int(payload.get("workers", 1)),
+        cache_hits=dict(payload.get("cache_hits", ())),
+        cache_misses=dict(payload.get("cache_misses", ())),
+        version=int(payload.get("version", -1)),
+    )

@@ -22,11 +22,12 @@ from __future__ import annotations
 
 import time
 from itertools import combinations
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.exceptions import MemoryBudgetExceeded, TimeoutExceeded
 from repro.graph.digraph import DataGraph
 from repro.matching.result import Budget, MatchReport, MatchStatus
+from repro.matching.stream import MatchStream
 from repro.query.pattern import PatternEdge, PatternQuery
 from repro.query.transitive import transitive_reduction
 from repro.simulation.context import MatchContext
@@ -252,6 +253,65 @@ class JMMatcher:
                 matching_seconds=time.perf_counter() - start,
             )
 
+    @staticmethod
+    def _probe_extensions(
+        edge: PatternEdge,
+        relation: EdgeRelation,
+        bound: List[int],
+    ) -> Tuple[List[int], "object"]:
+        """Prepare one hash join against ``relation`` for rows bound as ``bound``.
+
+        Returns ``(next_bound, extend)`` where ``extend(row)`` iterates the
+        joined rows (original row plus any newly bound columns) for one
+        partial tuple.
+        """
+        source, target = edge.endpoints()
+        source_bound = source in bound
+        target_bound = target in bound
+        next_bound = list(bound)
+        if not source_bound:
+            next_bound.append(source)
+        if not target_bound:
+            next_bound.append(target)
+
+        if source_bound and target_bound:
+            source_position = bound.index(source)
+            target_position = bound.index(target)
+            pair_set = set(relation)
+
+            def extend(row: Tuple[int, ...]) -> Iterator[Tuple[int, ...]]:
+                if (row[source_position], row[target_position]) in pair_set:
+                    yield row
+
+        elif source_bound:
+            source_position = bound.index(source)
+            by_tail: Dict[int, List[int]] = {}
+            for tail, head in relation:
+                by_tail.setdefault(tail, []).append(head)
+
+            def extend(row: Tuple[int, ...]) -> Iterator[Tuple[int, ...]]:
+                for head in by_tail.get(row[source_position], ()):
+                    yield row + (head,)
+
+        elif target_bound:
+            target_position = bound.index(target)
+            by_head: Dict[int, List[int]] = {}
+            for tail, head in relation:
+                by_head.setdefault(head, []).append(tail)
+
+            def extend(row: Tuple[int, ...]) -> Iterator[Tuple[int, ...]]:
+                for tail in by_head.get(row[target_position], ()):
+                    yield row + (tail,)
+
+        else:
+            # Cartesian product with a disconnected edge (avoided by the
+            # planner, but handled for completeness).
+            def extend(row: Tuple[int, ...]) -> Iterator[Tuple[int, ...]]:
+                for tail, head in relation:
+                    yield row + (tail, head)
+
+        return next_bound, extend
+
     def _execute(
         self,
         query: PatternQuery,
@@ -264,70 +324,7 @@ class JMMatcher:
         n = query.num_nodes
         # Partial tuples: dict from query node -> data node, stored as tuples
         # over the bound variable list for compactness.
-        first = plan[0]
-        bound: List[int] = list(first.endpoints())
-        current: List[Tuple[int, ...]] = [
-            (tail, head) for tail, head in relations[first.endpoints()]
-        ]
-        peak = len(current)
-        clock.check_intermediate(peak)
-
-        for edge in plan[1:]:
-            clock.check_time()
-            relation = relations[edge.endpoints()]
-            source, target = edge.endpoints()
-            source_bound = source in bound
-            target_bound = target in bound
-            next_bound = list(bound)
-            if not source_bound:
-                next_bound.append(source)
-            if not target_bound:
-                next_bound.append(target)
-            next_tuples: List[Tuple[int, ...]] = []
-
-            if source_bound and target_bound:
-                source_position = bound.index(source)
-                target_position = bound.index(target)
-                pair_set = set(relation)
-                for row in current:
-                    clock.check_time()
-                    if (row[source_position], row[target_position]) in pair_set:
-                        next_tuples.append(row)
-                        clock.check_intermediate(len(next_tuples))
-            elif source_bound:
-                source_position = bound.index(source)
-                by_tail: Dict[int, List[int]] = {}
-                for tail, head in relation:
-                    by_tail.setdefault(tail, []).append(head)
-                for row in current:
-                    clock.check_time()
-                    for head in by_tail.get(row[source_position], ()):
-                        next_tuples.append(row + (head,))
-                        clock.check_intermediate(len(next_tuples))
-            elif target_bound:
-                target_position = bound.index(target)
-                by_head: Dict[int, List[int]] = {}
-                for tail, head in relation:
-                    by_head.setdefault(head, []).append(tail)
-                for row in current:
-                    clock.check_time()
-                    for tail in by_head.get(row[target_position], ()):
-                        next_tuples.append(row + (tail,))
-                        clock.check_intermediate(len(next_tuples))
-            else:
-                # Cartesian product with a disconnected edge (avoided by the
-                # planner, but handled for completeness).
-                for row in current:
-                    clock.check_time()
-                    for tail, head in relation:
-                        next_tuples.append(row + (tail, head))
-                        clock.check_intermediate(len(next_tuples))
-
-            current = next_tuples
-            bound = next_bound
-            peak = max(peak, len(current))
-            if not current:
-                break
+        current, bound, peak = self._join_prefix(plan, relations, clock)
 
         # Project partial tuples onto query-node order, deduplicate, cap.
         occurrences: List[Tuple[int, ...]] = []
@@ -344,3 +341,150 @@ class JMMatcher:
                 hit_limit = True
                 break
         return occurrences, hit_limit, peak
+
+    def _join_prefix(
+        self,
+        plan: Sequence[PatternEdge],
+        relations: Dict[Tuple[int, int], EdgeRelation],
+        clock,
+    ) -> Tuple[List[Tuple[int, ...]], List[int], int]:
+        """Materialise the joins of ``plan``; returns (tuples, bound, peak)."""
+        first = plan[0]
+        bound: List[int] = list(first.endpoints())
+        current: List[Tuple[int, ...]] = [
+            (tail, head) for tail, head in relations[first.endpoints()]
+        ]
+        peak = len(current)
+        clock.check_intermediate(peak)
+
+        for edge in plan[1:]:
+            clock.check_time()
+            next_bound, extend = self._probe_extensions(
+                edge, relations[edge.endpoints()], bound
+            )
+            next_tuples: List[Tuple[int, ...]] = []
+            for row in current:
+                clock.check_time()
+                for joined in extend(row):
+                    next_tuples.append(joined)
+                    clock.check_intermediate(len(next_tuples))
+            current = next_tuples
+            bound = next_bound
+            peak = max(peak, len(current))
+            if not current:
+                break
+        return current, bound, peak
+
+    # ------------------------------------------------------------------ #
+    # streaming execution
+    # ------------------------------------------------------------------ #
+
+    def iter_matches(
+        self,
+        query: PatternQuery,
+        budget: Optional[Budget] = None,
+        info: Optional[Dict[str, object]] = None,
+    ) -> Iterator[Tuple[int, ...]]:
+        """Lazily enumerate occurrences: the final hash join emits as it probes.
+
+        JM stays a blocking algorithm through its join *prefix* (every join
+        but the last materialises its intermediate table — that is the cost
+        profile the paper measures), but the last join of the plan streams:
+        each probe of the final hash table projects, deduplicates and yields
+        completed occurrences immediately, so a consumer sees the first
+        occurrence before the final join (typically the largest) finishes.
+        Budget exceptions (:class:`~repro.exceptions.TimeoutExceeded`,
+        :class:`~repro.exceptions.MemoryBudgetExceeded`) propagate to the
+        caller; :meth:`match_stream` converts them into terminal statuses.
+
+        ``info`` is the mutable mapping contract of
+        :class:`~repro.matching.stream.MatchStream`: ``matching_seconds``
+        and ``extra`` are recorded once the matching phase completes.
+        """
+        budget = budget or self.budget
+        clock = budget.start_clock()
+        start = time.perf_counter()
+        if self.apply_transitive_reduction:
+            query = transitive_reduction(query)
+        candidates = (
+            node_prefilter(self.context, query)
+            if self.prefilter
+            else self.context.match_sets(query)
+        )
+        if query.num_edges == 0:
+            if info is not None:
+                info["matching_seconds"] = time.perf_counter() - start
+            count = 0
+            for value in sorted(candidates[0]):
+                clock.check_time()
+                yield (value,)
+                count += 1
+                if clock.check_matches(count):
+                    return
+            return
+        relations: Dict[Tuple[int, int], EdgeRelation] = {}
+        for edge in query.edges():
+            clock.check_time()
+            relations[edge.endpoints()] = self._edge_relation(edge, candidates)
+        relation_sizes = {key: len(relation) for key, relation in relations.items()}
+        plan, plans_considered = self._plan(query, relation_sizes)
+
+        # Materialise every join but the last; the final join streams.
+        prefix, final_edge = plan[:-1], plan[-1]
+        if prefix:
+            current, bound, peak = self._join_prefix(prefix, relations, clock)
+        else:
+            current, bound, peak = [()], [], 0
+        next_bound, extend = self._probe_extensions(
+            final_edge, relations[final_edge.endpoints()], bound
+        )
+        if info is not None:
+            info["matching_seconds"] = time.perf_counter() - start
+            info["extra"] = {
+                "plans_considered": plans_considered,
+                "peak_intermediate": peak,
+            }
+
+        n = query.num_nodes
+        position_of = {node: position for position, node in enumerate(next_bound)}
+        seen: Set[Tuple[int, ...]] = set()
+        count = 0
+        for row in current:
+            # Checked per row *and* per probe hit: rows whose probe yields
+            # nothing must still observe the deadline / cancel event.
+            clock.check_time()
+            for joined in extend(row):
+                clock.check_time()
+                occurrence = tuple(joined[position_of[node]] for node in range(n))
+                if occurrence in seen:
+                    continue
+                seen.add(occurrence)
+                yield occurrence
+                count += 1
+                if clock.check_matches(count):
+                    return
+
+    def match_stream(
+        self,
+        query: PatternQuery,
+        budget: Optional[Budget] = None,
+        keep_occurrences: bool = True,
+    ) -> MatchStream:
+        """An incremental evaluation of ``query`` as a :class:`MatchStream`.
+
+        Unlike the TM / ISO baselines (which replay a finished report), JM
+        streams genuinely: occurrences flow out of :meth:`iter_matches` as
+        the final hash join probes.  ``stream.report()`` finalises into a
+        report equivalent to the eager :meth:`match` (same occurrence set
+        and order, same status for solved runs).
+        """
+        budget = budget or self.budget
+        info: Dict[str, object] = {}
+        return MatchStream(
+            self.iter_matches(query, budget=budget, info=info),
+            query_name=query.name,
+            algorithm="JM",
+            budget=budget,
+            info=info,
+            keep_occurrences=keep_occurrences,
+        )

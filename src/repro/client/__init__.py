@@ -1,0 +1,21 @@
+"""Wire-protocol client: the :class:`~repro.api.GraphDB` facade over a socket.
+
+* :class:`GraphClient` — synchronous client mirroring the facade's API;
+* :class:`RemoteStream` — lazy, credit-gated page iteration;
+* :class:`RemoteSnapshot` — a server-side pin for repeated consistent reads;
+* :class:`RemoteApplyHandle` — the future of an async fold.
+"""
+
+from repro.client.client import (
+    GraphClient,
+    RemoteApplyHandle,
+    RemoteSnapshot,
+    RemoteStream,
+)
+
+__all__ = [
+    "GraphClient",
+    "RemoteApplyHandle",
+    "RemoteSnapshot",
+    "RemoteStream",
+]

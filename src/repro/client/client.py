@@ -1,0 +1,744 @@
+"""GraphClient: the synchronous wire client mirroring the GraphDB facade.
+
+A :class:`GraphClient` speaks the frame protocol of
+:mod:`repro.server.protocol` over one blocking socket and exposes the same
+method surface as :class:`~repro.api.GraphDB` — ``ingest`` / ``apply`` /
+``apply_async`` / ``query`` / ``stream`` / ``count`` / ``histogram`` /
+``run_batch`` / ``pin`` / ``stats`` / ``save`` — plus the catalog's tenant
+lifecycle (``create_graph`` / ``drop_graph`` / ``graphs``).  Existing
+facade callers switch transports without code changes::
+
+    with GraphClient(host, port, graph="social") as db:
+        report = db.query("node a Person\\nnode b Person\\nedge a => b")
+        for page in db.stream(query).pages():
+            ...
+
+Results come back as the same domain objects the facade returns —
+:class:`~repro.matching.result.MatchReport`,
+:class:`~repro.dynamic.ApplyReport`,
+:class:`~repro.service.ServiceBatchReport` — and server-side errors
+re-raise as the same exception classes (a shed request raises
+:class:`~repro.exceptions.ServiceOverloadedError` with its ``reason``, a
+missing tenant raises :class:`~repro.exceptions.UnknownGraphError`, a
+stale injected index raises :class:`~repro.exceptions.StaleIndexError`).
+
+Streaming stays pipelined end-to-end: :meth:`GraphClient.stream` returns a
+lazy :class:`RemoteStream` whose pages arrive as the server's worker
+produces them, under credit-based flow control — the client grants one
+credit per consumed page, so an unread stream never buffers more than its
+window.  Closing (or abandoning) the stream sends a cancel frame; the
+server cancels the producing worker and releases its snapshot pin.
+
+The client is intentionally single-threaded: one in-flight request at a
+time, with stream frames demultiplexed off the socket whenever they
+interleave with a response.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+import weakref
+from collections import deque
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.api import decode_apply_report, decode_batch_report
+from repro.dynamic.delta import GraphDelta
+from repro.dynamic.maintenance import ApplyReport
+from repro.exceptions import ProtocolError, StoreError
+from repro.matching.result import Budget, MatchReport
+from repro.matching.stream import decode_page
+from repro.query.pattern import PatternQuery
+from repro.server.protocol import decode_error, encode_frame, read_frame_sync
+from repro.service.service import ServiceBatchReport
+
+#: A query, as a parsed pattern or DSL text (mirrors ``repro.api.QueryLike``).
+QueryLike = Union[PatternQuery, str]
+
+
+def _encode_query(query: QueryLike):
+    if isinstance(query, PatternQuery):
+        return query.to_dict()
+    if isinstance(query, str):
+        return query
+    raise ProtocolError(
+        f"query must be a PatternQuery or DSL text, got {type(query).__name__}"
+    )
+
+
+class RemoteApplyHandle:
+    """Handle for a delta queued on the server's background writer.
+
+    The remote analogue of the future :meth:`GraphDB.apply_async` returns:
+    :meth:`result` blocks until the server's writer folded the delta and
+    returns its :class:`~repro.dynamic.ApplyReport`.
+    """
+
+    def __init__(self, client: "GraphClient", graph: str, token: str) -> None:
+        self._client = client
+        self._graph = graph
+        self.token = token
+        self._report: Optional[ApplyReport] = None
+
+    def result(self, timeout: Optional[float] = None) -> ApplyReport:
+        """Block until the fold published (or failed); returns its report."""
+        if self._report is None:
+            payload = self._client._request(
+                "apply_wait", graph=self._graph, token=self.token, timeout=timeout
+            )
+            self._report = decode_apply_report(payload)
+        return self._report
+
+
+class RemoteSnapshot:
+    """A server-side pin: repeated reads against one immutable version.
+
+    The remote analogue of :class:`~repro.store.StoreSnapshot`: every read
+    issued through it answers from the pinned version even while writers
+    publish new heads.  Release it (or use it as a context manager) — the
+    server also releases any pins a dropped connection left behind.
+    """
+
+    def __init__(self, client: "GraphClient", graph: str, token: str, version: int) -> None:
+        self._client = client
+        self._graph = graph
+        self.token = token
+        self._version = version
+        self._released = False
+
+    @property
+    def version(self) -> int:
+        """The pinned graph version."""
+        return self._version
+
+    def query(self, query: QueryLike, **kwargs) -> MatchReport:
+        """Evaluate one query at the pinned version."""
+        return self._client.query(query, graph=self._graph, pin=self.token, **kwargs)
+
+    def count(self, query: QueryLike, **kwargs) -> int:
+        """Occurrence count at the pinned version (counting drain)."""
+        return self._client.count(query, graph=self._graph, pin=self.token, **kwargs)
+
+    def histogram(self, query: QueryLike, **kwargs) -> Dict[str, int]:
+        """Per-label participating-node histogram at the pinned version."""
+        return self._client.histogram(query, graph=self._graph, pin=self.token, **kwargs)
+
+    def run_batch(self, queries, **kwargs) -> ServiceBatchReport:
+        """Execute a whole batch against the pinned version."""
+        return self._client.run_batch(queries, graph=self._graph, pin=self.token, **kwargs)
+
+    def stream(self, query: QueryLike, **kwargs) -> "RemoteStream":
+        """Open a pipelined stream pinned to this version."""
+        return self._client.stream(query, graph=self._graph, pin=self.token, **kwargs)
+
+    def release(self) -> None:
+        """Give the server-side pin back (idempotent)."""
+        if self._released:
+            return
+        self._released = True
+        try:
+            self._client._request("release", pin=self.token)
+        except (ConnectionError, OSError):
+            pass  # connection gone: the server released the pin at teardown
+
+    def __enter__(self) -> "RemoteSnapshot":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "released" if self._released else "pinned"
+        return f"RemoteSnapshot({self._graph!r} v{self._version}, {state})"
+
+
+class _RemotePages:
+    """Iterator over a :class:`RemoteStream`'s pages; closing cancels remotely."""
+
+    def __init__(self, stream: "RemoteStream", timeout: Optional[float]) -> None:
+        self._stream = stream
+        self._timeout = timeout
+
+    def __iter__(self) -> "_RemotePages":
+        return self
+
+    def __next__(self) -> Tuple[Tuple[int, ...], ...]:
+        try:
+            page = self._stream._next_page(self._timeout)
+        except BaseException:
+            self._stream.close()
+            raise
+        if page is None:
+            raise StopIteration
+        return page
+
+    def close(self) -> None:
+        self._stream.close()
+
+
+class RemoteStream:
+    """Pipelined, credit-gated iteration over one remote query's occurrences.
+
+    The wire analogue of :class:`~repro.service.StreamingResult`: pages
+    arrive as the server's worker produces them (the first one typically
+    long before the query completes), and the client's consumption rate
+    bounds the producer through credits — one granted per consumed page on
+    top of the initial ``window``.  The server holds the snapshot pin for
+    the stream's lifetime; :meth:`close` (or abandoning the iterator, or
+    dropping the connection) cancels the producing worker and releases it.
+
+    :meth:`report` drains the remaining pages and returns the finalised
+    :class:`MatchReport` — counters and terminal status only (streamed
+    occurrences travel in the pages, not in the report).
+    """
+
+    def __init__(
+        self,
+        client: "GraphClient",
+        graph: str,
+        stream_id: int,
+        version: int,
+        page_size: int,
+    ) -> None:
+        self._client = client
+        self._graph = graph
+        self.stream_id = stream_id
+        self._version = version
+        self.page_size = page_size
+        self._frames: deque = deque()
+        self._ended = False
+        self._error: Optional[Exception] = None
+        self._report: Optional[MatchReport] = None
+        self._closed = False
+
+    @property
+    def version(self) -> int:
+        """The pinned graph version the stream's occurrences describe."""
+        return self._version
+
+    # ------------------------------------------------------------------ #
+    # frame plumbing (called by the owning client)
+    # ------------------------------------------------------------------ #
+
+    def _enqueue(self, frame: Dict[str, object]) -> None:
+        self._frames.append(frame)
+
+    def _next_page(self, timeout: Optional[float]):
+        """The next page, or ``None`` at end of stream (raising its error)."""
+        while True:
+            if self._frames:
+                frame = self._frames.popleft()
+            elif self._ended or self._closed:
+                frame = None
+            else:
+                frame = self._client._read_stream_frame(self.stream_id, timeout)
+            if frame is None:
+                if self._error is not None:
+                    error, self._error = self._error, None
+                    raise error
+                return None
+            if frame.get("end"):
+                self._ended = True
+                error_payload = frame.get("error")
+                if error_payload is not None:
+                    self._error = decode_error(error_payload)
+                else:
+                    self._report = MatchReport.from_wire(frame.get("report") or {})
+                self._client._forget_stream(self.stream_id)
+                continue
+            self._client._grant_credit(self.stream_id, 1)
+            return decode_page(frame.get("page") or ())
+
+    # ------------------------------------------------------------------ #
+    # consumption
+    # ------------------------------------------------------------------ #
+
+    def pages(self, timeout: Optional[float] = None) -> _RemotePages:
+        """Iterate occurrence pages as the server pumps them.
+
+        ``timeout`` bounds the wait per page (:class:`TimeoutError`); a
+        shed or failed remote query re-raises its mapped error here, and
+        any exit — exhaustion, error, abandonment — cancels a still-running
+        remote producer.
+        """
+        return _RemotePages(self, timeout)
+
+    def __iter__(self) -> Iterator[Tuple[int, ...]]:
+        for page in self.pages():
+            for occurrence in page:
+                yield occurrence
+
+    def report(self, timeout: Optional[float] = None) -> MatchReport:
+        """Drain to completion and return the finalised (count-only) report."""
+        for _ in self.pages(timeout):
+            pass
+        if self._report is None:
+            raise StoreError("stream ended without a final report")
+        return self._report
+
+    def close(self) -> None:
+        """Cancel a live remote producer and drop local buffers (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._client._forget_stream(self.stream_id)
+        if not self._ended:
+            self._client._cancel_stream(self.stream_id)
+        self._frames.clear()
+
+    def __enter__(self) -> "RemoteStream":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - gc safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else ("ended" if self._ended else "open")
+        return f"RemoteStream(#{self.stream_id} {self._graph!r} v{self._version}, {state})"
+
+
+class GraphClient:
+    """Synchronous client for a :class:`~repro.server.GraphServer`.
+
+    Parameters
+    ----------
+    host / port:
+        The server's bind address (``GraphServer.address``).
+    graph:
+        Default tenant name for every operation (individual calls may
+        override with ``graph=...``); create one first with
+        :meth:`create_graph` if the server's catalog is empty.
+    timeout:
+        Default per-response wait in seconds (:class:`TimeoutError` past
+        it); per-call ``timeout`` arguments override.
+    stream_window:
+        Credit window requested for this client's streams.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        graph: Optional[str] = None,
+        timeout: Optional[float] = 60.0,
+        stream_window: int = 4,
+        connect_timeout: float = 10.0,
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=connect_timeout)
+        self._sock.settimeout(timeout)
+        self._timeout = timeout
+        self._lock = threading.RLock()
+        self._ids = itertools.count(1)
+        self._graph = graph
+        self.stream_window = max(1, stream_window)
+        # Weak refs: a stream the caller abandons must become garbage, so
+        # its __del__ can cancel the remote producer (a strong registry
+        # reference would pin it — and the server-side query — forever).
+        self._streams: Dict[int, "weakref.ref[RemoteStream]"] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # wire plumbing
+    # ------------------------------------------------------------------ #
+
+    def _send(self, frame: Dict[str, object]) -> None:
+        if self._closed:
+            raise StoreError("client is closed")
+        self._sock.sendall(encode_frame(frame))
+
+    def _read_frame(self, timeout: Optional[float]) -> Optional[Dict[str, object]]:
+        self._sock.settimeout(timeout if timeout is not None else self._timeout)
+        try:
+            return read_frame_sync(self._sock)
+        except socket.timeout:
+            raise TimeoutError(
+                f"no frame from the server within {timeout or self._timeout}s"
+            ) from None
+
+    def _request(
+        self, op: str, timeout: Optional[float] = None, **args
+    ) -> Dict[str, object]:
+        """One request/response round trip (stream frames are demultiplexed).
+
+        ``timeout`` travels in the frame, so the *server* bounds its
+        blocking wait (ticket/future result) and answers with a mapped
+        :class:`TimeoutError` — otherwise a timed-out client would leave
+        an executor thread blocked server-side.  The client's own socket
+        wait gets a grace period on top so that error frame can arrive.
+        """
+        with self._lock:
+            ident = next(self._ids)
+            frame = {"id": ident, "op": op}
+            frame.update({key: value for key, value in args.items() if value is not None})
+            wait = None
+            if timeout is not None:
+                frame.setdefault("timeout", timeout)
+                wait = timeout + 10.0
+            self._send(frame)
+            return self._wait_response(ident, wait)
+
+    def _wait_response(self, ident: int, timeout: Optional[float]) -> Dict[str, object]:
+        while True:
+            frame = self._read_frame(timeout)
+            if frame is None:
+                raise ConnectionError("server closed the connection")
+            if "stream" in frame:
+                self._route_stream_frame(frame)
+                continue
+            response_id = frame.get("id")
+            if response_id == ident:
+                if frame.get("ok"):
+                    return frame.get("result")
+                raise decode_error(frame.get("error"))
+            if isinstance(response_id, int) and response_id < ident:
+                # Stale reply to a request whose wait timed out earlier.
+                continue
+            raise ProtocolError(f"out-of-order response: {frame!r}")
+
+    def _read_stream_frame(
+        self, stream_id: int, timeout: Optional[float]
+    ) -> Optional[Dict[str, object]]:
+        """Blocking read of the next frame belonging to ``stream_id``."""
+        with self._lock:
+            while True:
+                frame = self._read_frame(timeout)
+                if frame is None:
+                    raise ConnectionError("server closed the connection mid-stream")
+                if frame.get("stream") == stream_id:
+                    return frame
+                if "stream" in frame:
+                    self._route_stream_frame(frame)
+                    continue
+                if isinstance(frame.get("id"), int):
+                    # Stale reply to a request whose wait timed out earlier;
+                    # no request is in flight while paging (single-threaded
+                    # client), so it is safe to drop.
+                    continue
+                raise ProtocolError(
+                    f"unexpected frame while paging stream {stream_id}: {frame!r}"
+                )
+
+    def _route_stream_frame(self, frame: Dict[str, object]) -> None:
+        reference = self._streams.get(frame.get("stream"))
+        stream = reference() if reference is not None else None
+        if stream is not None:
+            stream._enqueue(frame)
+        # Frames for unknown/closed streams are dropped: the server may
+        # have pumped a few pages before observing our cancel.
+
+    def _grant_credit(self, stream_id: int, credits: int) -> None:
+        try:
+            self._send({"op": "credit", "stream": stream_id, "n": credits})
+        except (ConnectionError, OSError):
+            pass
+
+    def _cancel_stream(self, stream_id: int) -> None:
+        try:
+            self._send({"op": "stream_cancel", "stream": stream_id})
+        except (ConnectionError, OSError, StoreError):
+            pass  # connection gone: server-side teardown already cleaned up
+
+    def _forget_stream(self, stream_id: int) -> None:
+        self._streams.pop(stream_id, None)
+
+    def _graph_name(self, graph: Optional[str]) -> str:
+        name = graph or self._graph
+        if not name:
+            raise StoreError(
+                "no graph selected: pass graph=..., or create/use one first"
+            )
+        return name
+
+    # ------------------------------------------------------------------ #
+    # catalog (tenant lifecycle)
+    # ------------------------------------------------------------------ #
+
+    def ping(self) -> bool:
+        """Round-trip liveness check."""
+        return bool(self._request("ping").get("pong"))
+
+    def create_graph(
+        self,
+        name: str,
+        labels: Sequence[str] = (),
+        edges: Iterable[Tuple[int, int]] = (),
+        exist_ok: bool = False,
+        switch: bool = True,
+    ) -> Dict[str, object]:
+        """Create a named tenant server-side; ``switch`` selects it as default."""
+        info = self._request(
+            "create_graph",
+            name=name,
+            labels=list(labels),
+            edges=[list(edge) for edge in edges],
+            exist_ok=exist_ok or None,
+        )
+        if switch:
+            self._graph = name
+        return info
+
+    def drop_graph(self, name: str) -> None:
+        """Drop a tenant (its store and service are closed server-side)."""
+        self._request("drop_graph", name=name)
+        if self._graph == name:
+            self._graph = None
+
+    def graphs(self) -> Tuple[Dict[str, object], ...]:
+        """Info for every tenant in the server's catalog."""
+        return tuple(self._request("graphs").get("graphs", ()))
+
+    def use(self, graph: str) -> "GraphClient":
+        """Select the default tenant for subsequent operations."""
+        self._graph = graph
+        return self
+
+    def info(self, graph: Optional[str] = None) -> Dict[str, object]:
+        """Head version / node / edge counts of one tenant."""
+        return self._request("info", graph=self._graph_name(graph))
+
+    @property
+    def graph_name(self) -> Optional[str]:
+        """The currently selected tenant name."""
+        return self._graph
+
+    @property
+    def head_version(self) -> int:
+        """The selected tenant's latest published version."""
+        return int(self.info()["head_version"])
+
+    @property
+    def num_nodes(self) -> int:
+        """Node count of the selected tenant's head version."""
+        return int(self.info()["num_nodes"])
+
+    # ------------------------------------------------------------------ #
+    # writes
+    # ------------------------------------------------------------------ #
+
+    def ingest(
+        self,
+        labels: Sequence[str] = (),
+        edges: Iterable[Tuple[int, int]] = (),
+        remove_edges: Iterable[Tuple[int, int]] = (),
+        graph: Optional[str] = None,
+    ) -> ApplyReport:
+        """Fold nodes/edges into a new version (see :meth:`GraphDB.ingest`)."""
+        payload = self._request(
+            "ingest",
+            graph=self._graph_name(graph),
+            labels=list(labels),
+            edges=[list(edge) for edge in edges],
+            remove_edges=[list(edge) for edge in remove_edges],
+        )
+        return decode_apply_report(payload)
+
+    def delta(self, graph: Optional[str] = None) -> GraphDelta:
+        """A fresh delta written against the tenant's current head."""
+        return GraphDelta(int(self.info(graph)["num_nodes"]))
+
+    def apply(self, delta: GraphDelta, graph: Optional[str] = None) -> ApplyReport:
+        """Fold a prepared delta synchronously."""
+        payload = self._request(
+            "apply", graph=self._graph_name(graph), delta=delta.to_dict()
+        )
+        return decode_apply_report(payload)
+
+    def apply_async(self, delta: GraphDelta, graph: Optional[str] = None) -> RemoteApplyHandle:
+        """Queue a delta on the server's background writer; returns a handle."""
+        name = self._graph_name(graph)
+        payload = self._request("apply_async", graph=name, delta=delta.to_dict())
+        return RemoteApplyHandle(self, name, payload["token"])
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+
+    def query(
+        self,
+        query: QueryLike,
+        engine: Optional[str] = None,
+        budget: Optional[Budget] = None,
+        deadline_seconds: Optional[float] = None,
+        timeout: Optional[float] = None,
+        name: Optional[str] = None,
+        graph: Optional[str] = None,
+        pin: Optional[str] = None,
+    ) -> MatchReport:
+        """Evaluate one query to completion (see :meth:`GraphDB.query`)."""
+        payload = self._request(
+            "query",
+            graph=self._graph_name(graph),
+            query=_encode_query(query),
+            engine=engine,
+            budget=budget.to_wire() if budget is not None else None,
+            deadline_seconds=deadline_seconds,
+            name=name,
+            pin=pin,
+            timeout=timeout,
+        )
+        return MatchReport.from_wire(payload)
+
+    def count(
+        self,
+        query: QueryLike,
+        engine: Optional[str] = None,
+        budget: Optional[Budget] = None,
+        name: Optional[str] = None,
+        graph: Optional[str] = None,
+        pin: Optional[str] = None,
+    ) -> int:
+        """Occurrence count via the server's counting drain."""
+        payload = self._request(
+            "count",
+            graph=self._graph_name(graph),
+            query=_encode_query(query),
+            engine=engine,
+            budget=budget.to_wire() if budget is not None else None,
+            name=name,
+            pin=pin,
+        )
+        return int(payload["count"])
+
+    def histogram(
+        self,
+        query: QueryLike,
+        node: Optional[int] = None,
+        engine: Optional[str] = None,
+        budget: Optional[Budget] = None,
+        name: Optional[str] = None,
+        graph: Optional[str] = None,
+        pin: Optional[str] = None,
+    ) -> Dict[str, int]:
+        """Per-label participating-node histogram (streamed drain server-side)."""
+        payload = self._request(
+            "histogram",
+            graph=self._graph_name(graph),
+            query=_encode_query(query),
+            node=node,
+            engine=engine,
+            budget=budget.to_wire() if budget is not None else None,
+            name=name,
+            pin=pin,
+        )
+        return dict(payload["histogram"])
+
+    def run_batch(
+        self,
+        queries: Union[Mapping[str, QueryLike], Iterable[QueryLike]],
+        engine: Optional[str] = None,
+        budget: Optional[Budget] = None,
+        workers: Optional[int] = None,
+        keep_occurrences: bool = True,
+        timeout: Optional[float] = None,
+        graph: Optional[str] = None,
+        pin: Optional[str] = None,
+    ) -> ServiceBatchReport:
+        """Execute a whole batch against one pinned version remotely."""
+        if isinstance(queries, Mapping):
+            items = [
+                {"name": name, "query": _encode_query(query)}
+                for name, query in queries.items()
+            ]
+        else:
+            items = [
+                {
+                    "name": getattr(query, "name", None),
+                    "query": _encode_query(query),
+                }
+                for query in queries
+            ]
+        payload = self._request(
+            "run_batch",
+            timeout=timeout,
+            graph=self._graph_name(graph),
+            queries=items,
+            engine=engine,
+            budget=budget.to_wire() if budget is not None else None,
+            workers=workers,
+            keep_occurrences=keep_occurrences,
+            pin=pin,
+        )
+        return decode_batch_report(payload)
+
+    def stream(
+        self,
+        query: QueryLike,
+        engine: Optional[str] = None,
+        budget: Optional[Budget] = None,
+        page_size: int = 256,
+        deadline_seconds: Optional[float] = None,
+        name: Optional[str] = None,
+        graph: Optional[str] = None,
+        pin: Optional[str] = None,
+    ) -> RemoteStream:
+        """Open a pipelined stream: pages flow before the query finishes."""
+        graph_name = self._graph_name(graph)
+        payload = self._request(
+            "stream_open",
+            graph=graph_name,
+            query=_encode_query(query),
+            engine=engine,
+            budget=budget.to_wire() if budget is not None else None,
+            page_size=page_size,
+            deadline_seconds=deadline_seconds,
+            window=self.stream_window,
+            name=name,
+            pin=pin,
+        )
+        stream = RemoteStream(
+            self,
+            graph_name,
+            int(payload["stream"]),
+            int(payload.get("version", -1)),
+            int(payload.get("page_size", page_size)),
+        )
+        self._streams[stream.stream_id] = weakref.ref(stream)
+        return stream
+
+    def pin(self, version: Optional[int] = None, graph: Optional[str] = None) -> RemoteSnapshot:
+        """Pin a version server-side for repeated consistent reads."""
+        name = self._graph_name(graph)
+        payload = self._request("pin", graph=name, version=version)
+        return RemoteSnapshot(self, name, payload["pin"], int(payload["version"]))
+
+    def stats(self, graph: Optional[str] = None) -> Dict[str, object]:
+        """Service counters merged with store gauges for one tenant."""
+        return self._request("stats", graph=self._graph_name(graph))
+
+    def save(self, path: str, graph: Optional[str] = None) -> str:
+        """Persist the tenant's head version server-side; returns the path."""
+        return str(
+            self._request("save", graph=self._graph_name(graph), path=path)["path"]
+        )
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Close the connection; the server releases everything we held."""
+        if self._closed:
+            return
+        self._closed = True
+        self._streams.clear()
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+
+    def __enter__(self) -> "GraphClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else "connected"
+        return f"GraphClient(graph={self._graph!r}, {state})"

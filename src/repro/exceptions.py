@@ -125,6 +125,35 @@ class StoreError(ReproError):
     """
 
 
+class CatalogError(StoreError):
+    """Raised for invalid multi-tenant catalog operations.
+
+    Typical causes: creating a graph under a name that already exists, or
+    an empty / non-string graph name.
+    """
+
+
+class UnknownGraphError(CatalogError):
+    """Raised when a catalog (or wire) operation names a graph that does not exist."""
+
+    def __init__(self, name: str, available=()) -> None:
+        detail = f"unknown graph {name!r}"
+        if available:
+            detail += f" (catalog holds: {', '.join(sorted(available))})"
+        super().__init__(detail)
+        self.name = name
+
+
+class ProtocolError(ReproError):
+    """Raised for malformed wire-protocol traffic.
+
+    Typical causes: a truncated or oversized frame, a body that is not a
+    JSON object, or a request missing its ``op`` / ``id`` fields.  The
+    server answers with an error frame where it can and closes the
+    connection — framing errors are not recoverable mid-stream.
+    """
+
+
 class ServiceOverloadedError(ReproError):
     """Raised when the query service sheds a request under admission control.
 

@@ -77,6 +77,28 @@ class Budget:
         """A copy carrying ``event`` as its cooperative cancellation flag."""
         return replace(self, cancel_event=event)
 
+    def to_wire(self) -> Dict[str, object]:
+        """JSON-serialisable form of the three limits.
+
+        The ``cancel_event`` is deliberately not carried: cancellation does
+        not serialise — a wire server re-attaches its own event per request
+        (the service's cancel hook), exactly as the in-process service does.
+        """
+        return {
+            "max_matches": self.max_matches,
+            "time_limit_seconds": self.time_limit_seconds,
+            "max_intermediate_results": self.max_intermediate_results,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, object]) -> "Budget":
+        """Rebuild a budget from :meth:`to_wire` output (absent keys keep defaults)."""
+        kwargs = {}
+        for key in ("max_matches", "time_limit_seconds", "max_intermediate_results"):
+            if key in payload:
+                kwargs[key] = payload[key]
+        return cls(**kwargs)
+
 
 class BudgetClock:
     """Tracks one evaluation against a :class:`Budget`.
@@ -163,3 +185,63 @@ class MatchReport:
             f"{self.algorithm} on {self.query_name}: {self.num_matches} matches, "
             f"{self.total_seconds:.4f}s ({self.status.value})"
         )
+
+    # ------------------------------------------------------------------ #
+    # wire encoding
+    # ------------------------------------------------------------------ #
+
+    def to_wire(self, include_occurrences: bool = True) -> Dict[str, object]:
+        """JSON-serialisable form (the wire protocol's report payload).
+
+        ``extra`` values that do not serialise to JSON (build reports,
+        index objects) are replaced by their ``repr`` so the record stays
+        informative without dragging object graphs across the wire.
+        ``include_occurrences=False`` ships the counters only — the shape
+        used after a streamed query whose pages already carried the
+        occurrences.
+        """
+        return {
+            "query_name": self.query_name,
+            "algorithm": self.algorithm,
+            "status": self.status.value,
+            "occurrences": (
+                [list(occurrence) for occurrence in self.occurrences]
+                if include_occurrences
+                else []
+            ),
+            "num_matches": self.num_matches,
+            "matching_seconds": self.matching_seconds,
+            "enumeration_seconds": self.enumeration_seconds,
+            "extra": {key: jsonable(value) for key, value in self.extra.items()},
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, object]) -> "MatchReport":
+        """Rebuild a report from :meth:`to_wire` output."""
+        return cls(
+            query_name=str(payload.get("query_name", "query")),
+            algorithm=str(payload.get("algorithm", "?")),
+            status=MatchStatus(payload.get("status", MatchStatus.OK.value)),
+            occurrences=[
+                tuple(occurrence) for occurrence in payload.get("occurrences", ())
+            ],
+            num_matches=int(payload.get("num_matches", 0)),
+            matching_seconds=float(payload.get("matching_seconds", 0.0)),
+            enumeration_seconds=float(payload.get("enumeration_seconds", 0.0)),
+            extra=dict(payload.get("extra", ())),
+        )
+
+
+def jsonable(value):
+    """``value`` if it serialises to JSON as-is, else its ``repr``.
+
+    The wire encoders use this on open-ended ``extra`` mappings, which may
+    hold arbitrary objects in-process (RIG build reports, index handles).
+    """
+    import json
+
+    try:
+        json.dumps(value)
+    except (TypeError, ValueError):
+        return repr(value)
+    return value

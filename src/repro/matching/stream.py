@@ -44,6 +44,24 @@ from repro.matching.result import Budget, MatchReport, MatchStatus
 #: One occurrence: data-node ids indexed by query-node id.
 Occurrence = Tuple[int, ...]
 
+#: One streamed page: a tuple of occurrences.
+Page = Tuple[Occurrence, ...]
+
+
+def encode_page(page: Page) -> List[List[int]]:
+    """JSON-serialisable form of one streamed occurrence page.
+
+    The wire protocol's page frames carry occurrence tuples as plain nested
+    lists; :func:`decode_page` restores the tuple-of-tuples shape every
+    in-process consumer (and report comparison) expects.
+    """
+    return [list(occurrence) for occurrence in page]
+
+
+def decode_page(payload) -> Page:
+    """Rebuild a page from :func:`encode_page` output."""
+    return tuple(tuple(int(value) for value in occurrence) for occurrence in payload)
+
 
 class MatchStream:
     """An in-flight query evaluation, consumable one occurrence at a time.

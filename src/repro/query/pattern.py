@@ -233,6 +233,43 @@ class PatternQuery:
         return PatternQuery(labels, self._edges, name=name or self.name)
 
     # ------------------------------------------------------------------ #
+    # serialisation
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (the wire protocol's query payload)."""
+        return {
+            "name": self.name,
+            "labels": list(self._labels),
+            "edges": [
+                [edge.source, edge.target, edge.edge_type.value]
+                for edge in self._edges
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "PatternQuery":
+        """Rebuild a query from :meth:`to_dict` output.
+
+        Malformed payloads raise :class:`~repro.exceptions.QueryError` (the
+        constructor's usual validation plus shape checks here), so a wire
+        endpoint can reject a corrupt query without crashing.
+        """
+        if not isinstance(payload, dict):
+            raise QueryError(f"query payload must be an object, got {type(payload).__name__}")
+        labels = payload.get("labels")
+        if not isinstance(labels, (list, tuple)):
+            raise QueryError("query payload needs a 'labels' list")
+        edges = payload.get("edges", ())
+        if not isinstance(edges, (list, tuple)):
+            raise QueryError("query payload 'edges' must be a list")
+        return cls(
+            labels,
+            [tuple(edge) for edge in edges],
+            name=str(payload.get("name", "query")),
+        )
+
+    # ------------------------------------------------------------------ #
     # dunder helpers
     # ------------------------------------------------------------------ #
 

@@ -1,0 +1,170 @@
+"""GraphCatalog: the multi-tenant registry of named graph databases.
+
+One wire server fronts many tenants.  Each catalog entry is a fully
+independent :class:`~repro.api.GraphDB` — its own
+:class:`~repro.store.VersionedGraphStore` (version chain, writer queue) and
+:class:`~repro.service.QueryService` (worker pool, admission queue) — so
+one tenant's overload sheds *that tenant's* requests without touching the
+others, and a dropped tenant releases every resource it owned.
+
+The catalog is the server's dispatch table, but it is useful standalone:
+an embedding process can host several independent graphs behind one object
+and the wire server simply puts that object on the network.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.api import GraphDB, GraphSource
+from repro.exceptions import CatalogError, UnknownGraphError
+from repro.service.service import ServiceConfig
+
+
+class GraphCatalog:
+    """A named, thread-safe registry of independent :class:`GraphDB` tenants.
+
+    Parameters
+    ----------
+    config:
+        Default :class:`ServiceConfig` for databases the catalog creates
+        (per-tenant overrides via :meth:`create`'s ``config``).
+
+    Databases *created* through the catalog are owned by it (dropped or
+    closed with it); databases *attached* keep their original owner.
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self._config = config
+        self._lock = threading.Lock()
+        self._databases: Dict[str, GraphDB] = {}
+        self._owned: Dict[str, bool] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # tenant lifecycle
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _check_name(name) -> str:
+        if not isinstance(name, str) or not name:
+            raise CatalogError(f"graph name must be a non-empty string, got {name!r}")
+        return name
+
+    def create(
+        self,
+        name: str,
+        source: GraphSource = None,
+        labels: Sequence[str] = (),
+        edges: Iterable[Tuple[int, int]] = (),
+        config: Optional[ServiceConfig] = None,
+        exist_ok: bool = False,
+        **session_kwargs,
+    ) -> GraphDB:
+        """Create (and own) a new named database.
+
+        ``source`` accepts everything :meth:`GraphDB.open` does; with no
+        source, ``labels``/``edges`` seed the initial graph (both empty
+        gives an empty database to :meth:`GraphDB.ingest` into).  A name
+        collision raises :class:`~repro.exceptions.CatalogError` unless
+        ``exist_ok`` — then the existing database is returned unchanged.
+        """
+        self._check_name(name)
+        with self._lock:
+            if self._closed:
+                raise CatalogError("catalog is closed")
+            existing = self._databases.get(name)
+            if existing is not None:
+                if exist_ok:
+                    return existing
+                raise CatalogError(f"graph {name!r} already exists")
+            if source is None and (labels or edges):
+                database = GraphDB.from_edges(
+                    labels, edges, name=name, config=config or self._config,
+                    **session_kwargs,
+                )
+            else:
+                database = GraphDB.open(
+                    source, config=config or self._config, **session_kwargs
+                )
+            self._databases[name] = database
+            self._owned[name] = True
+            return database
+
+    def attach(self, name: str, database: GraphDB, owned: bool = False) -> GraphDB:
+        """Register an existing database under ``name``.
+
+        With ``owned=False`` (default) the caller keeps lifecycle control:
+        dropping or closing the catalog deregisters the database without
+        closing it.
+        """
+        self._check_name(name)
+        with self._lock:
+            if self._closed:
+                raise CatalogError("catalog is closed")
+            if name in self._databases:
+                raise CatalogError(f"graph {name!r} already exists")
+            self._databases[name] = database
+            self._owned[name] = owned
+            return database
+
+    def drop(self, name: str) -> None:
+        """Remove a tenant; an owned database is closed (workers stopped)."""
+        with self._lock:
+            database = self._databases.pop(name, None)
+            if database is None:
+                raise UnknownGraphError(name, self._databases)
+            owned = self._owned.pop(name, False)
+        if owned:
+            database.close()
+
+    def get(self, name: str) -> GraphDB:
+        """The database registered under ``name`` (:class:`UnknownGraphError` if absent)."""
+        with self._lock:
+            database = self._databases.get(self._check_name(name))
+            if database is None:
+                raise UnknownGraphError(name, self._databases)
+            return database
+
+    def names(self) -> Tuple[str, ...]:
+        """The registered graph names, sorted."""
+        with self._lock:
+            return tuple(sorted(self._databases))
+
+    def __contains__(self, name: object) -> bool:
+        with self._lock:
+            return name in self._databases
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._databases)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Drop every tenant; owned databases are closed (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            databases = [
+                (database, self._owned.get(name, False))
+                for name, database in self._databases.items()
+            ]
+            self._databases.clear()
+            self._owned.clear()
+        for database, owned in databases:
+            if owned:
+                database.close()
+
+    def __enter__(self) -> "GraphCatalog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GraphCatalog(graphs={list(self.names())})"

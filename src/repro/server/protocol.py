@@ -1,0 +1,249 @@
+"""The wire protocol: length-prefixed JSON frames + error mapping.
+
+Framing
+-------
+Every message — request, response, stream page, credit grant — is one
+*frame*::
+
+    +----------------+----------------------------------+
+    | 4 bytes (>I)   | UTF-8 JSON object (length bytes) |
+    +----------------+----------------------------------+
+
+The body must decode to a JSON **object**.  Three frame shapes flow:
+
+* requests ``{"id": n, "op": "query", ...}`` (client -> server);
+* responses ``{"id": n, "ok": true, "result": ...}`` or
+  ``{"id": n, "ok": false, "error": {...}}`` (server -> client);
+* stream frames ``{"stream": s, "seq": k, "page": [...]}`` and the
+  terminal ``{"stream": s, "end": true, "report"|"error": ...}``
+  (server -> client, interleaved with responses — the ``stream`` key is
+  what lets a client demultiplex them).
+
+Truncated, oversized or non-JSON frames raise
+:class:`~repro.exceptions.ProtocolError`; the connection is not
+recoverable past one (the stream position is lost), so both endpoints
+close on it.
+
+Error mapping
+-------------
+:func:`encode_error` flattens the library's exception hierarchy into a
+typed payload; :func:`decode_error` rebuilds the *same* exception class
+client-side, so remote callers keep their ``except`` clauses: a shed
+request raises :class:`~repro.exceptions.ServiceOverloadedError` with its
+``reason`` (``queue_full`` / ``deadline``) intact, a stale injected index
+raises :class:`~repro.exceptions.StaleIndexError` naming both versions,
+an unknown tenant raises :class:`~repro.exceptions.UnknownGraphError`.
+(Cancellation is *not* an error: a cancelled query answers with a normal
+report whose status is ``cancelled``, on the wire as in-process.)
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Dict, Optional
+
+from repro.exceptions import (
+    CatalogError,
+    EngineError,
+    GraphError,
+    ProtocolError,
+    QueryCancelled,
+    QueryError,
+    QueryParseError,
+    ReproError,
+    ServiceOverloadedError,
+    StaleIndexError,
+    StoreError,
+    UnknownGraphError,
+)
+
+#: Hard cap on one frame's body; anything larger is a framing error (a
+#: desynchronised stream reads garbage lengths long before this bound).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+#: Bytes of the length prefix.
+HEADER_BYTES = _HEADER.size
+
+
+# ---------------------------------------------------------------------- #
+# framing
+# ---------------------------------------------------------------------- #
+
+
+def encode_frame(payload: Dict[str, object]) -> bytes:
+    """One wire frame: 4-byte big-endian length + compact JSON body."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame body of {len(body)} bytes exceeds the {MAX_FRAME_BYTES} cap"
+        )
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> Dict[str, object]:
+    """Decode one frame body; the payload must be a JSON object."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"frame body is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame body must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def check_length(length: int) -> int:
+    """Validate a decoded length prefix against the frame cap."""
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES} cap "
+            "(desynchronised or malicious stream)"
+        )
+    return length
+
+
+def read_frame_sync(sock: socket.socket) -> Optional[Dict[str, object]]:
+    """Blocking frame read from a plain socket (the sync client's reader).
+
+    Returns ``None`` on a clean EOF at a frame boundary; raises
+    :class:`~repro.exceptions.ProtocolError` on a mid-frame EOF
+    (truncation) or a malformed body.  ``socket.timeout`` propagates so
+    callers can poll.
+    """
+    header = _recv_exactly(sock, HEADER_BYTES, allow_eof=True)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    body = _recv_exactly(sock, check_length(length), allow_eof=False)
+    return decode_body(body)
+
+
+def _recv_exactly(sock: socket.socket, count: int, allow_eof: bool) -> Optional[bytes]:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if allow_eof and remaining == count:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({count - remaining} of {count} bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+async def read_frame(reader) -> Optional[Dict[str, object]]:
+    """Async frame read from an :class:`asyncio.StreamReader` (the server side).
+
+    Same contract as :func:`read_frame_sync`: ``None`` on clean EOF,
+    :class:`~repro.exceptions.ProtocolError` on truncation or malformed
+    bodies.
+    """
+    import asyncio
+
+    try:
+        header = await reader.readexactly(HEADER_BYTES)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError(
+            f"connection closed mid-header ({len(exc.partial)} of {HEADER_BYTES} bytes)"
+        ) from exc
+    (length,) = _HEADER.unpack(header)
+    try:
+        body = await reader.readexactly(check_length(length))
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"connection closed mid-frame ({len(exc.partial)} of {length} bytes)"
+        ) from exc
+    return decode_body(body)
+
+
+# ---------------------------------------------------------------------- #
+# error mapping
+# ---------------------------------------------------------------------- #
+
+#: Errors that rebuild from a message alone, most-derived class first (so
+#: e.g. a QueryParseError encodes to its own code, not its QueryError base).
+#: One table drives both directions: :func:`encode_error` scans it in
+#: order, :func:`decode_error` looks the code up in the derived dict.
+_CODED_CLASSES = (
+    ("query_parse", QueryParseError),
+    ("query", QueryError),
+    ("graph", GraphError),
+    ("catalog", CatalogError),
+    ("store", StoreError),
+    ("engine", EngineError),
+    ("protocol", ProtocolError),
+)
+
+_SIMPLE_CODES = {code: klass for code, klass in _CODED_CLASSES}
+
+def encode_error(exc: BaseException) -> Dict[str, object]:
+    """Flatten ``exc`` into the typed error payload of an error response."""
+    if isinstance(exc, ServiceOverloadedError):
+        return {"code": "overloaded", "reason": exc.reason, "detail": exc.detail}
+    if isinstance(exc, StaleIndexError):
+        return {
+            "code": "stale_index",
+            "engine": exc.engine,
+            "artifact": exc.artifact,
+            "expected_version": exc.expected_version,
+            "found_version": exc.found_version,
+        }
+    if isinstance(exc, UnknownGraphError):
+        return {"code": "unknown_graph", "name": exc.name, "message": str(exc)}
+    if isinstance(exc, QueryCancelled):
+        return {"code": "cancelled", "message": str(exc)}
+    if isinstance(exc, (TimeoutError, FutureTimeoutError)):
+        # FutureTimeoutError is a distinct class before Python 3.11; both
+        # shapes (ticket waits, writer-future waits) map to one code.
+        return {"code": "timeout", "message": str(exc)}
+    for code, klass in _CODED_CLASSES:
+        if isinstance(exc, klass):
+            return {"code": code, "message": str(exc)}
+    return {"code": "internal", "type": type(exc).__name__, "message": str(exc)}
+
+
+def decode_error(payload: Optional[Dict[str, object]]) -> Exception:
+    """Rebuild the server-side exception from an error payload.
+
+    Unknown or missing codes come back as a plain
+    :class:`~repro.exceptions.ReproError` carrying the message — a client
+    must never crash on a code added by a newer server.
+    """
+    if not isinstance(payload, dict):
+        return ProtocolError(f"malformed error payload: {payload!r}")
+    code = payload.get("code")
+    message = str(payload.get("message", ""))
+    if code == "overloaded":
+        return ServiceOverloadedError(
+            str(payload.get("reason", "unknown")), str(payload.get("detail", ""))
+        )
+    if code == "stale_index":
+        return StaleIndexError(
+            str(payload.get("engine", "?")),
+            str(payload.get("artifact", "?")),
+            int(payload.get("expected_version", -1)),
+            int(payload.get("found_version", -1)),
+        )
+    if code == "unknown_graph":
+        return UnknownGraphError(str(payload.get("name", "?")))
+    if code == "cancelled":
+        return QueryCancelled(message)
+    if code == "timeout":
+        return TimeoutError(message)
+    klass = _SIMPLE_CODES.get(code)
+    if klass is not None:
+        return klass(message)
+    detail = payload.get("type")
+    prefix = f"remote {detail}: " if detail else "remote error: "
+    return ReproError(prefix + message)

@@ -1,0 +1,750 @@
+"""GraphServer: asyncio TCP serving of a multi-tenant graph catalog.
+
+The server puts the :class:`~repro.api.GraphDB` facade on the wire: every
+facade capability — ``ingest`` / ``apply`` / ``apply_async`` / ``query`` /
+``stream`` / ``count`` / ``histogram`` / ``run_batch`` / ``pin`` /
+``stats`` / ``save`` — plus the tenant lifecycle of a
+:class:`~repro.server.catalog.GraphCatalog` (``create_graph`` /
+``drop_graph`` / ``graphs``) is one request frame away (see
+:mod:`repro.server.protocol` for the frame format).
+
+Execution model
+---------------
+The event loop only ever parses frames and routes; every blocking call —
+ticket waits, folds, catalog builds, stream pumps — runs on a thread-pool
+executor, so one slow query never stalls another connection's frames.
+Per-request errors answer with a typed error frame and the connection
+lives on; *framing* errors (truncation, non-JSON bodies) are
+unrecoverable and close the connection.
+
+Streaming
+---------
+``stream_open`` starts a server-side :class:`StreamingResult` and a pump
+thread that forwards its pages as ``{"stream": s, "seq": k, "page": ...}``
+frames under **credit-based flow control**: the pump may run at most
+``window`` pages ahead of the client's ``credit`` grants (mirroring the
+service's ``stream_buffer_pages`` backpressure), so the client's first
+page arrives while the query is still enumerating and a slow client
+throttles the producer instead of growing the socket buffer.  A client
+that cancels (``stream_cancel``) or disconnects mid-stream closes the
+server-side result, which cancels the executing worker cooperatively and
+releases its snapshot pin — abandoned streams leak nothing.
+
+Disconnects
+-----------
+Connection teardown closes every live stream, cancels every in-flight
+ticket (through the service's cooperative cancel hooks), and releases
+every pin the client still held.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Optional, Set, Tuple
+
+from repro.api import GraphDB, encode_apply_report, encode_batch_report
+from repro.dynamic.delta import GraphDelta
+from repro.exceptions import ProtocolError, StoreError, UnknownGraphError
+from repro.matching.result import Budget, jsonable
+from repro.matching.stream import encode_page
+from repro.query.parser import parse_query
+from repro.query.pattern import PatternQuery
+from repro.server.catalog import GraphCatalog
+from repro.server.protocol import encode_error, encode_frame, read_frame
+from repro.service.service import ServiceConfig, StreamingResult
+
+
+def _decode_query(payload, name: Optional[str] = None) -> PatternQuery:
+    """A request's query: either a :meth:`PatternQuery.to_dict` object or DSL text."""
+    if isinstance(payload, str):
+        return parse_query(payload, name=name or "query")
+    if isinstance(payload, dict):
+        return PatternQuery.from_dict(payload)
+    raise ProtocolError(
+        f"query must be DSL text or a query object, got {type(payload).__name__}"
+    )
+
+
+def _decode_budget(payload) -> Optional[Budget]:
+    if payload is None:
+        return None
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"budget must be an object, got {type(payload).__name__}")
+    return Budget.from_wire(payload)
+
+
+class _ServerStream:
+    """One streaming query being pumped to one connection, credit-gated."""
+
+    def __init__(
+        self,
+        connection: "_Connection",
+        stream_id: int,
+        result: StreamingResult,
+        window: int,
+        page_timeout: Optional[float],
+    ) -> None:
+        self.connection = connection
+        self.stream_id = stream_id
+        self.result = result
+        self._credits = threading.Semaphore(max(1, window))
+        self._closed = threading.Event()
+        self._page_timeout = page_timeout
+
+    def grant(self, credits: int) -> None:
+        """Replenish the send window (a client ``credit`` frame)."""
+        for _ in range(max(0, int(credits))):
+            self._credits.release()
+
+    def close(self) -> None:
+        """Stop pumping: cancel the producer and release the snapshot pin.
+
+        Safe from the event loop: the blocking teardown
+        (:meth:`StreamingResult.close`) only flips flags and drains a
+        bounded queue; the pump thread observes the abandonment sentinel
+        and exits without sending an end frame.
+        """
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        self._credits.release()  # wake a pump blocked on the window
+        self.result.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+    def _acquire_credit(self) -> bool:
+        while not self._closed.is_set():
+            if self._credits.acquire(timeout=0.05):
+                if self._closed.is_set():
+                    return False
+                return True
+        return False
+
+    def pump(self) -> None:
+        """Forward pages to the client (runs on an executor thread).
+
+        Each page waits for one credit before it is sent; exhaustion sends
+        the terminal frame carrying the finalised (count-only) report, and
+        failures send the terminal frame carrying the mapped error.  Every
+        exit path closes the result — the producer is cancelled and the
+        pin released no matter how the stream ends.
+        """
+        error: Optional[BaseException] = None
+        try:
+            sequence = 0
+            for page in self.result.pages(timeout=self._page_timeout):
+                if not self._acquire_credit():
+                    return
+                self.connection.send_from_thread(
+                    {
+                        "stream": self.stream_id,
+                        "seq": sequence,
+                        "page": encode_page(page),
+                    }
+                )
+                sequence += 1
+            if self._closed.is_set():
+                return
+            report = self.result.report(timeout=30.0)
+            self.connection.send_from_thread(
+                {
+                    "stream": self.stream_id,
+                    "end": True,
+                    "report": report.to_wire(include_occurrences=False),
+                }
+            )
+        except Exception as exc:
+            error = exc
+        finally:
+            self.result.close()
+            self.connection.discard_stream(self.stream_id)
+        if error is not None and not self._closed.is_set():
+            try:
+                self.connection.send_from_thread(
+                    {
+                        "stream": self.stream_id,
+                        "end": True,
+                        "error": encode_error(error),
+                    }
+                )
+            except Exception:  # connection already gone
+                pass
+
+
+class _Connection:
+    """One client connection: frame loop, dispatch, per-client resources."""
+
+    def __init__(self, server: "GraphServer", reader, writer) -> None:
+        self.server = server
+        self._reader = reader
+        self._writer = writer
+        self._loop = asyncio.get_running_loop()
+        self._send_lock = asyncio.Lock()
+        self._tasks: Set[asyncio.Task] = set()
+        self._streams: Dict[int, _ServerStream] = {}
+        self._tickets: Set[object] = set()
+        self._pins: Dict[str, Tuple[str, object]] = {}
+        self._apply_futures: Dict[str, object] = {}
+        self._pin_ids = itertools.count(1)
+        self._closing = False
+
+    # ------------------------------------------------------------------ #
+    # frame loop
+    # ------------------------------------------------------------------ #
+
+    async def run(self) -> None:
+        try:
+            while True:
+                try:
+                    frame = await read_frame(self._reader)
+                except ProtocolError as exc:
+                    # Framing is broken: answer if the socket still works,
+                    # then drop the connection (the stream position is lost).
+                    await self._safe_send(
+                        {"id": None, "ok": False, "error": encode_error(exc)}
+                    )
+                    break
+                except (ConnectionError, OSError, asyncio.CancelledError):
+                    break
+                if frame is None:
+                    break
+                op = frame.get("op")
+                if op == "credit":
+                    stream = self._streams.get(frame.get("stream"))
+                    if stream is not None:
+                        stream.grant(frame.get("n", 1))
+                    continue
+                if op == "stream_cancel":
+                    self.discard_stream(frame.get("stream"), close=True)
+                    continue
+                task = self._loop.create_task(self._dispatch(frame))
+                self._tasks.add(task)
+                task.add_done_callback(self._tasks.discard)
+        finally:
+            await self._teardown()
+
+    async def _dispatch(self, frame: Dict[str, object]) -> None:
+        ident = frame.get("id")
+        try:
+            if not isinstance(ident, int):
+                raise ProtocolError(f"request carries no integer 'id': {frame!r}")
+            handler = self._HANDLERS.get(frame.get("op"))
+            if handler is None:
+                raise ProtocolError(f"unknown op {frame.get('op')!r}")
+            result = await handler(self, frame)
+            await self._safe_send({"id": ident, "ok": True, "result": result})
+        except Exception as exc:
+            try:
+                await self._safe_send(
+                    {
+                        "id": ident if isinstance(ident, int) else None,
+                        "ok": False,
+                        "error": encode_error(exc),
+                    }
+                )
+            except Exception:  # pragma: no cover - reply path is best-effort
+                pass
+
+    # ------------------------------------------------------------------ #
+    # sending
+    # ------------------------------------------------------------------ #
+
+    async def _send(self, payload: Dict[str, object]) -> None:
+        if self._closing:
+            raise ConnectionError("connection is closing")
+        data = encode_frame(payload)
+        async with self._send_lock:
+            self._writer.write(data)
+            await self._writer.drain()
+
+    async def _safe_send(self, payload: Dict[str, object]) -> None:
+        try:
+            await self._send(payload)
+        except (ConnectionError, RuntimeError, OSError):
+            pass  # client went away mid-reply; teardown will follow
+
+    def send_from_thread(self, payload: Dict[str, object], timeout: float = 30.0) -> None:
+        """Send one frame from a pump thread (raises once the connection dies)."""
+        future = asyncio.run_coroutine_threadsafe(self._send(payload), self._loop)
+        future.result(timeout)
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+
+    async def _run(self, fn, *args):
+        """Run a blocking call on the server executor."""
+        return await self._loop.run_in_executor(self.server._executor, fn, *args)
+
+    def _db(self, frame: Dict[str, object]) -> Tuple[str, GraphDB]:
+        name = frame.get("graph")
+        if not isinstance(name, str) or not name:
+            raise ProtocolError("request names no graph (missing 'graph' field)")
+        return name, self.server.catalog.get(name)
+
+    def _pin_for(self, frame: Dict[str, object], graph_name: str):
+        token = frame.get("pin")
+        if token is None:
+            return None
+        entry = self._pins.get(token)
+        if entry is None:
+            raise StoreError(f"unknown pin token {token!r}")
+        pinned_graph, snapshot = entry
+        if pinned_graph != graph_name:
+            raise StoreError(
+                f"pin {token!r} belongs to graph {pinned_graph!r}, not {graph_name!r}"
+            )
+        return snapshot
+
+    def discard_stream(self, stream_id, close: bool = False) -> None:
+        """Forget (and optionally close) one stream; thread-safe enough.
+
+        Called from pump threads on normal exhaustion and from the event
+        loop on cancel frames / teardown.
+        """
+        stream = self._streams.pop(stream_id, None)
+        if stream is not None and close:
+            stream.close()
+
+    def _track_ticket(self, ticket) -> None:
+        self._tickets.add(ticket)
+        ticket.add_done_callback(self._tickets.discard)
+
+    def _info(self, name: str, database: GraphDB) -> Dict[str, object]:
+        graph = database.graph
+        return {
+            "name": name,
+            "head_version": database.head_version,
+            "num_nodes": graph.num_nodes,
+            "num_edges": graph.num_edges,
+        }
+
+    # ------------------------------------------------------------------ #
+    # op handlers
+    # ------------------------------------------------------------------ #
+
+    async def _op_ping(self, frame):
+        return {"pong": True, "graphs": len(self.server.catalog)}
+
+    async def _op_graphs(self, frame):
+        catalog = self.server.catalog
+        infos = []
+        for name in catalog.names():
+            try:
+                infos.append(self._info(name, catalog.get(name)))
+            except UnknownGraphError:
+                continue  # dropped by a concurrent client between list and get
+        return {"graphs": infos}
+
+    async def _op_create_graph(self, frame):
+        name = frame.get("name")
+        labels = frame.get("labels") or ()
+        edges = [tuple(edge) for edge in frame.get("edges") or ()]
+
+        def build():
+            return self.server.catalog.create(
+                name,
+                labels=labels,
+                edges=edges,
+                exist_ok=bool(frame.get("exist_ok", False)),
+            )
+
+        database = await self._run(build)
+        return self._info(name, database)
+
+    async def _op_drop_graph(self, frame):
+        name = frame.get("name")
+        await self._run(self.server.catalog.drop, name)
+        return {"dropped": name}
+
+    async def _op_info(self, frame):
+        name, database = self._db(frame)
+        return self._info(name, database)
+
+    async def _op_ingest(self, frame):
+        _, database = self._db(frame)
+
+        def run():
+            return database.ingest(
+                labels=frame.get("labels") or (),
+                edges=[tuple(edge) for edge in frame.get("edges") or ()],
+                remove_edges=[tuple(edge) for edge in frame.get("remove_edges") or ()],
+            )
+
+        return encode_apply_report(await self._run(run))
+
+    async def _op_apply(self, frame):
+        _, database = self._db(frame)
+        delta = GraphDelta.from_dict(frame.get("delta") or {})
+        report = await self._run(database.apply, delta)
+        return encode_apply_report(report)
+
+    async def _op_apply_async(self, frame):
+        _, database = self._db(frame)
+        delta = GraphDelta.from_dict(frame.get("delta") or {})
+        future = database.apply_async(delta)
+        token = f"a{next(self._pin_ids)}"
+        self._apply_futures[token] = future
+        return {"token": token}
+
+    async def _op_apply_wait(self, frame):
+        token = frame.get("token")
+        future = self._apply_futures.get(token)
+        if future is None:
+            raise StoreError(f"unknown apply token {token!r}")
+        report = await self._run(future.result, frame.get("timeout"))
+        self._apply_futures.pop(token, None)
+        return encode_apply_report(report)
+
+    async def _op_query(self, frame):
+        name, database = self._db(frame)
+        query = _decode_query(frame.get("query"), frame.get("name"))
+        snapshot = self._pin_for(frame, name)
+        ticket = database.service.submit(
+            query,
+            engine=frame.get("engine"),
+            budget=_decode_budget(frame.get("budget")),
+            deadline_seconds=frame.get("deadline_seconds"),
+            snapshot=snapshot,
+            name=frame.get("name"),
+        )
+        self._track_ticket(ticket)
+        report = await self._run(ticket.result, frame.get("timeout"))
+        return report.to_wire()
+
+    async def _op_count(self, frame):
+        name, database = self._db(frame)
+        query = _decode_query(frame.get("query"), frame.get("name"))
+        budget = _decode_budget(frame.get("budget"))
+        engine = frame.get("engine") or "GM"
+        snapshot = self._pin_for(frame, name)
+
+        def run():
+            if snapshot is not None:
+                return snapshot.count(query, engine=engine, budget=budget)
+            with database.store.pin() as snap:
+                return snap.count(query, engine=engine, budget=budget)
+
+        return {"count": await self._run(run)}
+
+    async def _op_histogram(self, frame):
+        name, database = self._db(frame)
+        query = _decode_query(frame.get("query"), frame.get("name"))
+        budget = _decode_budget(frame.get("budget"))
+        engine = frame.get("engine") or "GM"
+        node = frame.get("node")
+        snapshot = self._pin_for(frame, name)
+
+        def run():
+            if snapshot is not None:
+                return snapshot.histogram(query, node=node, engine=engine, budget=budget)
+            with database.store.pin() as snap:
+                return snap.histogram(query, node=node, engine=engine, budget=budget)
+
+        return {"histogram": await self._run(run)}
+
+    async def _op_run_batch(self, frame):
+        name, database = self._db(frame)
+        raw_queries = frame.get("queries")
+        if not isinstance(raw_queries, list):
+            raise ProtocolError("run_batch needs a 'queries' list")
+        queries = {}
+        for index, entry in enumerate(raw_queries):
+            if not isinstance(entry, dict):
+                raise ProtocolError(f"batch entry {index} is not an object")
+            query = _decode_query(entry.get("query"), entry.get("name"))
+            queries[entry.get("name") or query.name or f"q{index}"] = query
+        budget = _decode_budget(frame.get("budget"))
+        snapshot = self._pin_for(frame, name)
+
+        def run():
+            return database.service.run_batch(
+                queries,
+                engine=frame.get("engine"),
+                budget=budget,
+                workers=frame.get("workers"),
+                keep_occurrences=bool(frame.get("keep_occurrences", True)),
+                snapshot=snapshot,
+            )
+
+        return encode_batch_report(await self._run(run))
+
+    async def _op_pin(self, frame):
+        name, database = self._db(frame)
+        snapshot = database.store.pin(frame.get("version"))
+        token = f"p{next(self._pin_ids)}"
+        self._pins[token] = (name, snapshot)
+        return {"pin": token, "version": snapshot.version}
+
+    async def _op_release(self, frame):
+        token = frame.get("pin")
+        entry = self._pins.pop(token, None)
+        if entry is None:
+            raise StoreError(f"unknown pin token {token!r}")
+        entry[1].release()
+        return {"released": token}
+
+    async def _op_stats(self, frame):
+        _, database = self._db(frame)
+        stats = await self._run(database.stats)
+        return {key: jsonable(value) for key, value in stats.items()}
+
+    async def _op_save(self, frame):
+        _, database = self._db(frame)
+        path = frame.get("path")
+        if not isinstance(path, str) or not path:
+            raise ProtocolError("save needs a 'path' string")
+        return {"path": await self._run(database.save, path)}
+
+    async def _op_stream_open(self, frame):
+        name, database = self._db(frame)
+        query = _decode_query(frame.get("query"), frame.get("name"))
+        budget = _decode_budget(frame.get("budget"))
+        page_size = int(frame.get("page_size", 256))
+        window = int(frame.get("window") or self.server.stream_window)
+        pinned = self._pin_for(frame, name)
+        ident = frame["id"]
+
+        def open_stream() -> StreamingResult:
+            # Pages never accumulate server-side (keep_occurrences=False):
+            # the stream's memory bound is the service's page buffer plus
+            # this connection's credit window.
+            if pinned is not None:
+                snapshot = database.store.pin(pinned.version)
+                try:
+                    ticket = database.service.submit(
+                        query,
+                        engine=frame.get("engine"),
+                        budget=budget,
+                        deadline_seconds=frame.get("deadline_seconds"),
+                        snapshot=snapshot,
+                        page_size=page_size,
+                        keep_occurrences=False,
+                    )
+                except Exception:
+                    snapshot.release()
+                    raise
+                return StreamingResult(ticket, snapshot, page_size)
+            return database.service.stream(
+                query,
+                engine=frame.get("engine"),
+                budget=budget,
+                page_size=page_size,
+                deadline_seconds=frame.get("deadline_seconds"),
+                keep_occurrences=False,
+            )
+
+        result = await self._run(open_stream)
+        stream = _ServerStream(
+            self, ident, result, window, self.server.stream_page_timeout
+        )
+        self._streams[ident] = stream
+        self._track_ticket(result.ticket)
+        # The reply goes out before the pump starts, so the client always
+        # sees the stream id before its first page frame.
+        reply = {
+            "stream": ident,
+            "version": result.version,
+            "window": window,
+            "page_size": page_size,
+        }
+        self._loop.run_in_executor(self.server._executor, stream.pump)
+        return reply
+
+    _HANDLERS = {
+        "ping": _op_ping,
+        "graphs": _op_graphs,
+        "create_graph": _op_create_graph,
+        "drop_graph": _op_drop_graph,
+        "info": _op_info,
+        "ingest": _op_ingest,
+        "apply": _op_apply,
+        "apply_async": _op_apply_async,
+        "apply_wait": _op_apply_wait,
+        "query": _op_query,
+        "count": _op_count,
+        "histogram": _op_histogram,
+        "run_batch": _op_run_batch,
+        "pin": _op_pin,
+        "release": _op_release,
+        "stats": _op_stats,
+        "save": _op_save,
+        "stream_open": _op_stream_open,
+    }
+
+    # ------------------------------------------------------------------ #
+    # teardown
+    # ------------------------------------------------------------------ #
+
+    async def _teardown(self) -> None:
+        """Release everything this client owned (streams, tickets, pins)."""
+        self._closing = True
+        for stream in list(self._streams.values()):
+            stream.close()
+        self._streams.clear()
+        for ticket in list(self._tickets):
+            ticket.cancel()
+        for _, snapshot in self._pins.values():
+            snapshot.release()
+        self._pins.clear()
+        self._apply_futures.clear()
+        if self._tasks:
+            await asyncio.wait(list(self._tasks), timeout=10.0)
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    def abort(self) -> None:
+        """Hard-close the transport (server shutdown); loop thread only."""
+        transport = self._writer.transport
+        if transport is not None:
+            transport.abort()
+
+
+class GraphServer:
+    """A TCP server exposing a :class:`GraphCatalog` over the wire protocol.
+
+    Parameters
+    ----------
+    catalog:
+        The tenant registry to serve.  ``None`` creates an owned, empty
+        catalog (tenants are then created over the wire); a caller-supplied
+        catalog keeps its owner (it is *not* closed with the server), which
+        is how an existing in-process :class:`GraphDB` is put on the
+        network: ``catalog.attach("main", db)``.
+    host / port:
+        Bind address; port 0 picks a free port (read it from
+        :attr:`address` after :meth:`start`).
+    stream_window:
+        Default credit window per stream: how many pages the server pumps
+        ahead of the client's grants (clients may ask for their own window
+        at ``stream_open``).
+    stream_page_timeout:
+        Upper bound on the pump's wait for one page from the executing
+        worker (``None`` — the default — trusts budgets/deadlines to
+        terminate the query).
+    service_config:
+        Default :class:`ServiceConfig` for catalogs the server creates.
+
+    The server runs its event loop on a dedicated daemon thread:
+    :meth:`start` returns once the socket is bound, :meth:`close` stops
+    accepting, aborts live connections (running their resource teardown)
+    and joins the thread.  Usable as a context manager.
+    """
+
+    def __init__(
+        self,
+        catalog: Optional[GraphCatalog] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        stream_window: int = 4,
+        stream_page_timeout: Optional[float] = None,
+        service_config: Optional[ServiceConfig] = None,
+    ) -> None:
+        self.catalog = catalog if catalog is not None else GraphCatalog(config=service_config)
+        self._owns_catalog = catalog is None
+        self._host = host
+        self._port = port
+        self.stream_window = max(1, stream_window)
+        self.stream_page_timeout = stream_page_timeout
+        self.address: Optional[Tuple[str, int]] = None
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._connections: Set[_Connection] = set()
+        self._connection_tasks: Set[asyncio.Task] = set()
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> Tuple[str, int]:
+        """Bind and serve on a background thread; returns ``(host, port)``."""
+        if self._thread is not None:
+            raise StoreError("server was already started")
+        self._thread = threading.Thread(
+            target=self._run_loop, name="graph-server", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=30.0):  # pragma: no cover - defensive
+            raise StoreError("server failed to start within 30s")
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self.address
+
+    def _run_loop(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._executor = ThreadPoolExecutor(
+            max_workers=64, thread_name_prefix="graph-server-io"
+        )
+        try:
+            server = await asyncio.start_server(self._on_client, self._host, self._port)
+        except Exception as exc:
+            self._startup_error = exc
+            self._executor.shutdown(wait=False)
+            self._started.set()
+            return
+        bound = server.sockets[0].getsockname()
+        self.address = (bound[0], bound[1])
+        self._started.set()
+        async with server:
+            await self._stop_event.wait()
+        for connection in list(self._connections):
+            connection.abort()
+        if self._connection_tasks:
+            await asyncio.wait(list(self._connection_tasks), timeout=10.0)
+        self._executor.shutdown(wait=True)
+
+    async def _on_client(self, reader, writer) -> None:
+        connection = _Connection(self, reader, writer)
+        self._connections.add(connection)
+        task = asyncio.current_task()
+        if task is not None:
+            self._connection_tasks.add(task)
+            task.add_done_callback(self._connection_tasks.discard)
+        try:
+            await connection.run()
+        finally:
+            self._connections.discard(connection)
+
+    def close(self) -> None:
+        """Stop serving; tears down live connections and joins the loop thread."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._thread is not None and self._loop is not None:
+            if not self._started.is_set():  # pragma: no cover - defensive
+                self._started.wait(timeout=5.0)
+            try:
+                self._loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:  # loop already gone
+                pass
+            self._thread.join(timeout=30.0)
+        if self._owns_catalog:
+            self.catalog.close()
+
+    def __enter__(self) -> "GraphServer":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else ("serving" if self.address else "new")
+        return f"GraphServer(address={self.address}, graphs={len(self.catalog)}, {state})"

@@ -132,13 +132,25 @@ class _StreamBuffer:
                 continue
 
     def abandon(self) -> None:
-        """Consumer-side teardown: unblock the producer, drop queued pages."""
+        """Consumer-side teardown: unblock producer *and* consumer, drop pages.
+
+        Besides unblocking a producer waiting on a full queue, this wakes a
+        consumer blocked in :meth:`pages` from *another* thread (the wire
+        server's pump threads page in an executor while the connection
+        handler abandons from the event loop): the sentinel makes that
+        consumer's ``get`` return immediately instead of waiting out its
+        page timeout.
+        """
         self._abandoned.set()
         while True:
             try:
                 self._queue.get_nowait()
             except queue_module.Empty:
-                return
+                break
+        try:
+            self._queue.put_nowait(self._DONE)
+        except queue_module.Full:  # pragma: no cover - queue was just drained
+            pass
 
     def pages(self, timeout: Optional[float] = None) -> Iterator[Tuple[Tuple[int, ...], ...]]:
         """Yield pages until the stream finishes; re-raises a failed ticket.
@@ -154,7 +166,7 @@ class _StreamBuffer:
                     f"no streamed page within {timeout}s"
                 ) from None
             if item is self._DONE:
-                if self._error is not None:
+                if self._error is not None and not self._abandoned.is_set():
                     raise self._error
                 return
             yield item
@@ -206,10 +218,32 @@ class QueryTicket:
         self.seconds: Optional[float] = None
         self.cancel_event = threading.Event()
         self._done = threading.Event()
+        self._callbacks: list = []
+        self._callback_lock = threading.Lock()
 
     def cancel(self) -> None:
         """Request cooperative cancellation (idempotent)."""
         self.cancel_event.set()
+
+    def add_done_callback(self, callback) -> None:
+        """Run ``callback(ticket)`` once the ticket reaches a terminal state.
+
+        The hook the wire server uses to drop finished tickets from its
+        per-connection registry (so a dropped connection only has to cancel
+        what is still in flight).  Registered on an already-terminal ticket
+        the callback runs immediately, in the calling thread; otherwise it
+        runs in the worker thread that finishes the ticket.  Callback
+        exceptions are swallowed — a misbehaving observer must not corrupt
+        the ticket's terminal transition.
+        """
+        with self._callback_lock:
+            if not self._done.is_set():
+                self._callbacks.append(callback)
+                return
+        try:
+            callback(self)
+        except Exception:  # pragma: no cover - defensive
+            pass
 
     @property
     def done(self) -> bool:
@@ -255,9 +289,58 @@ class QueryTicket:
             # Every terminal path — done, cancelled, shed at dequeue,
             # failed — wakes a paging consumer exactly once.
             self.stream_buffer.finish(error=error)
+        with self._callback_lock:
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            try:
+                callback(self)
+            except Exception:  # pragma: no cover - defensive
+                pass
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"QueryTicket(#{self.ticket_id} {self.name!r}, {self.status})"
+
+
+class _PageIterator:
+    """Iterator over a :class:`StreamingResult`'s pages that cannot leak the pin.
+
+    A plain generator only runs its ``finally`` once iteration *starts*: a
+    caller that built ``result.pages()`` and walked away before the first
+    ``next()`` would leave the ticket running and the snapshot pinned
+    forever.  This object closes the owning result on exhaustion, on error,
+    on :meth:`close` — and on garbage collection even if it was never
+    advanced.
+    """
+
+    __slots__ = ("_result", "_inner", "_closed")
+
+    def __init__(self, result: "StreamingResult", timeout: Optional[float]) -> None:
+        self._result = result
+        self._inner = result._buffer.pages(timeout)
+        self._closed = False
+
+    def __iter__(self) -> "_PageIterator":
+        return self
+
+    def __next__(self) -> Tuple[Tuple[int, ...], ...]:
+        try:
+            return next(self._inner)
+        except BaseException:
+            # StopIteration (exhaustion), TimeoutError, a re-raised ticket
+            # error: every exit releases the pin and cancels a live producer.
+            self.close()
+            raise
+
+    def close(self) -> None:
+        """Stop paging: cancel a live producer, release the pin (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._inner.close()
+        self._result.close()
+
+    def __del__(self) -> None:  # pragma: no cover - exercised via gc in tests
+        self.close()
 
 
 @dataclass
@@ -312,20 +395,18 @@ class StreamingResult:
         """
         return self.ticket.result(timeout)
 
-    def pages(self, timeout: Optional[float] = None) -> Iterator[Tuple[Tuple[int, ...], ...]]:
+    def pages(self, timeout: Optional[float] = None) -> "_PageIterator":
         """Yield occurrence pages of ``page_size`` as they are produced.
 
         The first page arrives as soon as the worker fills it — before the
         query finishes.  ``timeout`` bounds the wait per page
         (:class:`TimeoutError`); a shed or failed ticket re-raises its
         error here.  Exhaustion, an error, or abandonment (closing the
-        generator / breaking out of the loop and dropping it) all release
-        the snapshot pin and cancel a still-running producer.
+        iterator / breaking out of the loop and dropping it — even before
+        the first ``next()``) all release the snapshot pin and cancel a
+        still-running producer.
         """
-        try:
-            yield from self._buffer.pages(timeout)
-        finally:
-            self.close()
+        return _PageIterator(self, timeout)
 
     def __iter__(self) -> Iterator[Tuple[int, ...]]:
         """Yield occurrences one by one; releases the pin at the end."""

@@ -28,7 +28,7 @@ from repro.dynamic.maintenance import (
     patch_universe,
     should_patch,
 )
-from repro.exceptions import StoreError
+from repro.exceptions import QueryError, StoreError
 from repro.dynamic.overlay import MutableDataGraph
 from repro.engines.base import Engine, EngineResult, expand_descendant_edges
 from repro.engines.binary_join import BinaryJoinEngine
@@ -526,8 +526,11 @@ class QuerySession:
                 injective=injective,
                 keep_occurrences=keep_occurrences,
             )
-        if isinstance(matcher, Engine):
-            return matcher.match_stream(
+        stream_method = getattr(matcher, "match_stream", None)
+        if stream_method is not None:
+            # Engines, and any baseline with a genuine streaming path (JM's
+            # final hash join emits as it probes).
+            return stream_method(
                 query, budget=budget, keep_occurrences=keep_occurrences
             )
         return MatchStream.from_report(
@@ -548,6 +551,43 @@ class QuerySession:
         for _ in stream:
             pass
         return stream.num_yielded
+
+    def histogram(
+        self,
+        query: PatternQuery,
+        node: Optional[int] = None,
+        engine: str = "GM",
+        budget: Optional[Budget] = None,
+    ) -> Dict[str, int]:
+        """Per-label histogram of the distinct data nodes in the result set.
+
+        The analytics companion of :meth:`count`: a streamed aggregation
+        drain that answers "how many distinct data nodes of each label
+        participate in at least one occurrence" without materialising the
+        occurrence list.  ``node`` restricts the drain to the bindings of
+        one query node (all positions by default).  Memory is bounded by
+        the number of *participating data nodes*, never by the number of
+        occurrences, and the budget's match cap / deadline short-circuit
+        the enumeration exactly as in :meth:`count`.
+        """
+        if node is not None and not (0 <= node < query.num_nodes):
+            raise QueryError(
+                f"histogram node {node} outside query nodes 0..{query.num_nodes - 1}"
+            )
+        stream = self.stream(query, engine=engine, budget=budget, keep_occurrences=False)
+        participating: set = set()
+        if node is None:
+            for occurrence in stream:
+                participating.update(occurrence)
+        else:
+            for occurrence in stream:
+                participating.add(occurrence[node])
+        graph = self.graph
+        histogram: Dict[str, int] = {}
+        for data_node in participating:
+            label = graph.label(data_node)
+            histogram[label] = histogram.get(label, 0) + 1
+        return histogram
 
     def run_batch(
         self,

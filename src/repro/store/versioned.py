@@ -145,6 +145,21 @@ class StoreSnapshot:
         """
         return self._require_pinned().session.count(query, engine=engine, budget=budget)
 
+    def histogram(
+        self,
+        query: PatternQuery,
+        node: Optional[int] = None,
+        engine: str = "GM",
+        budget: Optional[Budget] = None,
+    ) -> Dict[str, int]:
+        """Per-label participating-node histogram at the pinned version.
+
+        Streamed aggregation drain — see :meth:`QuerySession.histogram`.
+        """
+        return self._require_pinned().session.histogram(
+            query, node=node, engine=engine, budget=budget
+        )
+
     def stream(self, query: PatternQuery, engine: str = "GM", budget: Optional[Budget] = None):
         """Incrementally evaluate ``query`` at the pinned version.
 

@@ -1,0 +1,589 @@
+"""End-to-end tests for the wire-protocol graph server.
+
+A real :class:`GraphServer` on a loopback socket, exercised through the
+synchronous :class:`GraphClient`:
+
+* facade parity — every remote read answers exactly what the in-process
+  session answers;
+* the multi-tenant catalog lifecycle (create / list / drop, isolation
+  between concurrent clients on distinct tenants);
+* pipelined streaming — first page before query completion, credit-based
+  backpressure, cancel/disconnect releasing the server-side pin (asserted
+  through the store gauges);
+* the failure surface — shed/deadline/unknown-graph/parse error mapping,
+  malformed and truncated frames, unknown ops.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from fixtures_paper import PAPER_ANSWER, build_paper_graph, build_paper_query
+from repro.api import GraphDB
+from repro.client import GraphClient
+from repro.engines.base import Engine
+from repro.exceptions import (
+    CatalogError,
+    ProtocolError,
+    QueryCancelled,
+    QueryParseError,
+    ServiceOverloadedError,
+    StoreError,
+    UnknownGraphError,
+)
+from repro.matching.result import Budget, MatchStatus
+from repro.query.pattern import EdgeType, PatternQuery
+from repro.server import GraphCatalog, GraphServer
+from repro.server.protocol import encode_frame, read_frame_sync
+from repro.service import ServiceConfig
+from repro.session import QuerySession
+
+pytestmark = pytest.mark.timeout(120)
+
+PAPER_DSL = (
+    "node a A\nnode b B\nnode c C\n"
+    "edge a -> b\nedge a -> c\nedge b => c"
+)
+
+
+def simple_query() -> PatternQuery:
+    return PatternQuery(labels=["A", "B"], edges=[(0, 1, EdgeType.CHILD)], name="ab")
+
+
+class SlowEngine(Engine):
+    """Emits one occurrence every ``delay`` seconds, cancel-aware."""
+
+    name = "SLOW-WIRE"
+    total = 60
+    delay = 0.01
+
+    def _iter_evaluate(self, graph, query, budget):
+        event = budget.cancel_event
+        for index in range(self.total):
+            if event is not None and event.is_set():
+                raise QueryCancelled()
+            time.sleep(self.delay)
+            yield tuple(index for _ in query.nodes())
+
+
+class FirehoseEngine(Engine):
+    """Emits occurrences as fast as possible, counting every production."""
+
+    name = "FIREHOSE-WIRE"
+    total = 10_000
+    produced = 0  # class-level: reset per test
+
+    def _iter_evaluate(self, graph, query, budget):
+        for index in range(self.total):
+            type(self).produced += 1
+            yield tuple(index for _ in query.nodes())
+
+
+@pytest.fixture(autouse=True)
+def registered_engines():
+    for cls in (SlowEngine, FirehoseEngine):
+        QuerySession.register_engine(cls.name, cls)
+    yield
+    for cls in (SlowEngine, FirehoseEngine):
+        QuerySession.unregister_engine(cls.name)
+
+
+@pytest.fixture
+def server():
+    with GraphServer() as srv:
+        yield srv
+
+
+@pytest.fixture
+def client(server):
+    graph = build_paper_graph()
+    with GraphClient(*server.address, timeout=60.0) as cli:
+        cli.create_graph(
+            "paper", labels=graph.labels, edges=graph.edges(), switch=True
+        )
+        yield cli
+
+
+def wait_for(predicate, timeout=15.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+# ---------------------------------------------------------------------- #
+# facade parity
+# ---------------------------------------------------------------------- #
+
+
+class TestFacadeParity:
+    def test_query_matches_in_process(self, client):
+        local = QuerySession(build_paper_graph()).query(build_paper_query())
+        remote = client.query(build_paper_query())
+        assert remote.occurrence_set() == local.occurrence_set() == set(PAPER_ANSWER)
+        assert remote.status is MatchStatus.OK
+        assert remote.num_matches == local.num_matches
+
+    def test_dsl_text_query(self, client):
+        remote = client.query(PAPER_DSL, name="paper-dsl")
+        assert remote.occurrence_set() == set(PAPER_ANSWER)
+        assert remote.query_name == "paper-dsl"
+
+    def test_count_and_histogram(self, client):
+        session = QuerySession(build_paper_graph())
+        assert client.count(build_paper_query()) == session.count(build_paper_query())
+        assert client.histogram(build_paper_query()) == session.histogram(
+            build_paper_query()
+        )
+        assert client.histogram(build_paper_query(), node=0) == session.histogram(
+            build_paper_query(), node=0
+        )
+
+    def test_engine_selection(self, client):
+        # GM and JM share exact hybrid semantics; the comparator engines
+        # (GF/EH) answer the closure-expanded rewriting, so remote must
+        # simply agree with the in-process run of the same engine.
+        session = QuerySession(build_paper_graph())
+        for engine in ("GM", "JM", "GF", "EH"):
+            local = session.query(build_paper_query(), engine=engine)
+            remote = client.query(build_paper_query(), engine=engine)
+            assert remote.occurrence_set() == local.occurrence_set(), engine
+        assert client.query(
+            build_paper_query(), engine="JM"
+        ).occurrence_set() == set(PAPER_ANSWER)
+
+    def test_budget_respected_remotely(self, client):
+        report = client.query(build_paper_query(), budget=Budget(max_matches=2))
+        assert report.num_matches == 2
+        assert report.status is MatchStatus.MATCH_LIMIT
+
+    def test_run_batch_matches_in_process(self, client):
+        session = QuerySession(build_paper_graph())
+        local = session.run_batch({"q0": build_paper_query(), "q1": simple_query()})
+        remote = client.run_batch({"q0": build_paper_query(), "q1": simple_query()})
+        assert remote.version == 0
+        assert remote.num_queries == local.num_queries == 2
+        by_name = {outcome.name: outcome for outcome in remote.outcomes}
+        for outcome in local.outcomes:
+            assert by_name[outcome.name].occurrence_set() == outcome.occurrence_set()
+            assert by_name[outcome.name].status == outcome.status
+
+    def test_stream_pages_equal_query_occurrences(self, client):
+        remote_pages = []
+        with client.stream(build_paper_query(), page_size=2) as stream:
+            for page in stream.pages(timeout=30.0):
+                remote_pages.append(page)
+            report = stream.report(timeout=30.0)
+        occurrences = [occ for page in remote_pages for occ in page]
+        assert set(occurrences) == set(PAPER_ANSWER)
+        assert all(len(page) <= 2 for page in remote_pages)
+        assert report.num_matches == len(PAPER_ANSWER)
+        assert report.status is MatchStatus.OK
+
+    def test_info_and_stats(self, client):
+        info = client.info()
+        graph = build_paper_graph()
+        assert info["num_nodes"] == graph.num_nodes
+        assert info["num_edges"] == graph.num_edges
+        assert info["head_version"] == 0
+        stats = client.stats()
+        assert stats["completed"] >= 0
+        assert "store" in stats
+
+    def test_save(self, client, tmp_path):
+        from repro.graph.io import load_graph_json
+
+        path = client.save(str(tmp_path / "paper.json"))
+        restored = load_graph_json(path)
+        assert restored.num_nodes == build_paper_graph().num_nodes
+
+
+# ---------------------------------------------------------------------- #
+# writes + version pinning
+# ---------------------------------------------------------------------- #
+
+
+class TestWrites:
+    def test_ingest_publishes_new_version(self, client):
+        before = client.count(simple_query())
+        base = client.num_nodes
+        report = client.ingest(labels=["A", "B"], edges=[(base, base + 1)])
+        assert report.new_version == 1
+        assert client.head_version == 1
+        assert client.count(simple_query()) == before + 1
+
+    def test_apply_prepared_delta(self, client):
+        delta = client.delta()
+        node = delta.add_node("B")
+        delta.add_edge(0, node)
+        report = client.apply(delta)
+        assert report.new_version == 1
+
+    def test_apply_async_roundtrip(self, client):
+        delta = client.delta()
+        delta.add_edge(0, client.num_nodes - 1)
+        handle = client.apply_async(delta)
+        report = handle.result(timeout=30.0)
+        assert report.new_version >= report.old_version
+
+    def test_pin_isolates_from_writes(self, client):
+        with client.pin() as snapshot:
+            assert snapshot.version == 0
+            before = snapshot.count(simple_query())
+            base = client.num_nodes
+            client.ingest(labels=["A", "B"], edges=[(base, base + 1)])
+            assert client.head_version == 1
+            # The pinned snapshot still answers from version 0 ...
+            assert snapshot.count(simple_query()) == before
+            batch = snapshot.run_batch([simple_query()])
+            assert batch.version == 0
+            # ... while unpinned reads see the new head.
+            assert client.count(simple_query()) == before + 1
+
+    def test_release_makes_pin_unusable(self, client):
+        snapshot = client.pin()
+        snapshot.release()
+        with pytest.raises(StoreError):
+            client.count(simple_query(), pin=snapshot.token)
+
+
+# ---------------------------------------------------------------------- #
+# the multi-tenant catalog
+# ---------------------------------------------------------------------- #
+
+
+class TestCatalog:
+    def test_create_list_drop(self, client):
+        client.create_graph("second", labels=["X", "Y"], edges=[(0, 1)], switch=False)
+        names = {info["name"] for info in client.graphs()}
+        assert names == {"paper", "second"}
+        client.drop_graph("second")
+        assert {info["name"] for info in client.graphs()} == {"paper"}
+
+    def test_duplicate_create_raises(self, client):
+        with pytest.raises(CatalogError):
+            client.create_graph("paper", labels=["A"])
+
+    def test_exist_ok(self, client):
+        info = client.create_graph("paper", exist_ok=True)
+        assert info["name"] == "paper"
+
+    def test_unknown_graph_error(self, client):
+        with pytest.raises(UnknownGraphError):
+            client.query(simple_query(), graph="nope")
+        with pytest.raises(UnknownGraphError):
+            client.drop_graph("nope")
+
+    def test_dropped_tenant_queries_fail(self, client):
+        client.create_graph("temp", labels=["A", "B"], edges=[(0, 1)], switch=False)
+        assert client.count(simple_query(), graph="temp") == 1
+        client.drop_graph("temp")
+        with pytest.raises(UnknownGraphError):
+            client.count(simple_query(), graph="temp")
+
+    def test_attached_database_is_served(self, server):
+        db = GraphDB.open(build_paper_graph())
+        try:
+            server.catalog.attach("attached", db)
+            with GraphClient(*server.address, graph="attached") as cli:
+                assert cli.query(build_paper_query()).occurrence_set() == set(
+                    PAPER_ANSWER
+                )
+        finally:
+            db.close()
+
+    def test_concurrent_clients_on_distinct_tenants(self, server):
+        # Each client creates its own tenant and hammers it; tenants must
+        # never observe each other's data or interfere.
+        errors = []
+        rounds = 10
+
+        def worker(index: int) -> None:
+            try:
+                width = 2 + index
+                labels = ["A"] + ["B"] * width
+                edges = [(0, b) for b in range(1, width + 1)]
+                with GraphClient(*server.address) as cli:
+                    cli.create_graph(f"tenant-{index}", labels=labels, edges=edges)
+                    for _ in range(rounds):
+                        assert cli.count(simple_query()) == width
+                        histogram = cli.histogram(simple_query())
+                        assert histogram == {"A": 1, "B": width}
+                    report = cli.ingest(labels=["B"], edges=[(0, width + 1)])
+                    assert report.new_version == 1
+                    assert cli.count(simple_query()) == width + 1
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append((index, exc))
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert not errors, errors
+
+
+# ---------------------------------------------------------------------- #
+# pipelined streaming over the wire
+# ---------------------------------------------------------------------- #
+
+
+class TestWireStreaming:
+    def test_first_page_arrives_before_query_completes(self, client):
+        with client.stream(simple_query(), engine="SLOW-WIRE", page_size=4) as stream:
+            pages = stream.pages(timeout=30.0)
+            first = next(pages)
+            assert len(first) == 4
+            # 60 occurrences at 10ms each: the query is still running.
+            stats = client.stats()
+            assert stats["pinned_epochs"] >= 1
+            remaining = sum(len(page) for page in pages)
+            assert 4 + remaining == SlowEngine.total
+
+    def test_close_mid_stream_cancels_and_releases_pin(self, client):
+        stream = client.stream(simple_query(), engine="SLOW-WIRE", page_size=2)
+        pages = stream.pages(timeout=30.0)
+        next(pages)
+        stream.close()
+        assert wait_for(lambda: client.stats()["pinned_epochs"] == 0), (
+            "server kept the snapshot pinned after the client cancelled"
+        )
+        # The worker unwinds cooperatively; wait for its terminal transition.
+        assert wait_for(
+            lambda: (
+                lambda stats: stats["cancelled"] >= 1 or stats["completed"] >= 1
+            )(client.stats())
+        )
+
+    def test_abandoned_stream_iterator_cancels_remotely(self, client):
+        for page in client.stream(simple_query(), engine="SLOW-WIRE", page_size=2).pages(
+            timeout=30.0
+        ):
+            break  # walk away mid-iteration; GC closes the stream
+        import gc
+
+        gc.collect()
+        assert wait_for(lambda: client.stats()["pinned_epochs"] == 0)
+
+    def test_client_disconnect_mid_stream_releases_server_resources(self, server, client):
+        victim = GraphClient(*server.address, graph="paper")
+        stream = victim.stream(simple_query(), engine="SLOW-WIRE", page_size=2)
+        next(stream.pages(timeout=30.0))
+        victim._sock.close()  # abrupt disconnect: no cancel frame, no goodbye
+        assert wait_for(lambda: client.stats()["pinned_epochs"] == 0), (
+            "a dropped connection leaked its snapshot pin"
+        )
+
+    def test_client_disconnect_with_unconsumed_stream(self, server, client):
+        victim = GraphClient(*server.address, graph="paper")
+        victim.stream(simple_query(), engine="SLOW-WIRE", page_size=2)
+        victim._sock.close()  # never consumed a single page
+        assert wait_for(lambda: client.stats()["pinned_epochs"] == 0)
+
+    def test_backpressure_bounds_unconsumed_production(self, client):
+        FirehoseEngine.produced = 0
+        stream = client.stream(simple_query(), engine="FIREHOSE-WIRE", page_size=8)
+        try:
+            time.sleep(0.5)  # grant nothing: the pump must stall on credits
+            produced = FirehoseEngine.produced
+            assert produced < FirehoseEngine.total, (
+                "producer ran to completion against an unread stream"
+            )
+            # Bound: service page buffer + credit window + one page in flight.
+            assert produced <= 8 * (4 + 1 + 4 + 2), (
+                f"{produced} occurrences produced against a stalled consumer"
+            )
+        finally:
+            stream.close()
+
+    def test_streamed_prefix_respects_match_cap(self, client):
+        stream = client.stream(
+            build_paper_query(), budget=Budget(max_matches=2), page_size=1
+        )
+        occurrences = list(stream)
+        assert len(occurrences) == 2
+        report = stream.report(timeout=30.0)
+        assert report.status is MatchStatus.MATCH_LIMIT
+
+    def test_pinned_stream(self, client):
+        with client.pin() as snapshot:
+            base = client.num_nodes
+            client.ingest(labels=["A", "B"], edges=[(base, base + 1)])
+            with snapshot.stream(simple_query(), page_size=8) as stream:
+                assert stream.version == 0
+                count = sum(len(page) for page in stream.pages(timeout=30.0))
+            # The head moved while the pinned stream answered from v0.
+            assert client.count(simple_query()) == count + 1
+
+
+# ---------------------------------------------------------------------- #
+# the failure surface
+# ---------------------------------------------------------------------- #
+
+
+class TestFailureSurface:
+    def test_queue_full_shed_maps_to_overloaded(self):
+        config = ServiceConfig(workers=1, queue_limit=0)
+        with GraphServer(service_config=config) as srv:
+            with GraphClient(*srv.address) as cli:
+                cli.create_graph("tiny", labels=["A", "B"], edges=[(0, 1)])
+                with pytest.raises(ServiceOverloadedError) as excinfo:
+                    cli.query(simple_query())
+                assert excinfo.value.reason == "queue_full"
+
+    def test_deadline_shed_maps_to_overloaded(self, client):
+        with pytest.raises(ServiceOverloadedError) as excinfo:
+            client.query(simple_query(), deadline_seconds=-0.001)
+        assert excinfo.value.reason == "deadline"
+
+    def test_shed_stream_raises_through_pages(self):
+        config = ServiceConfig(workers=1, queue_limit=0)
+        with GraphServer(service_config=config) as srv:
+            with GraphClient(*srv.address) as cli:
+                cli.create_graph("tiny", labels=["A", "B"], edges=[(0, 1)])
+                with pytest.raises(ServiceOverloadedError):
+                    cli.stream(simple_query())
+                assert cli.stats()["pinned_epochs"] == 0
+
+    def test_parse_error_maps(self, client):
+        with pytest.raises(QueryParseError):
+            client.query("this is not the DSL")
+
+    def test_client_timeout_bounds_the_server_side_wait(self, client):
+        # The per-call timeout travels in the frame: the *server* gives up
+        # waiting on the ticket and answers a mapped TimeoutError (instead
+        # of pinning an executor thread while the client walks away).
+        started = time.monotonic()
+        with pytest.raises(TimeoutError):
+            client.query(simple_query(), engine="SLOW-WIRE", timeout=0.05)
+        assert time.monotonic() - started < 10.0
+        assert client.ping()  # connection stays usable afterwards
+
+    def test_unknown_engine_is_an_error_not_a_hang(self, client):
+        with pytest.raises(Exception):
+            client.query(simple_query(), engine="NO-SUCH-ENGINE")
+        assert client.ping()  # connection survives op-level failures
+
+    def test_unknown_op_keeps_connection_alive(self, server, client):
+        raw = socket.create_connection(server.address, timeout=10.0)
+        try:
+            raw.sendall(encode_frame({"id": 1, "op": "telepathy"}))
+            frame = read_frame_sync(raw)
+            assert frame["ok"] is False
+            assert frame["error"]["code"] == "protocol"
+            raw.sendall(encode_frame({"id": 2, "op": "ping"}))
+            frame = read_frame_sync(raw)
+            assert frame["ok"] is True
+        finally:
+            raw.close()
+
+    def test_request_without_id_answers_error(self, server):
+        raw = socket.create_connection(server.address, timeout=10.0)
+        try:
+            raw.sendall(encode_frame({"op": "ping"}))
+            frame = read_frame_sync(raw)
+            assert frame["ok"] is False
+            assert frame["error"]["code"] == "protocol"
+        finally:
+            raw.close()
+
+    def test_malformed_frame_closes_connection_server_survives(self, server, client):
+        raw = socket.create_connection(server.address, timeout=10.0)
+        try:
+            body = b"this is not json at all {{{"
+            raw.sendall(struct.pack(">I", len(body)) + body)
+            frame = read_frame_sync(raw)
+            assert frame["ok"] is False
+            assert frame["error"]["code"] == "protocol"
+            # The server closes a connection with broken framing ...
+            assert read_frame_sync(raw) is None
+        finally:
+            raw.close()
+        # ... but keeps serving everyone else.
+        assert client.ping()
+
+    def test_truncated_frame_then_disconnect_is_harmless(self, server, client):
+        raw = socket.create_connection(server.address, timeout=10.0)
+        raw.sendall(struct.pack(">I", 1000) + b"only a little")
+        raw.close()
+        time.sleep(0.1)
+        assert client.ping()
+
+    def test_oversized_length_prefix_rejected(self, server, client):
+        from repro.server.protocol import MAX_FRAME_BYTES
+
+        raw = socket.create_connection(server.address, timeout=10.0)
+        try:
+            raw.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1) + b"x" * 64)
+            frame = read_frame_sync(raw)
+            assert frame["ok"] is False
+            assert frame["error"]["code"] == "protocol"
+        finally:
+            raw.close()
+        assert client.ping()
+
+    def test_query_needs_a_graph(self, server):
+        with GraphClient(*server.address) as cli:  # no default tenant
+            with pytest.raises(StoreError):
+                cli.query(simple_query())
+
+    def test_unknown_pin_token(self, client):
+        with pytest.raises(StoreError):
+            client.count(simple_query(), pin="p999")
+
+    def test_pin_is_per_graph(self, client):
+        client.create_graph("other", labels=["A", "B"], edges=[(0, 1)], switch=False)
+        snapshot = client.pin()
+        try:
+            with pytest.raises(StoreError):
+                client.count(simple_query(), graph="other", pin=snapshot.token)
+        finally:
+            snapshot.release()
+
+
+# ---------------------------------------------------------------------- #
+# catalog unit behaviour (no socket)
+# ---------------------------------------------------------------------- #
+
+
+class TestGraphCatalog:
+    def test_create_get_drop(self):
+        with GraphCatalog() as catalog:
+            catalog.create("g", labels=["A", "B"], edges=[(0, 1)])
+            assert "g" in catalog
+            assert catalog.get("g").num_nodes == 2
+            catalog.drop("g")
+            assert "g" not in catalog
+            with pytest.raises(UnknownGraphError):
+                catalog.get("g")
+
+    def test_bad_names(self):
+        with GraphCatalog() as catalog:
+            with pytest.raises(CatalogError):
+                catalog.create("")
+            with pytest.raises(CatalogError):
+                catalog.create(42)  # type: ignore[arg-type]
+
+    def test_attach_keeps_ownership(self):
+        db = GraphDB.open(build_paper_graph())
+        try:
+            with GraphCatalog() as catalog:
+                catalog.attach("mine", db)
+            # Catalog closed; the attached database must still serve.
+            assert db.query(build_paper_query()).num_matches == len(PAPER_ANSWER)
+        finally:
+            db.close()
+
+    def test_close_closes_owned(self):
+        catalog = GraphCatalog()
+        database = catalog.create("g", labels=["A", "B"], edges=[(0, 1)])
+        catalog.close()
+        with pytest.raises(StoreError):
+            database.query(simple_query())

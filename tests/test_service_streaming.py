@@ -182,6 +182,27 @@ class TestPinLifecycle:
         assert result.ticket.wait(timeout=10.0)
         assert result.ticket.status == TICKET_CANCELLED
 
+    def test_pages_abandoned_before_first_next_releases_pin(self, service):
+        # Regression: pages() used to be a plain generator, whose finally
+        # clause never runs if the caller walks away before the first
+        # next() — the ticket kept running and the pin leaked forever.
+        assert service.stats_snapshot()["pinned_epochs"] == 0
+        result = service.stream(simple_query(), engine="SLOW-TEST", page_size=2)
+        ticket = result.ticket
+        page_iter = result.pages(timeout=30.0)
+        assert service.stats_snapshot()["pinned_epochs"] == 1
+        del page_iter  # never advanced
+        gc.collect()
+        assert service.stats_snapshot()["pinned_epochs"] == 0, (
+            "pages() abandoned before the first next() leaked its snapshot pin"
+        )
+        assert ticket.wait(timeout=10.0)
+        assert ticket.status in (TICKET_CANCELLED, TICKET_DONE)
+        assert ticket.report is not None
+        assert ticket.report.num_matches < SlowEngine.total, (
+            "producer ran to completion despite the consumer abandoning"
+        )
+
     def test_unconsumed_stream_close_releases_pin(self, service):
         result = service.stream(simple_query(), engine="SLOW-TEST", page_size=2)
         result.close()

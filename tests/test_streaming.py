@@ -120,14 +120,103 @@ class TestMatchStream:
         assert len(drained) < 2500  # stopped before full enumeration
 
     def test_from_report_replays_blocking_matchers(self):
+        # TM and ISO have no streaming path and replay their eager result.
         graph = build_paper_graph()
         session = QuerySession(graph)
-        stream = session.stream(build_paper_query(), engine="JM")
+        stream = session.stream(build_paper_query(), engine="TM")
         occurrences = set(stream)
         assert occurrences == set(PAPER_ANSWER)
         report = stream.report()
         assert report.status is MatchStatus.OK
         assert report.extra.get("pre_materialized") is True or report.num_matches == 4
+
+
+# ---------------------------------------------------------------------- #
+# JM baseline streaming (the final hash join emits as it probes)
+# ---------------------------------------------------------------------- #
+
+
+class TestJMStreaming:
+    def test_stream_no_longer_replays_a_finished_report(self):
+        session = QuerySession(build_paper_graph())
+        stream = session.stream(build_paper_query(), engine="JM")
+        report = stream.report()
+        assert set(report.occurrences) == set(PAPER_ANSWER)
+        assert report.status is MatchStatus.OK
+        assert "pre_materialized" not in report.extra
+        assert report.extra.get("streamed") is True
+        assert "plans_considered" in report.extra
+
+    def test_stream_equals_eager(self):
+        graph = fanout_graph(width=8)
+        session = QuerySession(graph)
+        eager = session.query(path_query(), engine="JM")
+        streamed = session.stream(path_query(), engine="JM").report()
+        assert streamed.occurrence_set() == eager.occurrence_set()
+        assert streamed.num_matches == eager.num_matches
+        assert streamed.status is eager.status
+
+    def test_final_join_emits_before_all_rows_are_probed(self):
+        # The final hash join must yield per probe: with a match cap of k,
+        # only a prefix of the probe loop runs, and the enumeration order
+        # matches the eager execution's projection order exactly.
+        graph = fanout_graph(width=10)
+        session = QuerySession(graph)
+        full = session.query(path_query(), engine="JM").occurrences
+        for k in (1, 3, 17):
+            stream = session.stream(
+                path_query(), engine="JM", budget=Budget(max_matches=k)
+            )
+            prefix = list(stream)
+            assert prefix == full[:k]
+            assert stream.status is MatchStatus.MATCH_LIMIT
+
+    def test_close_stops_the_probe_loop(self):
+        graph = fanout_graph(width=10)
+        session = QuerySession(graph)
+        stream = session.stream(path_query(), engine="JM")
+        first = next(stream)
+        stream.close()
+        report = stream.report(drain=False)
+        assert report.status is MatchStatus.CANCELLED
+        assert report.occurrences == [first]
+
+    def test_single_node_query_streams(self):
+        graph = fanout_graph(width=4)
+        session = QuerySession(graph)
+        single = PatternQuery(labels=["B"], edges=[], name="b-only")
+        assert sorted(session.stream(single, engine="JM")) == sorted(
+            session.query(single, engine="JM").occurrences
+        )
+
+    def test_single_edge_query_streams(self):
+        graph = fanout_graph(width=4)
+        session = QuerySession(graph)
+        pair = PatternQuery(
+            labels=["A", "B"], edges=[(0, 1, EdgeType.CHILD)], name="ab"
+        )
+        eager = session.query(pair, engine="JM")
+        assert list(session.stream(pair, engine="JM")) == eager.occurrences
+
+    def test_descendant_edges_stream(self):
+        session = QuerySession(build_paper_graph())
+        query = build_paper_query()
+        hybrid_eager = session.query(query, engine="JM")
+        assert set(session.stream(query, engine="JM")) == hybrid_eager.occurrence_set()
+
+    def test_timeout_becomes_terminal_status(self):
+        graph = fanout_graph(width=50)
+        session = QuerySession(graph)
+        budget = Budget(max_matches=None, time_limit_seconds=0.0)
+        stream = session.stream(path_query(), engine="JM", budget=budget)
+        drained = list(stream)
+        assert stream.status is MatchStatus.TIMEOUT
+        assert len(drained) < 2500
+
+    def test_count_uses_the_streaming_path(self):
+        graph = fanout_graph(width=6)
+        session = QuerySession(graph)
+        assert session.count(path_query(), engine="JM") == 36
 
 
 # ---------------------------------------------------------------------- #
