@@ -1,0 +1,332 @@
+"""Write-ahead-log durability — fold overhead and recovery vs re-ingest.
+
+Not a paper figure: this benchmark prices the durability guarantee the
+WAL adds to the graph server.  Two phases on the ``em`` workload:
+
+* **durable fold overhead** — the same insert-delta stream is folded
+  through three identically-seeded databases: in-memory (no durability),
+  WAL without per-append fsync, and WAL with fsync (the real guarantee).
+  The per-fold wall times quantify what journaling and what the fsync
+  each cost on top of the copy-on-write fold itself;
+* **recovery vs re-ingest** — after a durable run (checkpoint mid-way,
+  journal tail beyond it), the database is reopened two ways: crash
+  recovery (load checkpoint, replay the log tail through cheap graph
+  overlays, build the serving stack once) and full re-ingest (rebuild
+  from the base graph, re-folding every delta through the store with its
+  index maintenance).  Both must land on the *same head* — verified by
+  graph equality and a query — and the regenerate test asserts recovery
+  is at least ``TARGET_RECOVERY_SPEEDUP`` (3x) faster.
+
+Results go to ``results/wal.txt`` and the ``wal`` section of
+``results/BENCH_wal.json``.
+"""
+
+import itertools
+import statistics
+import tempfile
+import time
+from pathlib import Path
+
+from conftest import RESULTS_DIR, update_wal_json
+from repro.api import GraphDB
+from repro.bench.workloads import bench_graph, query_set
+from repro.dynamic import GraphDelta
+from repro.matching.result import Budget
+from repro.store import VersionedGraphStore
+from repro.wal import WalDurability
+
+#: Graph scale (matches the service/server benchmark family).
+WAL_BENCH_SCALE = 0.25
+
+#: Deltas folded per phase; the recovery phase checkpoints after half,
+#: so recovery replays a real journal tail, not an empty log.
+NUM_DELTAS = 40
+EDGES_PER_DELTA = 5
+
+#: Acceptance bar: re-ingest wall time / recovery wall time.
+TARGET_RECOVERY_SPEEDUP = 3.0
+
+WAL_BUDGET = Budget(
+    max_matches=2_000, time_limit_seconds=30.0, max_intermediate_results=200_000
+)
+
+
+def delta_stream(graph):
+    """NUM_DELTAS deterministic insert-only deltas against a rolling head.
+
+    Each delta re-routes existing edges into fresh pairs (the modulus
+    keeps every id valid on every version), exactly like the server
+    benchmark's writer churn — the deltas fold against whatever head the
+    previous fold produced, so the same stream replays on any store.
+    """
+    seed_edges = list(graph.edges())
+    deltas = []
+    num_nodes = graph.num_nodes
+    for index in range(NUM_DELTAS):
+        delta = GraphDelta(num_nodes)
+        for offset in range(EDGES_PER_DELTA):
+            source, target = seed_edges[
+                (index * EDGES_PER_DELTA + offset) % len(seed_edges)
+            ]
+            delta.add_edge((source + index + 1) % num_nodes, (target + 2) % num_nodes)
+        deltas.append(delta)
+    return deltas
+
+
+def fold_all(db, deltas):
+    """Apply every delta, returning per-fold wall times."""
+    times = []
+    for delta in deltas:
+        start = time.perf_counter()
+        db.apply(delta)
+        times.append(time.perf_counter() - start)
+    return times
+
+
+def run_fold_overhead_phase(graph, deltas, workdir: Path):
+    """Phase 1: per-fold cost — in-memory vs WAL vs WAL+fsync."""
+    modes = {}
+    for mode, fsync in (("memory", None), ("wal", False), ("wal_fsync", True)):
+        store = None
+        if fsync is None:
+            db = GraphDB.open(graph)
+        else:
+            durability = WalDurability.create(
+                str(workdir / f"overhead-{mode}"), graph, fsync=fsync
+            )
+            store = VersionedGraphStore(graph, durability=durability)
+            db = GraphDB.open(store)
+        try:
+            times = fold_all(db, deltas)
+            entry = {
+                "folds": len(times),
+                "total_seconds": round(sum(times), 6),
+                "median_fold_ms": round(statistics.median(times) * 1000, 3),
+                "head_version": db.head_version,
+            }
+            if db.store.durability is not None:
+                counters = db.store.durability.counters()
+                entry["journal_bytes"] = counters["journal_bytes"]
+                entry["journal_seconds"] = counters["journal_seconds"]
+            modes[mode] = entry
+        finally:
+            db.close()
+            if store is not None:
+                store.close()  # the facade does not own an attached store
+    baseline = modes["memory"]["median_fold_ms"] or 1e-6
+    for mode in ("wal", "wal_fsync"):
+        modes[mode]["overhead_vs_memory"] = round(
+            modes[mode]["median_fold_ms"] / baseline, 2
+        )
+    return {
+        "deltas": NUM_DELTAS,
+        "edges_per_delta": EDGES_PER_DELTA,
+        "modes": modes,
+    }
+
+
+def run_recovery_phase(graph, deltas, workdir: Path):
+    """Phase 2: crash recovery vs full re-ingest, same head required."""
+    tenant = workdir / "recovery-tenant"
+    query = next(iter(query_set(graph, kind="H", templates=("HQ8",)).values()))
+
+    # the "pre-crash" run: durable folds, checkpoint halfway through
+    db = GraphDB.open_durable(
+        str(tenant), name=graph.name, labels=graph.labels, edges=graph.edges()
+    )
+    try:
+        for index, delta in enumerate(deltas):
+            db.apply(delta)
+            if index == NUM_DELTAS // 2:
+                db.checkpoint()
+        head_version = db.head_version
+        expected_answer = db.query(query, budget=WAL_BUDGET).occurrence_set()
+    finally:
+        db.close()  # the "crash": log tail beyond the checkpoint remains
+
+    start = time.perf_counter()
+    recovered = GraphDB.open_durable(str(tenant))
+    recovery_seconds = time.perf_counter() - start
+    try:
+        report = recovered.last_recovery
+        assert recovered.head_version == head_version
+        recovered_graph = recovered.graph
+        recovery_answer = recovered.query(query, budget=WAL_BUDGET).occurrence_set()
+        replay = {
+            "entries_applied": report.entries_applied,
+            "entries_skipped": report.entries_skipped,
+            "checkpoint_version": report.checkpoint_version,
+            "replay_seconds": round(report.seconds, 6),
+        }
+    finally:
+        recovered.close()
+
+    start = time.perf_counter()
+    reingested = GraphDB.open(graph)
+    try:
+        for delta in deltas:
+            reingested.apply(delta)
+        reingest_seconds = time.perf_counter() - start
+        assert reingested.head_version == head_version
+        heads_match = reingested.graph == recovered_graph
+        answers_match = (
+            reingested.query(query, budget=WAL_BUDGET).occurrence_set()
+            == recovery_answer
+            == expected_answer
+        )
+    finally:
+        reingested.close()
+
+    return {
+        "deltas": NUM_DELTAS,
+        "head_version": head_version,
+        "recovery_seconds": round(recovery_seconds, 6),
+        "reingest_seconds": round(reingest_seconds, 6),
+        "recovery_speedup": round(reingest_seconds / max(recovery_seconds, 1e-9), 1),
+        "target_recovery_speedup": TARGET_RECOVERY_SPEEDUP,
+        "heads_match": bool(heads_match),
+        "answers_match": bool(answers_match),
+        "replay": replay,
+    }
+
+
+def run_wal_bench():
+    """Both phases; returns the ``wal`` JSON section."""
+    graph = bench_graph("em", scale=WAL_BENCH_SCALE)
+    deltas = delta_stream(graph)
+    with tempfile.TemporaryDirectory(prefix="bench-wal-") as workdir:
+        workdir = Path(workdir)
+        fold_overhead = run_fold_overhead_phase(graph, deltas, workdir)
+        recovery = run_recovery_phase(graph, deltas, workdir)
+    return {
+        "graph": "em",
+        "scale": WAL_BENCH_SCALE,
+        "fold_overhead": fold_overhead,
+        "recovery": recovery,
+        "recovery_speedup": recovery["recovery_speedup"],
+        "target_recovery_speedup": TARGET_RECOVERY_SPEEDUP,
+        "heads_match": recovery["heads_match"],
+    }
+
+
+def format_table(payload: dict) -> str:
+    overhead = payload["fold_overhead"]
+    recovery = payload["recovery"]
+    lines = [
+        "Write-ahead log: durable fold overhead + recovery vs re-ingest "
+        f"(em@{payload['scale']})",
+        f"phase 1: {overhead['deltas']} insert deltas "
+        f"({overhead['edges_per_delta']} edges each) per mode",
+        f"{'mode':<12} {'median fold':>12} {'total':>10} {'vs memory':>10}",
+    ]
+    for mode, entry in overhead["modes"].items():
+        factor = entry.get("overhead_vs_memory")
+        lines.append(
+            f"{mode:<12} {entry['median_fold_ms']:>10.3f}ms "
+            f"{entry['total_seconds']:>9.3f}s "
+            f"{'' if factor is None else f'{factor:>9.2f}x'}"
+        )
+    lines.extend(
+        [
+            f"phase 2: recover to head v{recovery['head_version']} "
+            f"(checkpoint v{recovery['replay']['checkpoint_version']} + "
+            f"{recovery['replay']['entries_applied']} replayed entries) "
+            "vs re-ingesting every delta",
+            f"  recovery: {recovery['recovery_seconds']:.3f}s   "
+            f"re-ingest: {recovery['reingest_seconds']:.3f}s   "
+            f"speedup: {recovery['recovery_speedup']:.1f}x "
+            f"(target {recovery['target_recovery_speedup']}x)",
+            f"  heads match: {recovery['heads_match']}; "
+            f"query answers match: {recovery['answers_match']}",
+        ]
+    )
+    return "\n".join(lines)
+
+
+def check_payload(payload: dict) -> None:
+    """The acceptance bars (shared by the pytest path and __main__)."""
+    recovery = payload["recovery"]
+    assert recovery["heads_match"] is True
+    assert recovery["answers_match"] is True
+    modes = payload["fold_overhead"]["modes"]
+    assert len({entry["head_version"] for entry in modes.values()}) == 1
+    assert payload["recovery_speedup"] >= TARGET_RECOVERY_SPEEDUP, (
+        f"recovery only {payload['recovery_speedup']}x faster than re-ingest; "
+        f"target {TARGET_RECOVERY_SPEEDUP}x"
+    )
+
+
+# ---------------------------------------------------------------------- #
+# micro-benchmarks
+# ---------------------------------------------------------------------- #
+
+
+def test_durable_fold(benchmark):
+    """Benchmark one fsync'd durable fold (journal + publish)."""
+    graph = bench_graph("em", scale=WAL_BENCH_SCALE)
+    counter = itertools.count()
+    with tempfile.TemporaryDirectory(prefix="bench-wal-") as workdir:
+        with GraphDB.open_durable(
+            str(workdir) + "/tenant",
+            name=graph.name,
+            labels=graph.labels,
+            edges=graph.edges(),
+        ) as db:
+
+            def fold():
+                # always-effective delta: one fresh node + one edge, so
+                # every round journals and publishes (no-ops skip both)
+                delta = db.delta()
+                node = delta.add_node("B")
+                delta.add_edge(next(counter) % graph.num_nodes, node)
+                return db.apply(delta)
+
+            report = benchmark(fold)
+            benchmark.extra_info["head_version"] = report.new_version
+
+
+def test_recovery_open(benchmark):
+    """Benchmark reopening a durable tenant (checkpoint + tail replay)."""
+    graph = bench_graph("em", scale=WAL_BENCH_SCALE)
+    deltas = delta_stream(graph)
+    with tempfile.TemporaryDirectory(prefix="bench-wal-") as workdir:
+        tenant = str(workdir) + "/tenant"
+        with GraphDB.open_durable(
+            tenant, name=graph.name, labels=graph.labels, edges=graph.edges()
+        ) as db:
+            for delta in deltas:
+                db.apply(delta)
+            head = db.head_version
+
+        def reopen():
+            with GraphDB.open_durable(tenant) as db:
+                return db.head_version
+
+        assert benchmark(reopen) == head
+
+
+# ---------------------------------------------------------------------- #
+# the regenerate benchmark: same head both ways + the >= 3x recovery bar
+# ---------------------------------------------------------------------- #
+
+
+def test_regenerate_wal(benchmark):
+    payload = benchmark.pedantic(run_wal_bench, rounds=1, iterations=1)
+    check_payload(payload)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "wal.txt").write_text(format_table(payload) + "\n", encoding="utf-8")
+    json_path = update_wal_json("wal", payload)
+    benchmark.extra_info["recovery_speedup"] = payload["recovery_speedup"]
+    benchmark.extra_info["json_path"] = str(json_path)
+
+
+if __name__ == "__main__":
+    # src/ is importable via benchmarks/conftest.py (imported above).
+    started = time.perf_counter()
+    payload = run_wal_bench()
+    print(format_table(payload))
+    check_payload(payload)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "wal.txt").write_text(format_table(payload) + "\n", encoding="utf-8")
+    path = update_wal_json("wal", payload)
+    print(f"wrote {path} ({time.perf_counter() - started:.1f}s)")

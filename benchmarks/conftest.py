@@ -59,6 +59,9 @@ STREAMING_JSON_PATH = RESULTS_DIR / "BENCH_streaming.json"
 #: Machine-readable trajectory of the wire-protocol server benchmarks.
 SERVER_JSON_PATH = RESULTS_DIR / "BENCH_server.json"
 
+#: Machine-readable trajectory of the write-ahead-log durability benchmarks.
+WAL_JSON_PATH = RESULTS_DIR / "BENCH_wal.json"
+
 
 def _update_json(path: Path, section: str, payload: dict) -> Path:
     """Merge one benchmark's results into a sectioned JSON document.
@@ -101,6 +104,11 @@ def update_streaming_json(section: str, payload: dict) -> Path:
 def update_server_json(section: str, payload: dict) -> Path:
     """Merge one benchmark's results into ``results/BENCH_server.json``."""
     return _update_json(SERVER_JSON_PATH, section, payload)
+
+
+def update_wal_json(section: str, payload: dict) -> Path:
+    """Merge one benchmark's results into ``results/BENCH_wal.json``."""
+    return _update_json(WAL_JSON_PATH, section, payload)
 
 
 @pytest.fixture(scope="session")

@@ -84,6 +84,7 @@ from repro.service import (
     StreamingResult,
 )
 from repro.api import GraphDB
+from repro.wal import DeltaLog, RecoveryReport, WalDurability
 from repro.server import GraphCatalog, GraphServer
 from repro.client import GraphClient, RemoteSnapshot, RemoteStream
 
@@ -154,6 +155,9 @@ __all__ = [
     "ServiceStats",
     "StreamingResult",
     "GraphDB",
+    "DeltaLog",
+    "RecoveryReport",
+    "WalDurability",
     "CatalogError",
     "UnknownGraphError",
     "ProtocolError",

@@ -85,6 +85,7 @@ class GraphDB:
         source: GraphSource = None,
         config: Optional[ServiceConfig] = None,
         warm_on_publish: bool = False,
+        durability=None,
         **session_kwargs,
     ) -> "GraphDB":
         """Open a database over ``source``.
@@ -100,12 +101,21 @@ class GraphDB:
         * a path to a JSON graph file written by
           :func:`~repro.graph.io.save_graph_json` / :meth:`save`.
 
+        ``durability`` attaches a write-ahead hook (see
+        :class:`~repro.wal.WalDurability` and :meth:`open_durable`) to the
+        store created here: every fold journals before it publishes.
+
         ``session_kwargs`` (``reachability_kind``, ``budget``, ...) are
         forwarded to the underlying :class:`QuerySession` when one is
         created here; ``config`` tunes the serving layer.
         """
         owns_store = True
         if isinstance(source, VersionedGraphStore):
+            if durability is not None:
+                raise TypeError(
+                    "durability cannot be attached to an existing "
+                    "VersionedGraphStore — pass it when the store is created"
+                )
             store = source
             owns_store = False
         else:
@@ -121,9 +131,55 @@ class GraphDB:
                     f"VersionedGraphStore, path or None — got {type(source).__name__}"
                 )
             store = VersionedGraphStore(
-                graph, warm_on_publish=warm_on_publish, **session_kwargs
+                graph,
+                warm_on_publish=warm_on_publish,
+                durability=durability,
+                **session_kwargs,
             )
         return cls(store, config=config, owns_store=owns_store)
+
+    @classmethod
+    def open_durable(
+        cls,
+        directory: Union[str, os.PathLike],
+        config: Optional[ServiceConfig] = None,
+        checkpoint_every: Optional[int] = None,
+        name: Optional[str] = None,
+        labels: Sequence[str] = (),
+        edges: Iterable[Tuple[int, int]] = (),
+        **open_kwargs,
+    ) -> "GraphDB":
+        """Open a database whose tenants survive process restarts.
+
+        ``directory`` is the tenant's durable storage (checkpoint + delta
+        write-ahead log).  A directory that already holds tenant state is
+        **recovered**: the latest checkpoint is loaded and the journal
+        tail replayed to the exact head version the log last acknowledged
+        (the pass is recorded in :attr:`last_recovery` and in
+        ``stats()["durability"]["recovery"]``).  A fresh directory is
+        **initialised** with ``labels``/``edges`` (both empty gives an
+        empty database) and an initial checkpoint.  Either way, every
+        subsequent fold journals before it publishes; ``checkpoint_every``
+        bounds log growth by checkpointing automatically after that many
+        folds (manual :meth:`checkpoint` is always available).
+        """
+        from repro.wal.durability import WalDurability, is_tenant_directory
+
+        directory = os.fspath(directory)
+        if is_tenant_directory(directory):
+            graph, durability, _report = WalDurability.recover(
+                directory, name=name, checkpoint_every=checkpoint_every
+            )
+        else:
+            graph = DataGraph(
+                list(labels),
+                sorted(set(edges)),
+                name=name or os.path.basename(directory) or "graphdb",
+            )
+            durability = WalDurability.create(
+                directory, graph, checkpoint_every=checkpoint_every
+            )
+        return cls.open(graph, config=config, durability=durability, **open_kwargs)
 
     @classmethod
     def from_edges(
@@ -297,9 +353,38 @@ class GraphDB:
         """The latest published graph version."""
         return self.store.head_version
 
+    @property
+    def durability(self):
+        """The store's write-ahead hook (``None`` for in-memory databases)."""
+        return self.store.durability
+
+    @property
+    def last_recovery(self):
+        """The :class:`~repro.wal.RecoveryReport` that opened this database, if any."""
+        durability = self.store.durability
+        return getattr(durability, "last_recovery", None)
+
+    def checkpoint(self) -> Dict[str, object]:
+        """Snapshot the head version durably and truncate the delta log.
+
+        Requires a durable database (see :meth:`open_durable`); returns
+        the checkpoint summary (path, version, log entries dropped).
+        """
+        return self.store.checkpoint()
+
     def stats(self) -> Dict[str, object]:
-        """Service counters merged with the store's version-chain gauges."""
-        return self.service.stats_snapshot()
+        """Service counters merged with the store's version-chain gauges.
+
+        Durable databases additionally carry a ``durability`` section:
+        journal appends/bytes/seconds, checkpoints, the log backlog since
+        the last checkpoint, and the recovery report when this instance
+        was opened from existing storage.
+        """
+        stats = self.service.stats_snapshot()
+        durability = self.store.durability
+        if durability is not None:
+            stats["durability"] = durability.counters()
+        return stats
 
     def save(self, path: str) -> str:
         """Persist the head version as one JSON document (see :meth:`open`)."""

@@ -484,9 +484,22 @@ class GraphClient:
             self._graph = name
         return info
 
-    def drop_graph(self, name: str) -> None:
-        """Drop a tenant (its store and service are closed server-side)."""
-        self._request("drop_graph", name=name)
+    def drop_graph(
+        self, name: str, force: bool = False, delete_storage: bool = False
+    ) -> None:
+        """Drop a tenant (its store and service are closed server-side).
+
+        The server refuses while the tenant has live pinned snapshots
+        (:class:`~repro.exceptions.CatalogError`) unless ``force``;
+        ``delete_storage`` also removes a durable tenant's write-ahead-log
+        directory so a server restart does not resurrect it.
+        """
+        self._request(
+            "drop_graph",
+            name=name,
+            force=force or None,
+            delete_storage=delete_storage or None,
+        )
         if self._graph == name:
             self._graph = None
 
@@ -709,8 +722,22 @@ class GraphClient:
         return RemoteSnapshot(self, name, payload["pin"], int(payload["version"]))
 
     def stats(self, graph: Optional[str] = None) -> Dict[str, object]:
-        """Service counters merged with store gauges for one tenant."""
+        """Service counters merged with store gauges for one tenant.
+
+        Durable tenants carry a ``durability`` section (journal appends,
+        checkpoints, log backlog, last recovery) — see
+        :meth:`GraphDB.stats`.
+        """
         return self._request("stats", graph=self._graph_name(graph))
+
+    def checkpoint(self, graph: Optional[str] = None) -> Dict[str, object]:
+        """Checkpoint a durable tenant server-side: snapshot head, truncate log.
+
+        Returns the checkpoint summary (path, version, log entries
+        dropped); a tenant without durable storage raises
+        :class:`~repro.exceptions.StoreError`.
+        """
+        return self._request("checkpoint", graph=self._graph_name(graph))
 
     def save(self, path: str, graph: Optional[str] = None) -> str:
         """Persist the tenant's head version server-side; returns the path."""

@@ -44,6 +44,13 @@ class GraphDelta:
         nodes are assigned the next dense ids (``base_num_nodes``,
         ``base_num_nodes + 1``, ...), so :meth:`add_node` can hand out the
         id the node *will* have once the delta is applied.
+    base_version:
+        The monotone :attr:`DataGraph.version` the delta is written
+        against, when known (``None`` for hand-built deltas).  Carried
+        through serialisation, so replay paths — the write-ahead log, a
+        pending delta persisted next to its graph — can detect that a
+        delta was already folded (``base_version < graph.version``) and
+        skip it instead of double-applying.
 
     The recording methods perform only local validation (id range against
     the growing node count, non-empty labels); structural validation against
@@ -51,19 +58,24 @@ class GraphDelta:
     delta is applied to a :class:`repro.dynamic.MutableDataGraph`.
     """
 
-    __slots__ = ("base_num_nodes", "_ops", "_num_added_nodes")
+    __slots__ = ("base_num_nodes", "base_version", "_ops", "_num_added_nodes")
 
-    def __init__(self, base_num_nodes: int = 0) -> None:
+    def __init__(self, base_num_nodes: int = 0, base_version: Optional[int] = None) -> None:
         if base_num_nodes < 0:
             raise GraphError(f"negative base node count {base_num_nodes}")
         self.base_num_nodes = base_num_nodes
+        self.base_version = None if base_version is None else int(base_version)
         self._ops: List[Tuple] = []
         self._num_added_nodes = 0
 
     @classmethod
     def for_graph(cls, graph) -> "GraphDelta":
-        """A delta written against ``graph`` (any object with ``num_nodes``)."""
-        return cls(graph.num_nodes)
+        """A delta written against ``graph`` (any object with ``num_nodes``).
+
+        The graph's monotone ``version`` (0 when it carries none) is
+        recorded as :attr:`base_version`.
+        """
+        return cls(graph.num_nodes, base_version=getattr(graph, "version", 0))
 
     # ------------------------------------------------------------------ #
     # recording
@@ -177,10 +189,13 @@ class GraphDelta:
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-serialisable representation of the delta."""
-        return {
+        payload: Dict[str, object] = {
             "base_num_nodes": self.base_num_nodes,
             "ops": [list(op) for op in self._ops],
         }
+        if self.base_version is not None:
+            payload["base_version"] = self.base_version
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "GraphDelta":
@@ -191,7 +206,11 @@ class GraphDelta:
         corrupt-document path in :mod:`repro.graph.io`.
         """
         try:
-            delta = cls(int(payload.get("base_num_nodes", 0)))
+            base_version = payload.get("base_version")
+            delta = cls(
+                int(payload.get("base_num_nodes", 0)),
+                base_version=None if base_version is None else int(base_version),
+            )
         except (TypeError, ValueError) as exc:
             raise GraphError(f"invalid base_num_nodes in delta payload: {exc}") from exc
         for raw in payload.get("ops", ()):
@@ -234,7 +253,7 @@ def merged_delta(first: GraphDelta, second: GraphDelta) -> GraphDelta:
             f"cannot merge: second delta is based on {second.base_num_nodes} "
             f"nodes, expected {expected}"
         )
-    merged = GraphDelta(first.base_num_nodes)
+    merged = GraphDelta(first.base_num_nodes, base_version=first.base_version)
     for op in first.ops + second.ops:
         merged._ops.append(op)
         if op[0] == OP_ADD_NODE:

@@ -125,6 +125,17 @@ class StoreError(ReproError):
     """
 
 
+class WalError(StoreError):
+    """Raised for corrupt or inconsistent write-ahead-log state.
+
+    Typical causes: a journal frame whose body is valid-length but not
+    JSON (real corruption, as opposed to the torn tail a crash leaves —
+    that is repaired silently), a replayed delta producing a version the
+    journal entry did not announce, or initialising durable storage over
+    a directory that already holds a tenant.
+    """
+
+
 class CatalogError(StoreError):
     """Raised for invalid multi-tenant catalog operations.
 

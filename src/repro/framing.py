@@ -1,0 +1,70 @@
+"""Length-prefixed JSON frame codec shared by the wire protocol and the WAL.
+
+One *frame* is::
+
+    +----------------+----------------------------------+
+    | 4 bytes (>I)   | UTF-8 JSON object (length bytes) |
+    +----------------+----------------------------------+
+
+:mod:`repro.server.protocol` speaks this format on sockets; the
+write-ahead log (:mod:`repro.wal`) appends exactly the same frames to a
+file, so one codec serves both and a journal can be inspected with the
+same tooling as a network capture.  This module deliberately depends on
+nothing but :mod:`repro.exceptions` — it sits *below* both consumers.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Dict
+
+from repro.exceptions import ProtocolError
+
+#: Hard cap on one frame's body; anything larger is a framing error (a
+#: desynchronised stream reads garbage lengths long before this bound).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+#: Bytes of the length prefix.
+HEADER_BYTES = _HEADER.size
+
+
+def encode_frame(payload: Dict[str, object]) -> bytes:
+    """One frame: 4-byte big-endian length + compact JSON body."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame body of {len(body)} bytes exceeds the {MAX_FRAME_BYTES} cap"
+        )
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> Dict[str, object]:
+    """Decode one frame body; the payload must be a JSON object."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"frame body is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame body must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def check_length(length: int) -> int:
+    """Validate a decoded length prefix against the frame cap."""
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES} cap "
+            "(desynchronised or malicious stream)"
+        )
+    return length
+
+
+def decode_length(header: bytes) -> int:
+    """Decode and validate a frame's 4-byte length prefix."""
+    (length,) = _HEADER.unpack(header)
+    return check_length(length)

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.exceptions import GraphError
@@ -101,6 +102,34 @@ def load_graph(stem: str, name: str | None = None) -> DataGraph:
     return graph_from_parts(label_map, edges, name=name or os.path.basename(stem))
 
 
+def _write_json_atomic(payload: Dict, path: str) -> str:
+    """Write ``payload`` to ``path`` atomically (temp file + ``os.replace``).
+
+    A reader (or a crash-recovery pass) therefore only ever observes either
+    the previous complete document or the new complete document — never a
+    truncated half-written one.  The temp file lives in the destination
+    directory so the replace stays on one filesystem, and is fsync'd before
+    the rename so the checkpoint path can rely on the bytes being durable.
+    """
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    return path
+
+
 def save_graph_json(graph, path: str, delta=None) -> str:
     """Persist a graph (and optional pending delta) as one JSON document.
 
@@ -108,7 +137,9 @@ def save_graph_json(graph, path: str, delta=None) -> str:
     :class:`repro.dynamic.MutableDataGraph` overlay — the *current* state
     (labels, edges) and version are written either way.  ``delta`` is an
     optional :class:`repro.dynamic.GraphDelta` serialised alongside, e.g.
-    the not-yet-applied tail of an update stream.  Returns ``path``.
+    the not-yet-applied tail of an update stream.  The document is written
+    atomically (temp file + rename), so a crash mid-save never leaves a
+    truncated, unloadable file behind.  Returns ``path``.
     """
     payload = {
         "format": JSON_FORMAT,
@@ -120,9 +151,7 @@ def save_graph_json(graph, path: str, delta=None) -> str:
     }
     if delta is not None:
         payload["delta"] = delta.to_dict()
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle)
-    return path
+    return _write_json_atomic(payload, path)
 
 
 def _read_graph_payload(path: str) -> Dict:
@@ -162,13 +191,27 @@ def load_graph_json(path: str, name: Optional[str] = None) -> DataGraph:
 
 
 def load_graph_delta_json(path: str, name: Optional[str] = None):
-    """Load ``(graph, pending_delta_or_None)`` from a JSON document."""
+    """Load ``(graph, pending_delta_or_None)`` from a JSON document.
+
+    Replay is version-checked: a stored delta whose
+    :attr:`~repro.dynamic.GraphDelta.base_version` is *older* than the
+    saved graph's version was already folded into the graph before the
+    save, so returning it would invite a double-apply — it comes back as
+    ``None`` instead.  Deltas without a recorded base version (hand-built,
+    or written by an older format) are returned as-is.
+    """
     from repro.dynamic.delta import GraphDelta
 
     payload = _read_graph_payload(path)
     graph = _graph_from_payload(payload, path, name)
     raw_delta = payload.get("delta")
     delta = GraphDelta.from_dict(raw_delta) if raw_delta is not None else None
+    if (
+        delta is not None
+        and delta.base_version is not None
+        and delta.base_version < graph.version
+    ):
+        delta = None
     return graph, delta
 
 

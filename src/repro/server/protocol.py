@@ -39,12 +39,18 @@ report whose status is ``cancelled``, on the wire as in-process.)
 
 from __future__ import annotations
 
-import json
 import socket
-import struct
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Dict, Optional
 
+from repro.framing import (
+    HEADER_BYTES,
+    MAX_FRAME_BYTES,
+    check_length,
+    decode_body,
+    decode_length,
+    encode_frame,
+)
 from repro.exceptions import (
     CatalogError,
     EngineError,
@@ -58,54 +64,28 @@ from repro.exceptions import (
     StaleIndexError,
     StoreError,
     UnknownGraphError,
+    WalError,
 )
-
-#: Hard cap on one frame's body; anything larger is a framing error (a
-#: desynchronised stream reads garbage lengths long before this bound).
-MAX_FRAME_BYTES = 64 * 1024 * 1024
-
-_HEADER = struct.Struct(">I")
-
-#: Bytes of the length prefix.
-HEADER_BYTES = _HEADER.size
-
 
 # ---------------------------------------------------------------------- #
 # framing
 # ---------------------------------------------------------------------- #
 
-
-def encode_frame(payload: Dict[str, object]) -> bytes:
-    """One wire frame: 4-byte big-endian length + compact JSON body."""
-    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
-    if len(body) > MAX_FRAME_BYTES:
-        raise ProtocolError(
-            f"frame body of {len(body)} bytes exceeds the {MAX_FRAME_BYTES} cap"
-        )
-    return _HEADER.pack(len(body)) + body
-
-
-def decode_body(body: bytes) -> Dict[str, object]:
-    """Decode one frame body; the payload must be a JSON object."""
-    try:
-        payload = json.loads(body.decode("utf-8"))
-    except (ValueError, UnicodeDecodeError) as exc:
-        raise ProtocolError(f"frame body is not valid JSON: {exc}") from exc
-    if not isinstance(payload, dict):
-        raise ProtocolError(
-            f"frame body must be a JSON object, got {type(payload).__name__}"
-        )
-    return payload
-
-
-def check_length(length: int) -> int:
-    """Validate a decoded length prefix against the frame cap."""
-    if length > MAX_FRAME_BYTES:
-        raise ProtocolError(
-            f"frame length {length} exceeds the {MAX_FRAME_BYTES} cap "
-            "(desynchronised or malicious stream)"
-        )
-    return length
+# The codec itself lives in :mod:`repro.framing` (shared with the
+# write-ahead log, which journals one frame per delta in this exact
+# format); this module re-exports it and adds the socket readers.
+__all__ = [
+    "HEADER_BYTES",
+    "MAX_FRAME_BYTES",
+    "check_length",
+    "decode_body",
+    "decode_error",
+    "decode_length",
+    "encode_error",
+    "encode_frame",
+    "read_frame",
+    "read_frame_sync",
+]
 
 
 def read_frame_sync(sock: socket.socket) -> Optional[Dict[str, object]]:
@@ -119,8 +99,7 @@ def read_frame_sync(sock: socket.socket) -> Optional[Dict[str, object]]:
     header = _recv_exactly(sock, HEADER_BYTES, allow_eof=True)
     if header is None:
         return None
-    (length,) = _HEADER.unpack(header)
-    body = _recv_exactly(sock, check_length(length), allow_eof=False)
+    body = _recv_exactly(sock, decode_length(header), allow_eof=False)
     return decode_body(body)
 
 
@@ -157,9 +136,9 @@ async def read_frame(reader) -> Optional[Dict[str, object]]:
         raise ProtocolError(
             f"connection closed mid-header ({len(exc.partial)} of {HEADER_BYTES} bytes)"
         ) from exc
-    (length,) = _HEADER.unpack(header)
+    length = decode_length(header)
     try:
-        body = await reader.readexactly(check_length(length))
+        body = await reader.readexactly(length)
     except asyncio.IncompleteReadError as exc:
         raise ProtocolError(
             f"connection closed mid-frame ({len(exc.partial)} of {length} bytes)"
@@ -180,6 +159,7 @@ _CODED_CLASSES = (
     ("query", QueryError),
     ("graph", GraphError),
     ("catalog", CatalogError),
+    ("wal", WalError),
     ("store", StoreError),
     ("engine", EngineError),
     ("protocol", ProtocolError),

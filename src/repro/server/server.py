@@ -359,8 +359,20 @@ class _Connection:
 
     async def _op_drop_graph(self, frame):
         name = frame.get("name")
-        await self._run(self.server.catalog.drop, name)
+
+        def drop():
+            self.server.catalog.drop(
+                name,
+                force=bool(frame.get("force", False)),
+                delete_storage=bool(frame.get("delete_storage", False)),
+            )
+
+        await self._run(drop)
         return {"dropped": name}
+
+    async def _op_checkpoint(self, frame):
+        _, database = self._db(frame)
+        return await self._run(database.checkpoint)
 
     async def _op_info(self, frame):
         name, database = self._db(frame)
@@ -573,6 +585,7 @@ class _Connection:
         "pin": _op_pin,
         "release": _op_release,
         "stats": _op_stats,
+        "checkpoint": _op_checkpoint,
         "save": _op_save,
         "stream_open": _op_stream_open,
     }
@@ -614,11 +627,19 @@ class GraphServer:
     Parameters
     ----------
     catalog:
-        The tenant registry to serve.  ``None`` creates an owned, empty
-        catalog (tenants are then created over the wire); a caller-supplied
-        catalog keeps its owner (it is *not* closed with the server), which
-        is how an existing in-process :class:`GraphDB` is put on the
-        network: ``catalog.attach("main", db)``.
+        The tenant registry to serve.  ``None`` creates an owned catalog —
+        empty, or recovered from ``data_dir`` when that is given; a
+        caller-supplied catalog keeps its owner (it is *not* closed with
+        the server), which is how an existing in-process :class:`GraphDB`
+        is put on the network: ``catalog.attach("main", db)``.
+    data_dir:
+        Durable storage root (only with ``catalog=None``).  The server
+        opens :meth:`GraphCatalog.open` over it: tenants present on disk
+        are recovered to their exact pre-crash head versions before the
+        socket binds, and tenants created over the wire journal every
+        fold ahead of publish, so a killed-and-restarted server loses
+        nothing that was acknowledged.  ``checkpoint_every`` sets the
+        tenants' auto-checkpoint policy.
     host / port:
         Bind address; port 0 picks a free port (read it from
         :attr:`address` after :meth:`start`).
@@ -647,8 +668,22 @@ class GraphServer:
         stream_window: int = 4,
         stream_page_timeout: Optional[float] = None,
         service_config: Optional[ServiceConfig] = None,
+        data_dir: Optional[str] = None,
+        checkpoint_every: Optional[int] = None,
     ) -> None:
-        self.catalog = catalog if catalog is not None else GraphCatalog(config=service_config)
+        if catalog is not None:
+            if data_dir is not None:
+                raise StoreError(
+                    "pass data_dir only with catalog=None — a supplied catalog "
+                    "carries its own durability configuration"
+                )
+            self.catalog = catalog
+        elif data_dir is not None:
+            self.catalog = GraphCatalog.open(
+                data_dir, config=service_config, checkpoint_every=checkpoint_every
+            )
+        else:
+            self.catalog = GraphCatalog(config=service_config)
         self._owns_catalog = catalog is None
         self._host = host
         self._port = port

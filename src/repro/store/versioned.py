@@ -262,6 +262,16 @@ class VersionedGraphStore:
         artifact the fold had to invalidate, so a new head is always as
         warm as its predecessor and readers never pay a rebuild.  Costs
         writer latency, never reader latency.
+    durability:
+        Optional write-ahead hook (e.g.
+        :class:`~repro.wal.WalDurability`).  When set, every effective
+        delta is journaled — durably, via the hook's ``journal`` — *before*
+        its epoch is published or its caller acknowledged, on both the
+        synchronous :meth:`apply` path and the :meth:`apply_async`
+        writer-queue path; a journal failure aborts the fold with the head
+        unchanged.  The store drives the hook's auto-checkpoint policy
+        (``should_checkpoint`` → ``checkpoint`` right after a publish) and
+        closes it with the store.
     session_kwargs:
         Forwarded to :class:`QuerySession` when ``graph`` is a plain data
         graph (``reachability_kind``, ``ordering``, ``budget``, ...).
@@ -271,6 +281,7 @@ class VersionedGraphStore:
         self,
         graph: Union[DataGraph, QuerySession],
         warm_on_publish: bool = False,
+        durability=None,
         **session_kwargs,
     ) -> None:
         if isinstance(graph, QuerySession):
@@ -287,6 +298,7 @@ class VersionedGraphStore:
         self._head = record
         self._closed = False
         self.warm_on_publish = warm_on_publish
+        self.durability = durability
         self.stats = StoreStats()
         # Lazily started background writer (apply_async).
         self._write_queue: Optional[queue_module.Queue] = None
@@ -368,6 +380,17 @@ class VersionedGraphStore:
         with self._chain_lock:
             return sum(1 for record in self._records.values() if record.pins > 0)
 
+    @property
+    def total_pin_count(self) -> int:
+        """Total live pins across every retained epoch.
+
+        The gauge a catalog consults before dropping a tenant: a non-zero
+        count means snapshots (and the batches / streams reading through
+        them) are still outstanding.
+        """
+        with self._chain_lock:
+            return sum(record.pins for record in self._records.values())
+
     def retained_versions(self) -> Tuple[int, ...]:
         """The versions currently in the chain, oldest first."""
         with self._chain_lock:
@@ -433,6 +456,12 @@ class VersionedGraphStore:
             if report.new_version == report.old_version:
                 self.stats.note_apply(report)
                 return report
+            # Write-ahead: the delta reaches stable storage before the new
+            # epoch becomes reachable.  A journal failure propagates — the
+            # fork is discarded, the head is untouched, the caller is never
+            # acknowledged for a version that could not survive a crash.
+            if self.durability is not None:
+                self.durability.journal(delta, report.old_version, report.new_version)
             if self.warm_on_publish and report.invalidated:
                 started = time.perf_counter()
                 for key in report.invalidated:
@@ -448,6 +477,15 @@ class VersionedGraphStore:
                 self._gc_locked()
                 self.stats.note_versions(len(self._records))
             self.stats.note_apply(report)
+            # Auto-checkpoint (still under the writer lock, so the head is
+            # stable).  Failure is non-fatal: the journal still covers every
+            # published version, so durability holds — only the replay tail
+            # stays longer than the policy wanted.  The hook counts it.
+            if self.durability is not None and self.durability.should_checkpoint():
+                try:
+                    self.durability.checkpoint(record.graph)
+                except (StoreError, OSError):
+                    pass
             return report
 
     # ------------------------------------------------------------------ #
@@ -508,6 +546,28 @@ class VersionedGraphStore:
             self._write_queue.join()
 
     # ------------------------------------------------------------------ #
+    # durability
+    # ------------------------------------------------------------------ #
+
+    def checkpoint(self) -> Dict[str, object]:
+        """Snapshot the head version through the durability hook.
+
+        Taken under the writer lock, so the checkpoint always captures a
+        fully-published head (readers are unaffected — they pin, they
+        don't lock).  After it returns, the delta log is truncated: a
+        recovery from this directory loads the checkpoint and replays
+        only deltas journaled afterwards.
+        """
+        if self.durability is None:
+            raise StoreError(
+                "store has no durability hook (construct with durability=...)"
+            )
+        with self._writer_lock:
+            if self._closed:
+                raise StoreError("store is closed")
+            return self.durability.checkpoint(self._head.graph)
+
+    # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
 
@@ -528,6 +588,8 @@ class VersionedGraphStore:
                 self._write_queue.put(None)
         if thread is not None:
             thread.join(timeout=30.0)
+        if self.durability is not None:
+            self.durability.close()
 
     def __enter__(self) -> "VersionedGraphStore":
         return self

@@ -1,0 +1,40 @@
+"""Durability: per-tenant delta write-ahead log, checkpoints, recovery.
+
+The dynamic layer already had every primitive a log needs — serialisable
+:class:`~repro.dynamic.GraphDelta` batches, the monotone
+:attr:`DataGraph.version`, atomic :func:`~repro.graph.io.save_graph_json`
+— so durability is a composition:
+
+* :class:`DeltaLog` — append-only journal of wire-format frames, fsync'd
+  per append, torn-tail aware (:func:`scan_log` / :meth:`DeltaLog.repair`);
+* :class:`WalDurability` — the hook a
+  :class:`~repro.store.VersionedGraphStore` journals each delta through
+  *before* publishing, plus snapshot checkpoints that truncate the log
+  and idempotent version-checked :meth:`~WalDurability.recover`;
+* :class:`RecoveryReport` — what one recovery pass applied/skipped.
+
+Entry points one layer up: ``GraphDB.open_durable(directory)`` recovers a
+single database; ``GraphCatalog.open(data_dir)`` recovers every tenant a
+restarted :class:`~repro.server.GraphServer` should come back with.
+"""
+
+from repro.wal.durability import (
+    CHECKPOINT_FILE,
+    LOG_FILE,
+    RecoveryReport,
+    WalDurability,
+    is_tenant_directory,
+    remove_tenant_directory,
+)
+from repro.wal.log import DeltaLog, scan_log
+
+__all__ = [
+    "CHECKPOINT_FILE",
+    "LOG_FILE",
+    "DeltaLog",
+    "RecoveryReport",
+    "WalDurability",
+    "is_tenant_directory",
+    "remove_tenant_directory",
+    "scan_log",
+]

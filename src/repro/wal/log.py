@@ -1,0 +1,174 @@
+"""DeltaLog: an append-only, fsync'd log of length-prefixed JSON frames.
+
+The log reuses the wire protocol's frame codec
+(:func:`~repro.framing.encode_frame` / :func:`~repro.framing.decode_body`,
+the same codec :mod:`repro.server.protocol` speaks on sockets): one frame
+per journaled delta, so the on-disk format and the on-wire format are the
+same thing — a replica tailing the log over the network reads identical
+bytes.
+
+Crash anatomy
+-------------
+Appends are sequential and the process dies at most once, so the only
+damage a crash can inflict is a *torn tail*: the final frame's header or
+body is short.  :func:`scan_log` stops at the first short read and
+reports the torn byte count; :meth:`DeltaLog.repair` truncates the file
+back to the last complete frame so appends resume at a frame boundary.
+A frame that is complete but *garbage* — an absurd length prefix, a
+non-JSON body — cannot be produced by a crash and raises
+:class:`~repro.exceptions.WalError` instead of being dropped silently.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import ProtocolError, WalError
+from repro.framing import HEADER_BYTES, decode_body, decode_length, encode_frame
+
+
+def scan_log(path: str) -> Tuple[List[Dict[str, object]], int, int]:
+    """Read every complete frame of the log at ``path``.
+
+    Returns ``(entries, valid_bytes, torn_bytes)``: the decoded frame
+    payloads, the byte offset of the last complete frame boundary, and how
+    many trailing bytes belong to a torn (crash-interrupted) final frame.
+    A missing file is an empty log.  Complete-but-corrupt frames raise
+    :class:`~repro.exceptions.WalError`.
+    """
+    entries: List[Dict[str, object]] = []
+    if not os.path.exists(path):
+        return entries, 0, 0
+    size = os.path.getsize(path)
+    valid = 0
+    with open(path, "rb") as handle:
+        while True:
+            header = handle.read(HEADER_BYTES)
+            if len(header) < HEADER_BYTES:
+                break  # clean EOF (empty read) or torn header
+            try:
+                length = decode_length(header)
+            except ProtocolError as exc:
+                raise WalError(f"{path}: corrupt frame length at byte {valid}: {exc}") from exc
+            body = handle.read(length)
+            if len(body) < length:
+                break  # torn body
+            try:
+                entries.append(decode_body(body))
+            except ProtocolError as exc:
+                raise WalError(f"{path}: corrupt frame body at byte {valid}: {exc}") from exc
+            valid = handle.tell()
+    return entries, valid, size - valid
+
+
+class DeltaLog:
+    """One tenant's append-only delta journal.
+
+    Parameters
+    ----------
+    path:
+        The log file.  Created on first append.
+    fsync:
+        When True (the default, and what durability means), every append
+        is flushed *and* fsync'd before it returns — the write-ahead
+        contract is that a delta is on stable storage before its fold is
+        acknowledged.  ``fsync=False`` trades that guarantee for speed
+        (useful for benchmarking the fsync cost itself).
+    """
+
+    def __init__(self, path: str, fsync: bool = True) -> None:
+        self.path = path
+        self.fsync = fsync
+        self._handle = None
+        self._lock = threading.Lock()
+        self.entries_appended = 0
+        self.bytes_appended = 0
+
+    # ------------------------------------------------------------------ #
+    # appending
+    # ------------------------------------------------------------------ #
+
+    def _ensure_open(self):
+        if self._handle is None:
+            self._handle = open(self.path, "ab")
+        return self._handle
+
+    def append(self, payload: Dict[str, object]) -> int:
+        """Append one frame; durable (fsync'd) before returning.
+
+        Returns the number of bytes written.
+        """
+        frame = encode_frame(payload)
+        with self._lock:
+            handle = self._ensure_open()
+            handle.write(frame)
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+            self.entries_appended += 1
+            self.bytes_appended += len(frame)
+        return len(frame)
+
+    # ------------------------------------------------------------------ #
+    # maintenance
+    # ------------------------------------------------------------------ #
+
+    def truncate(self) -> None:
+        """Drop every entry (after a checkpoint made them redundant)."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.truncate(0)
+                self._handle.flush()
+                if self.fsync:
+                    os.fsync(self._handle.fileno())
+            elif os.path.exists(self.path):
+                with open(self.path, "wb") as handle:
+                    if self.fsync:
+                        os.fsync(handle.fileno())
+
+    def repair(self, valid_bytes: int) -> int:
+        """Truncate a torn tail back to the last complete frame boundary.
+
+        ``valid_bytes`` is the boundary :func:`scan_log` reported; returns
+        the number of bytes dropped.  Must be called before the first
+        append after a crash, so new frames don't land mid-garbage.
+        """
+        with self._lock:
+            if self._handle is not None:
+                raise WalError(f"{self.path}: repair must precede appends")
+            if not os.path.exists(self.path):
+                return 0
+            size = os.path.getsize(self.path)
+            if size <= valid_bytes:
+                return 0
+            with open(self.path, "rb+") as handle:
+                handle.truncate(valid_bytes)
+                handle.flush()
+                os.fsync(handle.fileno())
+            return size - valid_bytes
+
+    @property
+    def size_bytes(self) -> int:
+        """Current on-disk size of the log."""
+        return os.path.getsize(self.path) if os.path.exists(self.path) else 0
+
+    def close(self) -> None:
+        """Close the append handle (idempotent)."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "DeltaLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DeltaLog(path={self.path!r}, appended={self.entries_appended}, "
+            f"bytes={self.size_bytes})"
+        )

@@ -211,6 +211,81 @@ class TestJsonRoundTrip:
         assert loaded == overlay.materialize()
         assert loaded.version == overlay.version
 
+    def test_atomic_save_survives_mid_write_failure(self, tmp_path, monkeypatch):
+        # regression: a crash halfway through a save used to leave a
+        # truncated document at the destination; the temp-file + replace
+        # discipline must preserve the previous complete file instead.
+        graph = random_labeled_graph(12, 24, num_labels=3, seed=11, name="keep")
+        path = str(tmp_path / "graph.json")
+        save_graph_json(graph, path)
+
+        def torn_dump(payload, handle, **kwargs):
+            handle.write('{"format": "repro-graph", "trunc')
+            raise OSError("disk full mid-write")
+
+        monkeypatch.setattr("repro.graph.io.json.dump", torn_dump)
+        newer = random_labeled_graph(5, 6, num_labels=2, seed=12, name="lost")
+        with pytest.raises(OSError):
+            save_graph_json(newer, path)
+        monkeypatch.undo()
+
+        assert load_graph_json(path) == graph  # old document intact
+        assert list(tmp_path.glob("*.tmp")) == []  # temp file cleaned up
+
+    def test_atomic_save_failure_on_fresh_path_leaves_nothing(
+        self, tmp_path, monkeypatch
+    ):
+        def boom(payload, handle, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr("repro.graph.io.json.dump", boom)
+        path = tmp_path / "fresh.json"
+        with pytest.raises(OSError):
+            save_graph_json(
+                random_labeled_graph(4, 4, num_labels=2, seed=1), str(path)
+            )
+        monkeypatch.undo()
+        assert not path.exists()
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_stale_delta_skipped_on_load(self, tmp_path):
+        # regression: a delta already folded into the saved graph came
+        # back from load_graph_delta_json and invited a double-apply.
+        base = random_labeled_graph(8, 12, num_labels=3, seed=6, name="vc")
+        delta = GraphDelta.for_graph(base)
+        node = delta.add_node("Z")
+        delta.add_edge(0, node)
+        assert delta.base_version == base.version == 0
+        folded = MutableDataGraph(base, delta).materialize(name=base.name)
+        assert folded.version == 1
+
+        # save the folded graph alongside the (now stale) delta
+        stale_path = str(tmp_path / "stale.json")
+        save_graph_json(folded, stale_path, delta=delta)
+        loaded, restored = load_graph_delta_json(stale_path)
+        assert loaded == folded
+        assert restored is None  # stale: base_version 0 < graph version 1
+
+        # the same delta saved against its own base version round-trips
+        # and applies to the same state
+        fresh_path = str(tmp_path / "fresh.json")
+        save_graph_json(base, fresh_path, delta=delta)
+        loaded, restored = load_graph_delta_json(fresh_path)
+        assert restored is not None and restored.base_version == 0
+        assert MutableDataGraph(loaded, restored).materialize() == folded
+
+    def test_delta_without_base_version_still_returned(self, tmp_path):
+        # hand-built deltas (no recorded base version) predate the
+        # version check and must keep round-tripping unchanged
+        graph = random_labeled_graph(6, 8, num_labels=2, seed=3)
+        delta = GraphDelta(graph.num_nodes)
+        delta.add_node("Q")
+        assert delta.base_version is None
+        path = str(tmp_path / "legacy.json")
+        save_graph_json(graph, path, delta=delta)
+        _, restored = load_graph_delta_json(path)
+        assert restored is not None and restored.ops == delta.ops
+
     def test_rejects_non_json(self, tmp_path):
         path = tmp_path / "bad.json"
         path.write_text("not json at all")
