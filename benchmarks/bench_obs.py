@@ -1,0 +1,241 @@
+"""Telemetry overhead — instrumented facades vs telemetry disabled.
+
+Not a paper figure: this benchmark proves the unified observability
+subsystem (PR 7) stays out of the hot path.  Three :class:`GraphDB`
+instances run the same query workload over the full-scale ``em`` graph:
+
+* **baseline** — opened with ``telemetry=None``: no registry, no tracer,
+  no slow log; the stats objects never mirror anywhere;
+* **default** — what ``GraphDB.open()`` ships with: every layer mirroring
+  its counters into one :class:`~repro.obs.MetricsRegistry` (tracing and
+  the slow log are opt-in, so this is the cost every user pays);
+* **debug** — the worst-case configuration: every query traced
+  (``sample_rate=1.0``) *and* recorded by the slow-query log
+  (``slow_query_seconds=0.0``) on top of the metrics.
+
+Each round executes the whole hybrid query set several times for every
+arm, back to back and in rotating order, and contributes one *paired*
+ratio per instrumented arm (its round time over the baseline's round
+time measured moments apart).  The median of those ratios is the
+overhead estimate — robust against the large round-to-round drift shared
+CI runners exhibit, which a plain best-of or mean comparison is not.
+The regenerate test asserts the always-on (default) overhead stays at or
+below ``TARGET_OVERHEAD`` (5%) and the debug configuration below the
+looser ``TARGET_DEBUG_OVERHEAD`` sanity bound, writes the table to
+``results/obs.txt`` and the machine-readable record to the ``obs``
+section of ``results/BENCH_obs.json``.
+"""
+
+import time
+
+from conftest import RESULTS_DIR, update_obs_json
+from repro.api import GraphDB
+from repro.bench.workloads import bench_graph, query_set
+from repro.matching.result import Budget
+from repro.obs import Telemetry
+
+#: Full-scale em graph — the acceptance criterion names em@1.0.
+OBS_BENCH_SCALE = 1.0
+
+#: Per-query budget (CI-sized but enumeration still dominates).
+OBS_BUDGET = Budget(
+    max_matches=50_000, time_limit_seconds=60.0, max_intermediate_results=None
+)
+
+#: Acceptance bar on the always-on configuration (metrics mirroring).
+TARGET_OVERHEAD = 0.05
+
+#: Sanity bound on the everything-on debug configuration (trace + log
+#: every query).  Its true cost is a few percent; the looser bound keeps
+#: the assertion meaningful without flaking on a noisy CI runner.
+TARGET_DEBUG_OVERHEAD = 0.15
+
+#: Interleaved rounds (one paired ratio per round; the median is taken).
+ROUNDS = 12
+
+#: Workload repetitions per round (one pass is already ~170ms).
+REPEATS_PER_ROUND = 1
+
+
+def _workload(graph):
+    """Enumeration-bound queries: two large hybrid instances plus two
+    match-capped descendant instances — the paper's regime (the 10^7
+    match cap exists because enumeration dominates query time), and the
+    regime in which per-query telemetry cost must prove itself amortised.
+    """
+    queries = dict(query_set(graph, kind="H", templates=("HQ1", "HQ2")))
+    queries.update(query_set(graph, kind="D", templates=("HQ1", "HQ2")))
+    return queries
+
+
+def _debug_telemetry() -> Telemetry:
+    """The worst-case configuration: metrics + tracing + slow log all on."""
+    return Telemetry(sample_rate=1.0, slow_query_seconds=0.0)
+
+
+def _run_workload(db, queries, repeats: int = REPEATS_PER_ROUND) -> float:
+    start = time.perf_counter()
+    for _ in range(repeats):
+        for name, query in queries.items():
+            db.query(query, budget=OBS_BUDGET, name=name)
+    return time.perf_counter() - start
+
+
+def run_obs_bench(scale: float = OBS_BENCH_SCALE):
+    graph = bench_graph("em", scale=scale)
+    queries = _workload(graph)
+    arms = {
+        "baseline": GraphDB.open(graph, telemetry=None),
+        "default": GraphDB.open(graph),
+        "debug": GraphDB.open(graph, telemetry=_debug_telemetry()),
+    }
+    order = list(arms)
+    try:
+        # Warm every arm: index builds and RIG caching happen once, outside
+        # the measurement (telemetry must not be charged for cold caches).
+        for db in arms.values():
+            _run_workload(db, queries, repeats=1)
+        rounds = {name: [] for name in arms}
+        for index in range(ROUNDS):
+            # All arms run back-to-back inside one round, and the order
+            # rotates each round: machine drift between rounds cancels in
+            # the per-round ratios, drift *within* a round debiases across
+            # the rotation.
+            for offset in range(len(order)):
+                name = order[(index + offset) % len(order)]
+                rounds[name].append(_run_workload(arms[name], queries))
+        instrumented = arms["debug"]
+        num_matches = sum(
+            instrumented.query(query, budget=OBS_BUDGET).num_matches
+            for query in queries.values()
+        )
+        metric_families = len(instrumented.metrics())
+        slow_entries = len(instrumented.slow_queries())
+    finally:
+        for db in arms.values():
+            db.close()
+
+    best = {name: min(times) for name, times in rounds.items()}
+    # Paired estimator: the overhead of an arm is the *median over rounds*
+    # of its per-round ratio to the baseline measured moments before/after
+    # it — robust against the round-to-round drift a shared CI runner shows.
+    def _paired_overhead(name: str) -> float:
+        ratios = sorted(
+            instrumented_seconds / max(baseline_seconds, 1e-9)
+            for baseline_seconds, instrumented_seconds in zip(
+                rounds["baseline"], rounds[name]
+            )
+        )
+        return ratios[len(ratios) // 2] - 1.0
+
+    overhead = _paired_overhead("default")
+    debug_overhead = _paired_overhead("debug")
+    return {
+        "graph": "em",
+        "scale": scale,
+        "num_queries": len(queries),
+        "num_matches": num_matches,
+        "rounds": ROUNDS,
+        "repeats_per_round": REPEATS_PER_ROUND,
+        "baseline_seconds": round(best["baseline"], 6),
+        "instrumented_seconds": round(best["default"], 6),
+        "debug_seconds": round(best["debug"], 6),
+        "round_seconds": {
+            name: [round(value, 6) for value in times]
+            for name, times in rounds.items()
+        },
+        "overhead_fraction": round(overhead, 4),
+        "debug_overhead_fraction": round(debug_overhead, 4),
+        "target_overhead": TARGET_OVERHEAD,
+        "target_debug_overhead": TARGET_DEBUG_OVERHEAD,
+        "metric_families": metric_families,
+        "slow_log_entries": slow_entries,
+    }
+
+
+def format_table(payload: dict) -> str:
+    return "\n".join(
+        [
+            "Telemetry overhead: instrumented facades vs telemetry disabled "
+            f"(em graph, scale {payload['scale']})",
+            f"workload: {payload['num_queries']} enumeration-bound queries, "
+            f"{payload['num_matches']} matches; overheads are the median "
+            f"paired ratio over {payload['rounds']} interleaved rounds "
+            f"(times shown are each arm's best round)",
+            f"baseline {payload['baseline_seconds'] * 1000:>10.2f}ms  (telemetry=None)",
+            f"default  {payload['instrumented_seconds'] * 1000:>10.2f}ms  "
+            f"(metrics mirroring, {payload['metric_families']} families): "
+            f"{payload['overhead_fraction'] * 100:+.2f}% "
+            f"(target <= {payload['target_overhead'] * 100:.0f}%)",
+            f"debug    {payload['debug_seconds'] * 1000:>10.2f}ms  "
+            f"(+ every query traced and slow-logged): "
+            f"{payload['debug_overhead_fraction'] * 100:+.2f}% "
+            f"(sanity <= {payload['target_debug_overhead'] * 100:.0f}%)",
+        ]
+    )
+
+
+# ---------------------------------------------------------------------- #
+# micro-benchmarks
+# ---------------------------------------------------------------------- #
+
+
+def test_registry_labelled_counter_inc(benchmark):
+    """Benchmark the hot-path cost of one labelled counter increment."""
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    child = registry.counter("ops_total", "ops", labelnames=("op",)).labels("query")
+    benchmark(child.inc)
+    assert registry.get("ops_total") is not None
+
+
+def test_histogram_observe(benchmark):
+    """Benchmark one histogram observation (bisect into default buckets)."""
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    histogram = registry.histogram("latency_seconds", "latency")
+    benchmark(lambda: histogram.observe(0.0042))
+
+
+def test_traced_query_session_level(benchmark):
+    """Benchmark a fully-traced warm query through the facade."""
+    graph = bench_graph("em", scale=0.25)
+    queries = _workload(graph)
+    name, query = next(iter(queries.items()))
+    with GraphDB.open(graph, telemetry=_debug_telemetry()) as db:
+        db.query(query, budget=OBS_BUDGET)  # warm
+        benchmark(lambda: db.query(query, budget=OBS_BUDGET, trace_id="bench"))
+
+
+# ---------------------------------------------------------------------- #
+# the regenerate benchmark: the <=5% overhead bar
+# ---------------------------------------------------------------------- #
+
+
+def test_regenerate_obs(benchmark):
+    payload = benchmark.pedantic(run_obs_bench, rounds=1, iterations=1)
+    assert payload["overhead_fraction"] <= TARGET_OVERHEAD, (
+        f"always-on telemetry overhead {payload['overhead_fraction'] * 100:.2f}% "
+        f"above the {TARGET_OVERHEAD * 100:.0f}% bar"
+    )
+    assert payload["debug_overhead_fraction"] <= TARGET_DEBUG_OVERHEAD, (
+        f"debug telemetry overhead {payload['debug_overhead_fraction'] * 100:.2f}% "
+        f"above the {TARGET_DEBUG_OVERHEAD * 100:.0f}% sanity bound"
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "obs.txt").write_text(format_table(payload) + "\n", encoding="utf-8")
+    json_path = update_obs_json("obs", payload)
+    benchmark.extra_info["overhead_fraction"] = payload["overhead_fraction"]
+    benchmark.extra_info["debug_overhead_fraction"] = payload["debug_overhead_fraction"]
+    benchmark.extra_info["json_path"] = str(json_path)
+
+
+if __name__ == "__main__":
+    result = run_obs_bench()
+    print(format_table(result))
+    path = update_obs_json("obs", result)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "obs.txt").write_text(format_table(result) + "\n", encoding="utf-8")
+    print(f"wrote {path}")

@@ -62,6 +62,9 @@ SERVER_JSON_PATH = RESULTS_DIR / "BENCH_server.json"
 #: Machine-readable trajectory of the write-ahead-log durability benchmarks.
 WAL_JSON_PATH = RESULTS_DIR / "BENCH_wal.json"
 
+#: Machine-readable trajectory of the telemetry-overhead benchmarks.
+OBS_JSON_PATH = RESULTS_DIR / "BENCH_obs.json"
+
 
 def _update_json(path: Path, section: str, payload: dict) -> Path:
     """Merge one benchmark's results into a sectioned JSON document.
@@ -109,6 +112,11 @@ def update_server_json(section: str, payload: dict) -> Path:
 def update_wal_json(section: str, payload: dict) -> Path:
     """Merge one benchmark's results into ``results/BENCH_wal.json``."""
     return _update_json(WAL_JSON_PATH, section, payload)
+
+
+def update_obs_json(section: str, payload: dict) -> Path:
+    """Merge one benchmark's results into ``results/BENCH_obs.json``."""
+    return _update_json(OBS_JSON_PATH, section, payload)
 
 
 @pytest.fixture(scope="session")

@@ -138,6 +138,26 @@ def main() -> None:
             remote.create_graph("scratch", labels=["X", "Y"], edges=[(0, 1)])
             xy = "node x X\nnode y Y\nedge x -> y"
             print(f"tenant 'scratch': {remote.count(xy)} match(es)")
+            # Telemetry is on by default: every layer mirrors its counters
+            # into one per-tenant metrics registry, snapshotable over the
+            # wire (or as Prometheus text via format="prometheus").  A
+            # trace_id on any query forces an end-to-end span tree.
+            metrics = remote.server_metrics(graph="quickstart")
+            interesting = [
+                "service_completed_total", "session_cache_hits_total",
+                "store_applies_total", "server_requests_total",
+            ]
+            print("server metrics (quickstart tenant):")
+            for family in interesting:
+                values = metrics[family]["values"]
+                total = sum(value["value"] for value in values)
+                print(f"  {family} = {total:g}")
+            traced = remote.query(pattern, trace_id="quickstart-trace")
+            spans = ", ".join(
+                f"{span['name']} {span['seconds'] * 1000:.2f}ms"
+                for span in traced.extra["trace"]["spans"]
+            )
+            print(f"traced remote query: {spans}")
     catalog.close()
 
     db.close()

@@ -21,6 +21,10 @@ the pieces most applications need:
   with incremental index maintenance (``session.apply(delta)``);
 * :class:`GraphDB` — the unified facade: open / ingest / apply / query /
   stream / count / histogram / stats over the whole store + service stack;
+* :class:`Telemetry` / :class:`MetricsRegistry` / :class:`Tracer` /
+  :class:`SlowQueryLog` — the unified observability context threaded
+  through every layer (``repro.obs``): labelled metric families, sampled
+  end-to-end query traces, and a structured slow-query log;
 * :class:`GraphServer` / :class:`GraphCatalog` / :class:`GraphClient` —
   multi-tenant network serving of the facade over a length-prefixed JSON
   frame protocol (``repro.server`` / ``repro.client``).
@@ -84,6 +88,7 @@ from repro.service import (
     StreamingResult,
 )
 from repro.api import GraphDB
+from repro.obs import MetricsRegistry, SlowQueryLog, Telemetry, Tracer
 from repro.wal import DeltaLog, RecoveryReport, WalDurability
 from repro.server import GraphCatalog, GraphServer
 from repro.client import GraphClient, RemoteSnapshot, RemoteStream
@@ -155,6 +160,10 @@ __all__ = [
     "ServiceStats",
     "StreamingResult",
     "GraphDB",
+    "MetricsRegistry",
+    "SlowQueryLog",
+    "Telemetry",
+    "Tracer",
     "DeltaLog",
     "RecoveryReport",
     "WalDurability",

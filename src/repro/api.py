@@ -38,6 +38,7 @@ from repro.dynamic.maintenance import ApplyReport
 from repro.graph.digraph import DataGraph
 from repro.graph.io import load_graph_json, save_graph_json
 from repro.matching.result import Budget, MatchReport, jsonable
+from repro.obs.telemetry import Telemetry
 from repro.query.parser import parse_query
 from repro.query.pattern import PatternQuery
 from repro.service.service import QueryService, ServiceBatchReport, ServiceConfig, StreamingResult
@@ -50,6 +51,10 @@ GraphSource = Union[DataGraph, QuerySession, VersionedGraphStore, str, os.PathLi
 
 #: A query, as a parsed pattern or DSL text (``node a L\nedge a -> b`` ...).
 QueryLike = Union[PatternQuery, str]
+
+#: Sentinel for "create a default Telemetry" (so explicit ``None`` can
+#: mean "telemetry disabled" — the zero-overhead arm of bench_obs).
+_DEFAULT_TELEMETRY = object()
 
 
 class GraphDB:
@@ -70,9 +75,18 @@ class GraphDB:
         store: VersionedGraphStore,
         config: Optional[ServiceConfig] = None,
         owns_store: bool = True,
+        telemetry=_DEFAULT_TELEMETRY,
     ) -> None:
+        if telemetry is _DEFAULT_TELEMETRY:
+            telemetry = Telemetry()
+        #: The database's :class:`~repro.obs.Telemetry` context — metrics
+        #: registry, tracer and slow-query log — shared by every layer
+        #: (store, sessions, WAL, service).  ``None`` when the database
+        #: was opened with ``telemetry=None`` (instrumentation disabled).
+        self.telemetry = telemetry
         self.store = store
-        self.service = QueryService(store, config=config)
+        store.bind_telemetry(telemetry)
+        self.service = QueryService(store, config=config, telemetry=telemetry)
         self._owns_store = owns_store
 
     # ------------------------------------------------------------------ #
@@ -86,6 +100,7 @@ class GraphDB:
         config: Optional[ServiceConfig] = None,
         warm_on_publish: bool = False,
         durability=None,
+        telemetry=_DEFAULT_TELEMETRY,
         **session_kwargs,
     ) -> "GraphDB":
         """Open a database over ``source``.
@@ -104,6 +119,13 @@ class GraphDB:
         ``durability`` attaches a write-ahead hook (see
         :class:`~repro.wal.WalDurability` and :meth:`open_durable`) to the
         store created here: every fold journals before it publishes.
+
+        ``telemetry`` is the database's observability context: by default
+        every database gets its own :class:`~repro.obs.Telemetry` (metrics
+        registry always on; tracing and slow-query logging governed by
+        its knobs).  Pass an explicit ``Telemetry(...)`` to share a
+        registry or enable tracing, or ``None`` to disable instrumentation
+        entirely (the baseline arm of ``benchmarks/bench_obs.py``).
 
         ``session_kwargs`` (``reachability_kind``, ``budget``, ...) are
         forwarded to the underlying :class:`QuerySession` when one is
@@ -136,7 +158,7 @@ class GraphDB:
                 durability=durability,
                 **session_kwargs,
             )
-        return cls(store, config=config, owns_store=owns_store)
+        return cls(store, config=config, owns_store=owns_store, telemetry=telemetry)
 
     @classmethod
     def open_durable(
@@ -256,19 +278,22 @@ class GraphDB:
         deadline_seconds: Optional[float] = None,
         timeout: Optional[float] = None,
         name: Optional[str] = None,
+        trace_id: Optional[str] = None,
     ) -> MatchReport:
         """Evaluate one query (DSL text or :class:`PatternQuery`) to completion.
 
         Admission-controlled and version-pinned: the query runs on a
-        worker against a pinned snapshot of the head.
+        worker against a pinned snapshot of the head.  ``trace_id`` forces
+        end-to-end tracing regardless of the telemetry sample rate; the
+        span tree lands in ``report.extra["trace"]``.
         """
-        return self.service.query(
+        return self.service.submit(
             self._as_query(query, name),
             engine=engine,
             budget=budget,
             deadline_seconds=deadline_seconds,
-            timeout=timeout,
-        )
+            trace_id=trace_id,
+        ).result(timeout)
 
     def stream(
         self,
@@ -279,6 +304,7 @@ class GraphDB:
         deadline_seconds: Optional[float] = None,
         keep_occurrences: bool = True,
         name: Optional[str] = None,
+        trace_id: Optional[str] = None,
     ) -> StreamingResult:
         """Evaluate incrementally: pages flow before the query finishes."""
         return self.service.stream(
@@ -288,6 +314,7 @@ class GraphDB:
             page_size=page_size,
             deadline_seconds=deadline_seconds,
             keep_occurrences=keep_occurrences,
+            trace_id=trace_id,
         )
 
     def count(
@@ -385,6 +412,32 @@ class GraphDB:
         if durability is not None:
             stats["durability"] = durability.counters()
         return stats
+
+    def metrics(self, format: str = "json"):
+        """The telemetry registry's metric families, snapshotted.
+
+        ``format="json"`` returns the structured snapshot
+        (:meth:`~repro.obs.MetricsRegistry.snapshot`); ``"prometheus"``
+        returns the text exposition format ready for a scrape endpoint.
+        Raises :class:`ValueError` on other formats and
+        :class:`~repro.exceptions.StoreError` when the database was opened
+        with ``telemetry=None``.
+        """
+        if self.telemetry is None:
+            from repro.exceptions import StoreError
+
+            raise StoreError("database was opened with telemetry disabled")
+        if format == "json":
+            return self.telemetry.registry.snapshot()
+        if format == "prometheus":
+            return self.telemetry.registry.to_prometheus()
+        raise ValueError(f"unknown metrics format {format!r} (json | prometheus)")
+
+    def slow_queries(self, limit: Optional[int] = None):
+        """Recent slow-query log entries, oldest first (empty if disabled)."""
+        if self.telemetry is None:
+            return []
+        return self.telemetry.slow_log.recent(limit)
 
     def save(self, path: str) -> str:
         """Persist the head version as one JSON document (see :meth:`open`)."""

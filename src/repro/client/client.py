@@ -583,8 +583,17 @@ class GraphClient:
         name: Optional[str] = None,
         graph: Optional[str] = None,
         pin: Optional[str] = None,
+        trace_id: Optional[str] = None,
     ) -> MatchReport:
-        """Evaluate one query to completion (see :meth:`GraphDB.query`)."""
+        """Evaluate one query to completion (see :meth:`GraphDB.query`).
+
+        ``trace_id`` (any short string, e.g.
+        :func:`repro.obs.new_trace_id`) forces end-to-end tracing
+        server-side regardless of the tenant's sample rate; the resulting
+        span tree — queue wait, pin, plan, enumeration, wire encoding —
+        comes back in ``report.extra["trace"]``, and the same id rides on
+        the error payload if the request fails instead.
+        """
         payload = self._request(
             "query",
             graph=self._graph_name(graph),
@@ -594,6 +603,7 @@ class GraphClient:
             deadline_seconds=deadline_seconds,
             name=name,
             pin=pin,
+            trace=trace_id,
             timeout=timeout,
         )
         return MatchReport.from_wire(payload)
@@ -690,8 +700,14 @@ class GraphClient:
         name: Optional[str] = None,
         graph: Optional[str] = None,
         pin: Optional[str] = None,
+        trace_id: Optional[str] = None,
     ) -> RemoteStream:
-        """Open a pipelined stream: pages flow before the query finishes."""
+        """Open a pipelined stream: pages flow before the query finishes.
+
+        With ``trace_id`` the stream's terminal report carries the span
+        tree in ``extra["trace"]``, including the server's accumulated
+        ``wire_encode`` time across all page frames.
+        """
         graph_name = self._graph_name(graph)
         payload = self._request(
             "stream_open",
@@ -704,6 +720,7 @@ class GraphClient:
             window=self.stream_window,
             name=name,
             pin=pin,
+            trace=trace_id,
         )
         stream = RemoteStream(
             self,
@@ -729,6 +746,41 @@ class GraphClient:
         :meth:`GraphDB.stats`.
         """
         return self._request("stats", graph=self._graph_name(graph))
+
+    def server_metrics(
+        self, graph: Optional[str] = None, format: str = "json"
+    ):
+        """The tenant's metric families, snapshotted server-side.
+
+        ``format="json"`` returns the structured
+        :meth:`~repro.obs.MetricsRegistry.snapshot` document — every
+        ``session_cache_*`` / ``store_*`` / ``service_*`` / ``server_*`` /
+        ``wal_*`` / ``engine_*`` family with labelled values;
+        ``format="prometheus"`` returns the text exposition format.  A
+        tenant opened with telemetry disabled raises
+        :class:`~repro.exceptions.StoreError`.
+        """
+        payload = self._request(
+            "metrics", graph=self._graph_name(graph), format=format
+        )
+        if payload.get("format") == "prometheus":
+            return str(payload.get("text", ""))
+        return dict(payload.get("metrics", {}))
+
+    def slow_queries(
+        self, graph: Optional[str] = None, limit: Optional[int] = None
+    ) -> Tuple[Dict[str, object], ...]:
+        """Recent entries of the tenant's slow-query log, oldest first.
+
+        Each entry is the structured record the service logged — wall
+        seconds, query name, engine, status, match count, version, and the
+        full span tree when the query was traced.  Empty when the tenant
+        has no slow-query threshold configured.
+        """
+        payload = self._request(
+            "slow_queries", graph=self._graph_name(graph), limit=limit
+        )
+        return tuple(payload.get("slow_queries", ()))
 
     def checkpoint(self, graph: Optional[str] = None) -> Dict[str, object]:
         """Checkpoint a durable tenant server-side: snapshot head, truncate log.

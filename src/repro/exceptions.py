@@ -170,12 +170,33 @@ class ServiceOverloadedError(ReproError):
 
     ``reason`` is ``"queue_full"`` (the bounded admission queue was at
     capacity) or ``"deadline"`` (the request's deadline expired before a
-    worker picked it up).
+    worker picked it up).  The load observed at the rejection instant
+    travels with the error — ``queue_depth`` (requests waiting in the
+    admission queue) and ``workers_busy`` / ``workers_total`` (worker-pool
+    occupancy) — so a shed client can tell "momentary blip" from
+    "saturated pool" without a second round trip.  All three are ``None``
+    when the shedding side did not capture them (e.g. an older server).
     """
 
-    def __init__(self, reason: str, detail: str = "") -> None:
-        super().__init__(
-            f"service overloaded: {reason}" + (f" ({detail})" if detail else "")
-        )
+    def __init__(
+        self,
+        reason: str,
+        detail: str = "",
+        queue_depth=None,
+        workers_busy=None,
+        workers_total=None,
+    ) -> None:
+        message = f"service overloaded: {reason}" + (f" ({detail})" if detail else "")
+        context = []
+        if queue_depth is not None:
+            context.append(f"queue_depth={queue_depth}")
+        if workers_busy is not None and workers_total is not None:
+            context.append(f"workers={workers_busy}/{workers_total} busy")
+        if context:
+            message += f" [{', '.join(context)}]"
+        super().__init__(message)
         self.reason = reason
         self.detail = detail
+        self.queue_depth = queue_depth
+        self.workers_busy = workers_busy
+        self.workers_total = workers_total

@@ -177,6 +177,11 @@ class GraphMatcher:
         chosen_order = list(order) if order is not None else search_order(
             report.query, rig, self.ordering
         )
+        # Shared with the enumerator: mjoin_iter flushes its candidate /
+        # intersection work counters into this dict when it finishes (or is
+        # closed), and because MatchStream reads ``extra`` at report time
+        # the late flush is visible in the final MatchReport.
+        mjoin_stats: dict = {}
         if _info is not None:
             _info["matching_seconds"] = time.perf_counter() - start
             _info["extra"] = {
@@ -186,11 +191,16 @@ class GraphMatcher:
                 "search_order": chosen_order,
                 "simulation_passes": report.simulation.passes if report.simulation else 0,
                 "rig_cached": rig_cached,
+                "mjoin": mjoin_stats,
             }
         clock = budget.start_clock()
         count = 0
         for occurrence in mjoin_iter(
-            rig, order=chosen_order, budget=budget, injective=injective
+            rig,
+            order=chosen_order,
+            budget=budget,
+            injective=injective,
+            stats=mjoin_stats if _info is not None else None,
         ):
             yield occurrence
             count += 1

@@ -28,11 +28,15 @@ def _local_candidates(
     order: Sequence[int],
     assignment: List[Optional[int]],
     position: int,
+    counters: Optional[List[int]] = None,
 ) -> List[int]:
     """Compute ``cos_i`` for the query node at ``order[position]``.
 
     Intersects the node's RIG candidate set with the adjacency lists of the
-    already-matched neighbours, smallest operand first.
+    already-matched neighbours, smallest operand first.  ``counters`` is an
+    optional two-slot accumulator ``[candidates_scanned, intersections]``
+    the enumerator threads through to count work without touching shared
+    state on the hot path.
     """
     query = rig.query
     current = order[position]
@@ -46,6 +50,8 @@ def _local_candidates(
             operands.append(rig.forward_adjacency(previous, current, value))
     base = rig.candidates(current)
     if not operands:
+        if counters is not None:
+            counters[0] += len(base)
         return list(base)
     operands.sort(key=len)  # type: ignore[arg-type]
     result = None
@@ -55,11 +61,19 @@ def _local_candidates(
         else:
             result &= set(operand) if not isinstance(operand, (set, frozenset)) else operand
         if not result:
+            if counters is not None:
+                counters[1] += len(operands)
             return []
     # Finally restrict to the candidate set (cheap when result is small).
+    if counters is not None:
+        counters[1] += len(operands)
     if isinstance(base, (set, frozenset)):
-        return [value for value in result if value in base]
-    return [value for value in result if value in base]
+        local = [value for value in result if value in base]
+    else:
+        local = [value for value in result if value in base]
+    if counters is not None:
+        counters[0] += len(local)
+    return local
 
 
 def mjoin_iter(
@@ -67,6 +81,7 @@ def mjoin_iter(
     order: Optional[Sequence[int]] = None,
     budget: Optional[Budget] = None,
     injective: bool = False,
+    stats: Optional[dict] = None,
 ) -> Iterator[Tuple[int, ...]]:
     """Lazily enumerate occurrences from ``rig``.
 
@@ -74,9 +89,19 @@ def mjoin_iter(
     the tuple layout is stable across orderings.  Raises
     :class:`TimeoutExceeded` if the budget's time limit is hit; the match cap
     is handled by the caller simply stopping iteration.
+
+    ``stats`` (a mutable mapping) receives the enumeration's work counters
+    — ``candidates`` (local candidate vertices produced across all search
+    positions) and ``intersections`` (multiway set intersections performed)
+    — accumulated in plain local integers and flushed once when the
+    generator finishes or is closed, so instrumentation adds no per-step
+    synchronisation to the inner loop.
     """
     query = rig.query
     if rig.is_empty():
+        if stats is not None:
+            stats["candidates"] = stats.get("candidates", 0)
+            stats["intersections"] = stats.get("intersections", 0)
         return
     if order is None:
         order = search_order(query, rig, OrderingMethod.JO)
@@ -84,40 +109,50 @@ def mjoin_iter(
     n = query.num_nodes
     clock = budget.start_clock() if budget is not None else None
 
+    counters: List[int] = [0, 0]  # [candidates scanned, intersections]
     assignment: List[Optional[int]] = [None] * n
     used: set = set()
-    # Iterative backtracking: stack of candidate iterators per position.
-    iterators: List[Iterator[int]] = [iter(_local_candidates(rig, order, assignment, 0))]
-    position = 0
-    while position >= 0:
-        if clock is not None:
-            clock.check_time()
-        try:
-            candidate = next(iterators[position])
-        except StopIteration:
-            position -= 1
-            if position >= 0 and assignment[position] is not None and injective:
-                used.discard(assignment[position])
-            if position >= 0:
-                assignment[position] = None
-            iterators.pop()
-            continue
-        if injective and candidate in used:
-            continue
-        assignment[position] = candidate
-        if injective:
-            used.add(candidate)
-        if position + 1 == n:
-            occurrence = [0] * n
-            for index, query_node in enumerate(order):
-                occurrence[query_node] = assignment[index]  # type: ignore[assignment]
-            yield tuple(occurrence)
+    try:
+        # Iterative backtracking: stack of candidate iterators per position.
+        iterators: List[Iterator[int]] = [
+            iter(_local_candidates(rig, order, assignment, 0, counters))
+        ]
+        position = 0
+        while position >= 0:
+            if clock is not None:
+                clock.check_time()
+            try:
+                candidate = next(iterators[position])
+            except StopIteration:
+                position -= 1
+                if position >= 0 and assignment[position] is not None and injective:
+                    used.discard(assignment[position])
+                if position >= 0:
+                    assignment[position] = None
+                iterators.pop()
+                continue
+            if injective and candidate in used:
+                continue
+            assignment[position] = candidate
             if injective:
-                used.discard(candidate)
-            assignment[position] = None
-            continue
-        position += 1
-        iterators.append(iter(_local_candidates(rig, order, assignment, position)))
+                used.add(candidate)
+            if position + 1 == n:
+                occurrence = [0] * n
+                for index, query_node in enumerate(order):
+                    occurrence[query_node] = assignment[index]  # type: ignore[assignment]
+                yield tuple(occurrence)
+                if injective:
+                    used.discard(candidate)
+                assignment[position] = None
+                continue
+            position += 1
+            iterators.append(
+                iter(_local_candidates(rig, order, assignment, position, counters))
+            )
+    finally:
+        if stats is not None:
+            stats["candidates"] = stats.get("candidates", 0) + counters[0]
+            stats["intersections"] = stats.get("intersections", 0) + counters[1]
 
 
 def mjoin(

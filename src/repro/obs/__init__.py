@@ -1,0 +1,52 @@
+"""Unified observability: metrics registry, query tracing, slow-query log.
+
+The stack's six layers (session caches, MVCC store, query service, wire
+server, WAL durability, engines) each kept ad-hoc counters with no common
+surface.  This package is that surface:
+
+* :class:`MetricsRegistry` — thread-safe labelled counters / gauges /
+  fixed-bucket histograms, snapshotable to JSON and to the Prometheus text
+  exposition format.  The legacy stats objects (``CacheStats``,
+  ``ServiceStats``, ``StoreStats``, ``WalDurability``) keep their public
+  accessors and *mirror* into a shared per-tenant registry.
+* :class:`Tracer` / :class:`Trace` — sampled per-query span trees
+  (queue-wait → pin → plan → index-build → first-match → stream-drain →
+  wire-encode) with trace ids that propagate from ``GraphClient`` through
+  the wire frames to the service and engine layers and back — including
+  through error payloads.
+* :class:`SlowQueryLog` — a JSON-lines record (bounded ring + optional
+  file) of every query over a configurable threshold, span breakdown
+  included.
+* :class:`Telemetry` — the bundle of all three, threaded through
+  ``GraphDB`` → store → service → WAL as one context object.
+* :func:`percentile` / :class:`Reservoir` — the single shared quantile
+  implementation (nearest-rank) and its bounded-memory sampling companion.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    CounterFamily,
+    GaugeFamily,
+    HistogramFamily,
+    MetricsRegistry,
+)
+from repro.obs.quantiles import Reservoir, percentile
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.telemetry import Telemetry
+from repro.obs.trace import NULL_TRACE, Trace, Tracer, new_trace_id
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "CounterFamily",
+    "GaugeFamily",
+    "HistogramFamily",
+    "MetricsRegistry",
+    "NULL_TRACE",
+    "Reservoir",
+    "SlowQueryLog",
+    "Telemetry",
+    "Trace",
+    "Tracer",
+    "new_trace_id",
+    "percentile",
+]

@@ -1,0 +1,71 @@
+"""Telemetry: the one context object threaded through every serving layer.
+
+A :class:`Telemetry` bundles the three observability surfaces —
+:class:`~repro.obs.metrics.MetricsRegistry`,
+:class:`~repro.obs.trace.Tracer` and
+:class:`~repro.obs.slowlog.SlowQueryLog` — so the stack passes a single
+handle down instead of three.  One instance per tenant: a
+:class:`~repro.api.GraphDB` creates its own by default and hands it to its
+store (which binds the WAL and every published session epoch) and its query
+service; the wire server then merely *reads* the tenant's bundle for the
+``metrics`` and ``slow_queries`` ops.
+
+Passing ``telemetry=None`` to ``GraphDB.open`` switches the whole subsystem
+off — no registry mirroring, no sampling decision, no slow-log check — which
+is the "disabled" arm of ``benchmarks/bench_obs.py``'s overhead comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.trace import Tracer
+
+
+class Telemetry:
+    """Per-tenant observability bundle: registry + tracer + slow-query log.
+
+    Parameters
+    ----------
+    registry / tracer / slow_log:
+        Pre-built components to adopt; anything omitted is constructed from
+        the scalar knobs below.
+    sample_rate:
+        Tracer sampling probability for unforced queries (default ``0.0``:
+        only explicitly requested trace ids produce traces).
+    slow_query_seconds:
+        Slow-log threshold; ``None`` (default) disables the log, ``0.0``
+        records every query.
+    slow_log_path:
+        Optional JSON-lines file the slow log also appends to.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        slow_log: Optional[SlowQueryLog] = None,
+        sample_rate: float = 0.0,
+        slow_query_seconds: Optional[float] = None,
+        slow_log_path: Optional[str] = None,
+        slow_log_capacity: int = 128,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer(sample_rate=sample_rate)
+        self.slow_log = (
+            slow_log
+            if slow_log is not None
+            else SlowQueryLog(
+                threshold_seconds=slow_query_seconds,
+                path=slow_log_path,
+                capacity=slow_log_capacity,
+            )
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Telemetry(registry={self.registry!r}, tracer={self.tracer!r}, "
+            f"slow_log={self.slow_log!r})"
+        )

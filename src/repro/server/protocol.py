@@ -168,9 +168,36 @@ _CODED_CLASSES = (
 _SIMPLE_CODES = {code: klass for code, klass in _CODED_CLASSES}
 
 def encode_error(exc: BaseException) -> Dict[str, object]:
-    """Flatten ``exc`` into the typed error payload of an error response."""
+    """Flatten ``exc`` into the typed error payload of an error response.
+
+    A ``trace_id`` attribute stuck onto any exception by the dispatch
+    layer rides along, so a traced request that *fails* still correlates
+    with its client-side trace.
+    """
+    payload = _encode_error_payload(exc)
+    trace_id = getattr(exc, "trace_id", None)
+    if trace_id is not None:
+        payload["trace_id"] = trace_id
+    return payload
+
+
+def _encode_error_payload(exc: BaseException) -> Dict[str, object]:
     if isinstance(exc, ServiceOverloadedError):
-        return {"code": "overloaded", "reason": exc.reason, "detail": exc.detail}
+        payload: Dict[str, object] = {
+            "code": "overloaded",
+            "reason": exc.reason,
+            "detail": exc.detail,
+        }
+        # Rejection-time load context (PR 7): absent on errors raised by
+        # paths that never captured it, and omitted from the wire then —
+        # the decoder restores them as None either way.
+        if exc.queue_depth is not None:
+            payload["queue_depth"] = exc.queue_depth
+        if exc.workers_busy is not None:
+            payload["workers_busy"] = exc.workers_busy
+        if exc.workers_total is not None:
+            payload["workers_total"] = exc.workers_total
+        return payload
     if isinstance(exc, StaleIndexError):
         return {
             "code": "stale_index",
@@ -204,9 +231,27 @@ def decode_error(payload: Optional[Dict[str, object]]) -> Exception:
         return ProtocolError(f"malformed error payload: {payload!r}")
     code = payload.get("code")
     message = str(payload.get("message", ""))
+    exc = _decode_error_payload(payload, code, message)
+    trace_id = payload.get("trace_id")
+    if trace_id is not None:
+        exc.trace_id = trace_id
+    return exc
+
+
+def _decode_error_payload(
+    payload: Dict[str, object], code, message: str
+) -> Exception:
     if code == "overloaded":
+        def _load_field(key):
+            value = payload.get(key)
+            return int(value) if value is not None else None
+
         return ServiceOverloadedError(
-            str(payload.get("reason", "unknown")), str(payload.get("detail", ""))
+            str(payload.get("reason", "unknown")),
+            str(payload.get("detail", "")),
+            queue_depth=_load_field("queue_depth"),
+            workers_busy=_load_field("workers_busy"),
+            workers_total=_load_field("workers_total"),
         )
     if code == "stale_index":
         return StaleIndexError(

@@ -42,6 +42,7 @@ from __future__ import annotations
 import asyncio
 import itertools
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Optional, Set, Tuple
 
@@ -86,13 +87,18 @@ class _ServerStream:
         result: StreamingResult,
         window: int,
         page_timeout: Optional[float],
+        database: Optional[GraphDB] = None,
     ) -> None:
         self.connection = connection
         self.stream_id = stream_id
         self.result = result
+        self.database = database
         self._credits = threading.Semaphore(max(1, window))
         self._closed = threading.Event()
         self._page_timeout = page_timeout
+        #: Accumulated page-encoding time, surfaced as the trace's
+        #: ``wire_encode`` span on the end frame.
+        self._encode_seconds = 0.0
 
     def grant(self, credits: int) -> None:
         """Replenish the send window (a client ``credit`` frame)."""
@@ -140,30 +146,53 @@ class _ServerStream:
             for page in self.result.pages(timeout=self._page_timeout):
                 if not self._acquire_credit():
                     return
-                self.connection.send_from_thread(
-                    {
-                        "stream": self.stream_id,
-                        "seq": sequence,
-                        "page": encode_page(page),
-                    }
-                )
+                encode_started = time.perf_counter()
+                frame = {
+                    "stream": self.stream_id,
+                    "seq": sequence,
+                    "page": encode_page(page),
+                }
+                self._encode_seconds += time.perf_counter() - encode_started
+                sent = self.connection.send_from_thread(frame)
+                self.connection.note_tenant_bytes(self.database, sent)
                 sequence += 1
             if self._closed.is_set():
                 return
             report = self.result.report(timeout=30.0)
-            self.connection.send_from_thread(
-                {
-                    "stream": self.stream_id,
-                    "end": True,
-                    "report": report.to_wire(include_occurrences=False),
-                }
+            encode_started = time.perf_counter()
+            wire = report.to_wire(include_occurrences=False)
+            self._encode_seconds += time.perf_counter() - encode_started
+            trace = self.result.ticket.trace
+            if trace:
+                # Extend the service-side span tree with the server's
+                # encoding cost and re-finish: the root now covers the
+                # whole stream drain including wire encoding.  The wall
+                # time the pump spent forwarding pages — credit waits,
+                # event-loop round trips — is accounted as ``stream_flush``
+                # (the remainder over the already-attributed stages), so
+                # the children keep summing to the root.
+                trace.add_span("wire_encode", self._encode_seconds)
+                trace.finish()
+                flush = trace.seconds - trace.span_seconds()
+                if flush > 0:
+                    trace.add_span("stream_flush", flush)
+                wire["extra"]["trace"] = trace.to_dict()
+            sent = self.connection.send_from_thread(
+                {"stream": self.stream_id, "end": True, "report": wire}
             )
+            self.connection.note_tenant_bytes(self.database, sent)
         except Exception as exc:
             error = exc
         finally:
             self.result.close()
             self.connection.discard_stream(self.stream_id)
         if error is not None and not self._closed.is_set():
+            trace = self.result.ticket.trace
+            if trace and getattr(error, "trace_id", None) is None:
+                try:
+                    error.trace_id = trace.trace_id
+                except Exception:  # pragma: no cover - exotic exception types
+                    pass
             try:
                 self.connection.send_from_thread(
                     {
@@ -237,16 +266,26 @@ class _Connection:
             if handler is None:
                 raise ProtocolError(f"unknown op {frame.get('op')!r}")
             result = await handler(self, frame)
-            await self._safe_send({"id": ident, "ok": True, "result": result})
+            sent = await self._safe_send({"id": ident, "ok": True, "result": result})
+            self._note_bytes_for(frame, sent)
         except Exception as exc:
+            # A traced request that fails still correlates: the client's
+            # propagated trace id rides on the error payload.
+            trace_value = frame.get("trace")
+            if trace_value is not None and getattr(exc, "trace_id", None) is None:
+                try:
+                    exc.trace_id = trace_value
+                except Exception:  # pragma: no cover - exotic exception types
+                    pass
             try:
-                await self._safe_send(
+                sent = await self._safe_send(
                     {
                         "id": ident if isinstance(ident, int) else None,
                         "ok": False,
                         "error": encode_error(exc),
                     }
                 )
+                self._note_bytes_for(frame, sent)
             except Exception:  # pragma: no cover - reply path is best-effort
                 pass
 
@@ -254,24 +293,29 @@ class _Connection:
     # sending
     # ------------------------------------------------------------------ #
 
-    async def _send(self, payload: Dict[str, object]) -> None:
+    async def _send(self, payload: Dict[str, object]) -> int:
         if self._closing:
             raise ConnectionError("connection is closing")
         data = encode_frame(payload)
         async with self._send_lock:
             self._writer.write(data)
             await self._writer.drain()
+        return len(data)
 
-    async def _safe_send(self, payload: Dict[str, object]) -> None:
+    async def _safe_send(self, payload: Dict[str, object]) -> int:
         try:
-            await self._send(payload)
+            return await self._send(payload)
         except (ConnectionError, RuntimeError, OSError):
-            pass  # client went away mid-reply; teardown will follow
+            return 0  # client went away mid-reply; teardown will follow
 
-    def send_from_thread(self, payload: Dict[str, object], timeout: float = 30.0) -> None:
-        """Send one frame from a pump thread (raises once the connection dies)."""
+    def send_from_thread(self, payload: Dict[str, object], timeout: float = 30.0) -> int:
+        """Send one frame from a pump thread (raises once the connection dies).
+
+        Returns the encoded frame size so callers can account per-tenant
+        egress.
+        """
         future = asyncio.run_coroutine_threadsafe(self._send(payload), self._loop)
-        future.result(timeout)
+        return future.result(timeout)
 
     # ------------------------------------------------------------------ #
     # helpers
@@ -285,7 +329,40 @@ class _Connection:
         name = frame.get("graph")
         if not isinstance(name, str) or not name:
             raise ProtocolError("request names no graph (missing 'graph' field)")
-        return name, self.server.catalog.get(name)
+        database = self.server.catalog.get(name)
+        telemetry = getattr(database, "telemetry", None)
+        if telemetry is not None:
+            telemetry.registry.counter(
+                "server_requests_total",
+                "Wire requests handled for this tenant, by op",
+                labelnames=("op",),
+            ).labels(str(frame.get("op"))).inc()
+        return name, database
+
+    def note_tenant_bytes(self, database: Optional[GraphDB], nbytes: int) -> None:
+        """Account response/stream egress against the tenant's registry."""
+        if not nbytes or database is None:
+            return
+        telemetry = getattr(database, "telemetry", None)
+        if telemetry is None:
+            return
+        telemetry.registry.counter(
+            "server_bytes_sent_total",
+            "Bytes of response and stream frames sent for this tenant",
+        ).inc(nbytes)
+
+    def _note_bytes_for(self, frame: Dict[str, object], nbytes: int) -> None:
+        """Attribute one reply's bytes to the tenant the request named."""
+        if not nbytes:
+            return
+        name = frame.get("graph")
+        if not isinstance(name, str) or not name:
+            return
+        try:
+            database = self.server.catalog.get(name)
+        except Exception:
+            return  # tenant dropped between handling and accounting
+        self.note_tenant_bytes(database, nbytes)
 
     def _pin_for(self, frame: Dict[str, object], graph_name: str):
         token = frame.get("pin")
@@ -424,10 +501,21 @@ class _Connection:
             deadline_seconds=frame.get("deadline_seconds"),
             snapshot=snapshot,
             name=frame.get("name"),
+            trace_id=frame.get("trace"),
         )
         self._track_ticket(ticket)
         report = await self._run(ticket.result, frame.get("timeout"))
-        return report.to_wire()
+        encode_started = time.perf_counter()
+        wire = report.to_wire()
+        trace = ticket.trace
+        if trace:
+            # The service already finished the root over queue/pin/run;
+            # append the server's encoding cost and re-finish so the tree
+            # the client sees covers the full server-side wall clock.
+            trace.add_span("wire_encode", time.perf_counter() - encode_started)
+            trace.finish()
+            wire["extra"]["trace"] = trace.to_dict()
+        return wire
 
     async def _op_count(self, frame):
         name, database = self._db(frame)
@@ -513,6 +601,24 @@ class _Connection:
             raise ProtocolError("save needs a 'path' string")
         return {"path": await self._run(database.save, path)}
 
+    async def _op_metrics(self, frame):
+        _, database = self._db(frame)
+        format = frame.get("format") or "json"
+
+        def run():
+            return database.metrics(format=format)
+
+        payload = await self._run(run)
+        if format == "prometheus":
+            return {"format": "prometheus", "text": payload}
+        return {"format": "json", "metrics": payload}
+
+    async def _op_slow_queries(self, frame):
+        _, database = self._db(frame)
+        limit = frame.get("limit")
+        entries = await self._run(database.slow_queries, limit)
+        return {"slow_queries": [jsonable(entry) for entry in entries]}
+
     async def _op_stream_open(self, frame):
         name, database = self._db(frame)
         query = _decode_query(frame.get("query"), frame.get("name"))
@@ -521,6 +627,12 @@ class _Connection:
         window = int(frame.get("window") or self.server.stream_window)
         pinned = self._pin_for(frame, name)
         ident = frame["id"]
+        telemetry = getattr(database, "telemetry", None)
+        if telemetry is not None:
+            telemetry.registry.counter(
+                "server_streams_opened_total",
+                "Streaming queries opened for this tenant",
+            ).inc()
 
         def open_stream() -> StreamingResult:
             # Pages never accumulate server-side (keep_occurrences=False):
@@ -537,6 +649,7 @@ class _Connection:
                         snapshot=snapshot,
                         page_size=page_size,
                         keep_occurrences=False,
+                        trace_id=frame.get("trace"),
                     )
                 except Exception:
                     snapshot.release()
@@ -549,11 +662,17 @@ class _Connection:
                 page_size=page_size,
                 deadline_seconds=frame.get("deadline_seconds"),
                 keep_occurrences=False,
+                trace_id=frame.get("trace"),
             )
 
         result = await self._run(open_stream)
         stream = _ServerStream(
-            self, ident, result, window, self.server.stream_page_timeout
+            self,
+            ident,
+            result,
+            window,
+            self.server.stream_page_timeout,
+            database=database,
         )
         self._streams[ident] = stream
         self._track_ticket(result.ticket)
@@ -585,6 +704,8 @@ class _Connection:
         "pin": _op_pin,
         "release": _op_release,
         "stats": _op_stats,
+        "metrics": _op_metrics,
+        "slow_queries": _op_slow_queries,
         "checkpoint": _op_checkpoint,
         "save": _op_save,
         "stream_open": _op_stream_open,

@@ -44,6 +44,7 @@ from repro.dynamic.maintenance import ApplyReport
 from repro.exceptions import ServiceOverloadedError, StoreError
 from repro.graph.digraph import DataGraph
 from repro.matching.result import Budget, MatchReport, MatchStatus
+from repro.obs.trace import NULL_TRACE
 from repro.query.pattern import PatternQuery
 from repro.session.batch import BatchReport
 from repro.service.stats import ServiceStats
@@ -211,6 +212,10 @@ class QueryTicket:
         self.stream_buffer = stream_buffer
         self.keep_occurrences = keep_occurrences
         self.submitted_at = time.monotonic()
+        #: The query's distributed trace (a no-op :data:`NULL_TRACE` unless
+        #: the owning service sampled this request or the caller forced a
+        #: trace id through the wire protocol).
+        self.trace = NULL_TRACE
         self.status = TICKET_QUEUED
         self.report: Optional[MatchReport] = None
         self.error: Optional[BaseException] = None
@@ -457,6 +462,7 @@ class QueryService:
         self,
         store: Union[VersionedGraphStore, DataGraph, "QuerySession"],
         config: Optional[ServiceConfig] = None,
+        telemetry=None,
         **store_kwargs,
     ) -> None:
         if isinstance(store, VersionedGraphStore):
@@ -472,7 +478,14 @@ class QueryService:
         self._queue: "queue_module.Queue" = queue_module.Queue()
         self._admission_lock = threading.Lock()
         self._queued = 0
+        self._busy = 0
         self._closed = False
+        self.telemetry = None
+        self._m_engine_queries = None
+        self._m_engine_seconds = None
+        self._m_engine_candidates = None
+        self._m_engine_intersections = None
+        self.bind_telemetry(telemetry)
         self._workers = [
             threading.Thread(
                 target=self._worker_loop, name=f"query-service-worker-{index}", daemon=True
@@ -481,6 +494,58 @@ class QueryService:
         ]
         for worker in self._workers:
             worker.start()
+
+    # ------------------------------------------------------------------ #
+    # telemetry
+    # ------------------------------------------------------------------ #
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Wire this service into a :class:`~repro.obs.Telemetry` context.
+
+        Binds the stats mirror, registers the engine-side metric families,
+        and exposes the live queue depth / worker occupancy as callback
+        gauges (sampled only when the registry is snapshotted — the hot
+        path pays nothing for them).  ``None`` is a no-op; rebinding
+        replaces the gauge callbacks and reuses existing families.
+        """
+        if telemetry is None:
+            return
+        self.telemetry = telemetry
+        registry = telemetry.registry
+        self.stats.bind_registry(registry)
+        registry.gauge(
+            "service_queue_depth",
+            "Requests waiting in the bounded admission queue",
+            fn=lambda: self._queued,
+        )
+        registry.gauge(
+            "service_workers_busy",
+            "Worker threads currently executing a query",
+            fn=lambda: self._busy,
+        )
+        registry.gauge(
+            "service_workers_total",
+            "Size of the worker pool",
+            fn=lambda: self.config.workers,
+        )
+        self._m_engine_queries = registry.counter(
+            "engine_queries_total",
+            "Queries executed, by matching engine",
+            labelnames=("engine",),
+        )
+        self._m_engine_seconds = registry.histogram(
+            "engine_query_seconds",
+            "Worker-side engine execution latency",
+            labelnames=("engine",),
+        )
+        self._m_engine_candidates = registry.counter(
+            "engine_candidates_total",
+            "Candidate vertices scanned by the multi-way join",
+        )
+        self._m_engine_intersections = registry.counter(
+            "engine_intersections_total",
+            "Adjacency/candidate-set intersections performed by the multi-way join",
+        )
 
     # ------------------------------------------------------------------ #
     # admission + submission
@@ -496,6 +561,7 @@ class QueryService:
         snapshot: Optional[StoreSnapshot] = None,
         page_size: Optional[int] = None,
         keep_occurrences: bool = True,
+        trace_id: Optional[str] = None,
     ) -> QueryTicket:
         """Admit one query for asynchronous execution.
 
@@ -512,6 +578,11 @@ class QueryService:
         :class:`StreamingResult`).  ``keep_occurrences=False`` makes the
         final report count-only — pages still flow, but the worker never
         accumulates the full occurrence list.
+
+        ``trace_id`` forces end-to-end tracing for this request regardless
+        of the telemetry sample rate (the wire server passes the client's
+        propagated id through here); without it the service's
+        :class:`~repro.obs.trace.Tracer` decides by sampling.
         """
         self.stats.note_submitted()
         effective_deadline = (
@@ -540,6 +611,11 @@ class QueryService:
             stream_buffer=stream_buffer,
             keep_occurrences=keep_occurrences,
         )
+        if self.telemetry is not None:
+            ticket.trace = self.telemetry.tracer.trace(
+                "query", trace_id=trace_id
+            )
+            ticket.trace.annotate(query=ticket.name, engine=ticket.engine)
         with self._admission_lock:
             if self._closed:
                 raise StoreError("service is closed")
@@ -550,6 +626,9 @@ class QueryService:
                     error=ServiceOverloadedError(
                         "queue_full",
                         f"{self._queued} queued >= limit {self.config.queue_limit}",
+                        queue_depth=self._queued,
+                        workers_busy=self._busy,
+                        workers_total=self.config.workers,
                     ),
                 )
                 raise ticket.error
@@ -581,6 +660,7 @@ class QueryService:
         page_size: int = 256,
         deadline_seconds: Optional[float] = None,
         keep_occurrences: bool = True,
+        trace_id: Optional[str] = None,
     ) -> StreamingResult:
         """Submit a query and page through its results as they are found.
 
@@ -605,6 +685,7 @@ class QueryService:
                 snapshot=snapshot,
                 page_size=page_size,
                 keep_occurrences=keep_occurrences,
+                trace_id=trace_id,
             )
         except Exception:
             snapshot.release()
@@ -682,7 +763,12 @@ class QueryService:
                     return
                 with self._admission_lock:
                     self._queued -= 1
-                self._execute(ticket)
+                    self._busy += 1
+                try:
+                    self._execute(ticket)
+                finally:
+                    with self._admission_lock:
+                        self._busy -= 1
             finally:
                 self._queue.task_done()
 
@@ -704,18 +790,26 @@ class QueryService:
             return
         if ticket.deadline is not None and now > ticket.deadline:
             self.stats.note_shed("deadline")
+            with self._admission_lock:
+                queue_depth, busy = self._queued, self._busy
             ticket._finish(
                 TICKET_SHED,
                 error=ServiceOverloadedError(
                     "deadline",
                     f"expired {now - ticket.deadline:.3f}s before execution",
+                    queue_depth=queue_depth,
+                    workers_busy=busy,
+                    workers_total=self.config.workers,
                 ),
             )
             return
         ticket.status = TICKET_RUNNING
+        queue_wait = now - ticket.submitted_at
         own_pin = ticket.snapshot is None
         try:
+            pin_started = time.perf_counter()
             snapshot = ticket.snapshot or self.store.pin()
+            pin_seconds = time.perf_counter() - pin_started
         except StoreError as exc:  # closed mid-flight
             ticket._finish(TICKET_FAILED, error=exc)
             self.stats.note_failed()
@@ -727,20 +821,27 @@ class QueryService:
                 .with_deadline(ticket.deadline)
                 .with_cancel_event(ticket.cancel_event)
             )
+            run_started = time.perf_counter()
             if ticket.stream_buffer is not None:
                 report = self._run_streaming(ticket, session, budget)
             else:
                 report = session.query(ticket.query, engine=ticket.engine, budget=budget)
+            run_seconds = time.perf_counter() - run_started
             # Cache the version BEFORE finishing the ticket: _finish wakes
             # the consumer, whose prompt close() may release the snapshot,
             # after which snapshot.version raises StoreError.
             version = snapshot.version
             ticket.pinned_version = version
+            self._record_engine_metrics(ticket.engine, run_seconds, report)
+            self._finish_trace(
+                ticket, report, version, queue_wait, pin_seconds, run_seconds
+            )
             if report.status is MatchStatus.CANCELLED:
                 ticket._finish(TICKET_CANCELLED, report=report)
             else:
                 ticket._finish(TICKET_DONE, report=report)
             self.stats.note_completed(ticket.seconds, report.status.value, version)
+            self._record_slow_query(ticket, report, version)
         except Exception as exc:  # engine/user errors surface via result()
             if ticket.cancel_event.is_set():
                 # A cancel that landed mid-setup (e.g. StreamingResult.close()
@@ -798,6 +899,92 @@ class QueryService:
         # terminal status.  No drain — the matches already produced are
         # exactly what the consumer saw.
         return stream.report(drain=False)
+
+    # ------------------------------------------------------------------ #
+    # telemetry recording (worker side)
+    # ------------------------------------------------------------------ #
+
+    def _record_engine_metrics(self, engine: str, run_seconds: float, report) -> None:
+        """Mirror one finished report into the ``engine_*`` families."""
+        if self._m_engine_queries is None:
+            return
+        self._m_engine_queries.labels(engine).inc()
+        self._m_engine_seconds.labels(engine).observe(run_seconds)
+        mjoin = report.extra.get("mjoin")
+        if isinstance(mjoin, dict):
+            candidates = int(mjoin.get("candidates", 0))
+            intersections = int(mjoin.get("intersections", 0))
+            if candidates:
+                self._m_engine_candidates.inc(candidates)
+            if intersections:
+                self._m_engine_intersections.inc(intersections)
+
+    def _finish_trace(
+        self,
+        ticket: QueryTicket,
+        report,
+        version: int,
+        queue_wait: float,
+        pin_seconds: float,
+        run_seconds: float,
+    ) -> None:
+        """Synthesise the query's span tree and attach it to the report.
+
+        The stage breakdown is reconstructed from the engine's own timings:
+        ``plan`` is the matcher's preparation+search phase
+        (``matching_seconds``), ``index_build`` the session-side artifact
+        precompute if one ran, ``first_match`` the gap between planning
+        and the first streamed occurrence, and ``stream_drain`` the
+        remainder of worker-side execution — so the children always sum to
+        ``queue_wait + pin + run`` and the tree stays within a few percent
+        of the root's wall clock.  The server later appends its
+        ``wire_encode`` span and re-finishes the same trace.
+        """
+        trace = ticket.trace
+        if not trace:
+            return
+        extra = report.extra
+        plan = float(report.matching_seconds or 0.0)
+        index_build = float(extra.get("precompute_seconds") or 0.0)
+        first_match_at = extra.get("first_match_seconds")
+        first_match = (
+            max(0.0, float(first_match_at) - plan)
+            if first_match_at is not None
+            else 0.0
+        )
+        stream_drain = max(0.0, run_seconds - plan - index_build - first_match)
+        trace.add_span("queue_wait", queue_wait)
+        trace.add_span("pin", pin_seconds)
+        trace.add_span("plan", plan)
+        if index_build:
+            trace.add_span("index_build", index_build)
+        if first_match_at is not None:
+            trace.add_span("first_match", first_match)
+        trace.add_span("stream_drain", stream_drain)
+        trace.annotate(
+            status=report.status.value,
+            version=version,
+            num_matches=report.num_matches,
+        )
+        trace.finish()
+        extra["trace"] = trace.to_dict()
+
+    def _record_slow_query(self, ticket: QueryTicket, report, version: int) -> None:
+        """Append one structured entry to the slow-query log if over threshold."""
+        if self.telemetry is None:
+            return
+        log = self.telemetry.slow_log
+        if not log.enabled or ticket.seconds is None:
+            return
+        log.record(
+            ticket.seconds,
+            query=ticket.name,
+            engine=ticket.engine,
+            status=report.status.value,
+            num_matches=report.num_matches,
+            version=version,
+            trace=ticket.trace.to_dict(),
+        )
 
     def stats_snapshot(self) -> Dict[str, object]:
         """Service counters merged with the store's version-chain gauges."""

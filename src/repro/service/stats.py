@@ -4,30 +4,36 @@ from __future__ import annotations
 
 import threading
 import time
-from collections import deque
 from typing import Dict, List, Optional
 
-from repro.session.batch import percentile
+from repro.obs.quantiles import Reservoir, percentile
 
 
 class ServiceStats:
     """Thread-safe counters and a bounded latency reservoir.
 
-    Latencies are recorded from admission to completion over a sliding
-    window of the most recent ``latency_window`` completions; percentiles
-    are nearest-rank over that window.  For queued submits
-    (:meth:`QueryService.submit`) that includes queueing delay; for batch
-    queries (:meth:`QueryService.run_batch`) admission and execution
-    coincide, so the sample is the query's execution time.  Shed counters
-    split by admission-control reason: ``queue_full`` (bounded queue at
-    capacity at submit time) and ``deadline`` (the request expired before
-    a worker picked it up).
+    Latencies are recorded from admission to completion into a bounded
+    uniform reservoir (:class:`~repro.obs.quantiles.Reservoir`) of
+    ``latency_window`` samples, so percentiles describe the service's whole
+    history in constant memory; percentiles are nearest-rank over the
+    retained samples.  For queued submits (:meth:`QueryService.submit`)
+    that includes queueing delay; for batch queries
+    (:meth:`QueryService.run_batch`) admission and execution coincide, so
+    the sample is the query's execution time.  Shed counters split by
+    admission-control reason: ``queue_full`` (bounded queue at capacity at
+    submit time) and ``deadline`` (the request expired before a worker
+    picked it up).
+
+    When a :class:`~repro.obs.metrics.MetricsRegistry` is bound via
+    :meth:`bind_registry`, every recording also increments the shared
+    ``service_*`` metric families; the registry counters are monotone and
+    survive any local reuse of this object.
     """
 
     def __init__(self, latency_window: int = 4096) -> None:
         self._lock = threading.Lock()
         self._started = time.monotonic()
-        self._latencies = deque(maxlen=latency_window)
+        self._latencies = Reservoir(capacity=latency_window)
         self.submitted = 0
         self.completed = 0
         self.failed = 0
@@ -36,6 +42,41 @@ class ServiceStats:
         self.shed_deadline = 0
         self._status_counts: Dict[str, int] = {}
         self._version_counts: Dict[int, int] = {}
+        self._m_submitted = None
+        self._m_completed = None
+        self._m_failed = None
+        self._m_cancelled = None
+        self._m_shed = None
+        self._m_seconds = None
+
+    # ------------------------------------------------------------------ #
+    # registry mirroring
+    # ------------------------------------------------------------------ #
+
+    def bind_registry(self, registry) -> None:
+        """Mirror every future recording into ``service_*`` families."""
+        self._m_submitted = registry.counter(
+            "service_submitted_total", "Requests admitted to the service queue"
+        )
+        self._m_completed = registry.counter(
+            "service_completed_total",
+            "Completed queries by terminal status",
+            labelnames=("status",),
+        )
+        self._m_failed = registry.counter(
+            "service_failed_total", "Queries that raised during execution"
+        )
+        self._m_cancelled = registry.counter(
+            "service_cancelled_total", "Queries cancelled before or during execution"
+        )
+        self._m_shed = registry.counter(
+            "service_shed_total",
+            "Requests shed by admission control, by reason",
+            labelnames=("reason",),
+        )
+        self._m_seconds = registry.histogram(
+            "service_query_seconds", "Admission-to-completion query latency"
+        )
 
     # ------------------------------------------------------------------ #
     # recording
@@ -44,24 +85,35 @@ class ServiceStats:
     def note_submitted(self) -> None:
         with self._lock:
             self.submitted += 1
+        if self._m_submitted is not None:
+            self._m_submitted.inc()
 
     def note_completed(self, seconds: float, status: str, version: int) -> None:
         with self._lock:
             self.completed += 1
-            self._latencies.append(seconds)
+            self._latencies.add(seconds)
             self._status_counts[status] = self._status_counts.get(status, 0) + 1
             self._version_counts[version] = self._version_counts.get(version, 0) + 1
             if status == "cancelled":
                 self.cancelled += 1
+        if self._m_completed is not None:
+            self._m_completed.labels(status).inc()
+            self._m_seconds.observe(seconds)
+            if status == "cancelled":
+                self._m_cancelled.inc()
 
     def note_cancelled(self) -> None:
         """A request cancelled before it ever ran (no latency / version)."""
         with self._lock:
             self.cancelled += 1
+        if self._m_cancelled is not None:
+            self._m_cancelled.inc()
 
     def note_failed(self) -> None:
         with self._lock:
             self.failed += 1
+        if self._m_failed is not None:
+            self._m_failed.inc()
 
     def note_shed(self, reason: str) -> None:
         with self._lock:
@@ -69,6 +121,8 @@ class ServiceStats:
                 self.shed_deadline += 1
             else:
                 self.shed_queue_full += 1
+        if self._m_shed is not None:
+            self._m_shed.labels(reason if reason == "deadline" else "queue_full").inc()
 
     # ------------------------------------------------------------------ #
     # aggregates
@@ -95,9 +149,9 @@ class ServiceStats:
             return self.completed / uptime
 
     def latency_percentile(self, fraction: float) -> float:
-        """Nearest-rank end-to-end latency percentile over the window."""
+        """Nearest-rank end-to-end latency percentile over the reservoir."""
         with self._lock:
-            samples: List[float] = list(self._latencies)
+            samples: List[float] = self._latencies.samples()
         return percentile(samples, fraction)
 
     @property
@@ -132,7 +186,7 @@ class ServiceStats:
         head version, GC count) is merged into the result.
         """
         with self._lock:
-            samples = list(self._latencies)
+            samples = self._latencies.samples()
             document: Dict[str, object] = {
                 "submitted": self.submitted,
                 "completed": self.completed,

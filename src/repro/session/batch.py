@@ -8,11 +8,11 @@ session cache's hit/miss counters over the batch.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.matching.result import MatchStatus
+from repro.obs.quantiles import percentile  # noqa: F401  (canonical home; re-exported)
 
 
 @dataclass
@@ -34,15 +34,6 @@ class QueryOutcome:
     def occurrence_set(self) -> frozenset:
         """The occurrences as a frozenset (for answer comparison)."""
         return frozenset(self.occurrences)
-
-
-def percentile(samples: List[float], fraction: float) -> float:
-    """Nearest-rank percentile of ``samples`` (``fraction`` in [0, 1])."""
-    if not samples:
-        return 0.0
-    ordered = sorted(samples)
-    rank = max(1, math.ceil(fraction * len(ordered)))
-    return ordered[rank - 1]
 
 
 @dataclass

@@ -70,26 +70,64 @@ class CacheStats:
         self._misses: Dict[str, int] = {}
         self._invalidations: Dict[str, int] = {}
         self._patches: Dict[str, int] = {}
+        self._m_hits = None
+        self._m_misses = None
+        self._m_invalidations = None
+        self._m_patches = None
+
+    def bind_registry(self, registry) -> None:
+        """Mirror every future recording into shared ``session_cache_*`` families.
+
+        The local counters keep their per-session lifecycle (``reset()`` on
+        :meth:`QuerySession.clear`); the registry families are monotone and
+        accumulate across every session epoch bound to the same registry —
+        including the forked epochs a :class:`~repro.store.VersionedGraphStore`
+        publishes and later garbage-collects.
+        """
+        self._m_hits = registry.counter(
+            "session_cache_hits_total", "Cached-artifact reuses", labelnames=("artifact",)
+        )
+        self._m_misses = registry.counter(
+            "session_cache_misses_total", "Cached-artifact builds", labelnames=("artifact",)
+        )
+        self._m_invalidations = registry.counter(
+            "session_cache_invalidations_total",
+            "Artifacts dropped by graph updates",
+            labelnames=("artifact",),
+        )
+        self._m_patches = registry.counter(
+            "session_cache_patches_total",
+            "Artifacts patched in place by graph updates",
+            labelnames=("artifact",),
+        )
 
     def record_hit(self, key: str) -> None:
         """Count one reuse of the artifact ``key``."""
         with self._lock:
             self._hits[key] = self._hits.get(key, 0) + 1
+        if self._m_hits is not None:
+            self._m_hits.labels(key).inc()
 
     def record_miss(self, key: str) -> None:
         """Count one build of the artifact ``key``."""
         with self._lock:
             self._misses[key] = self._misses.get(key, 0) + 1
+        if self._m_misses is not None:
+            self._m_misses.labels(key).inc()
 
     def record_invalidation(self, key: str) -> None:
         """Count one drop of the artifact ``key`` on a graph update."""
         with self._lock:
             self._invalidations[key] = self._invalidations.get(key, 0) + 1
+        if self._m_invalidations is not None:
+            self._m_invalidations.labels(key).inc()
 
     def record_patch(self, key: str) -> None:
         """Count one in-place update of the artifact ``key``."""
         with self._lock:
             self._patches[key] = self._patches.get(key, 0) + 1
+        if self._m_patches is not None:
+            self._m_patches.labels(key).inc()
 
     def hits(self, key: Optional[str] = None) -> int:
         """Hit count for ``key`` (total over all artifacts when omitted)."""
@@ -243,6 +281,8 @@ class QuerySession:
         self.rig_options = rig_options or RIGOptions(set_kind=set_kind)
         self.budget = budget or Budget()
         self.stats = CacheStats()
+        #: The bound per-tenant telemetry bundle (None when observability is off).
+        self.telemetry = None
         self._lock = threading.RLock()
         self._context: Optional[MatchContext] = None
         self._closure: Optional[TransitiveClosureIndex] = None
@@ -276,6 +316,18 @@ class QuerySession:
             else:
                 self.stats.record_hit(key)
             return value
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Attach a :class:`~repro.obs.Telemetry` bundle to this session.
+
+        The cache counters start mirroring into the bundle's registry
+        (``session_cache_*`` families).  Binding ``None`` is a no-op, so
+        callers can pass through an optional bundle unconditionally.
+        """
+        if telemetry is None:
+            return
+        self.telemetry = telemetry
+        self.stats.bind_registry(telemetry.registry)
 
     @property
     def version(self) -> int:
@@ -900,6 +952,7 @@ class QuerySession:
             if self._universe is not None:
                 clone._universe = self._universe.copy()
             clone._artifact_versions = dict(self._artifact_versions)
+            clone.bind_telemetry(self.telemetry)
             if copy_rig_caches:
                 for key, cache in self._rig_caches.items():
                     fresh = _ObservedRigCache(clone.stats)

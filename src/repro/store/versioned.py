@@ -204,7 +204,12 @@ class StoreSnapshot:
 
 
 class StoreStats:
-    """Counters describing the store's write / GC activity."""
+    """Counters describing the store's write / GC activity.
+
+    When a :class:`~repro.obs.metrics.MetricsRegistry` is bound via
+    :meth:`bind_registry`, recordings also increment the shared ``store_*``
+    families (monotone; never reset by epoch GC).
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
@@ -213,6 +218,25 @@ class StoreStats:
         self.apply_seconds = 0.0
         self.gc_count = 0
         self.peak_versions = 1
+        self._m_applies = None
+        self._m_noop = None
+        self._m_gc = None
+        self._m_apply_seconds = None
+
+    def bind_registry(self, registry) -> None:
+        """Mirror every future recording into ``store_*`` metric families."""
+        self._m_applies = registry.counter(
+            "store_applies_total", "Delta folds published as new epochs"
+        )
+        self._m_noop = registry.counter(
+            "store_noop_applies_total", "Delta folds that changed nothing"
+        )
+        self._m_gc = registry.counter(
+            "store_gc_retired_total", "Unpinned epochs retired by the garbage collector"
+        )
+        self._m_apply_seconds = registry.histogram(
+            "store_apply_seconds", "Fold duration (delta absorb + publish)"
+        )
 
     def note_apply(self, report: ApplyReport) -> None:
         with self._lock:
@@ -221,10 +245,18 @@ class StoreStats:
             else:
                 self.applies += 1
                 self.apply_seconds += report.seconds
+        if self._m_applies is not None:
+            if report.new_version == report.old_version:
+                self._m_noop.inc()
+            else:
+                self._m_applies.inc()
+                self._m_apply_seconds.observe(report.seconds)
 
     def note_gc(self, count: int = 1) -> None:
         with self._lock:
             self.gc_count += count
+        if self._m_gc is not None:
+            self._m_gc.inc(count)
 
     def note_versions(self, retained: int) -> None:
         with self._lock:
@@ -282,6 +314,7 @@ class VersionedGraphStore:
         graph: Union[DataGraph, QuerySession],
         warm_on_publish: bool = False,
         durability=None,
+        telemetry=None,
         **session_kwargs,
     ) -> None:
         if isinstance(graph, QuerySession):
@@ -300,9 +333,52 @@ class VersionedGraphStore:
         self.warm_on_publish = warm_on_publish
         self.durability = durability
         self.stats = StoreStats()
+        self.telemetry = None
+        self._m_pins = None
         # Lazily started background writer (apply_async).
         self._write_queue: Optional[queue_module.Queue] = None
         self._writer_thread: Optional[threading.Thread] = None
+        self.bind_telemetry(telemetry)
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Attach a :class:`~repro.obs.Telemetry` bundle to the store.
+
+        Binds the store counters (``store_*`` families), registers the
+        version-chain gauges as snapshot-time callbacks (zero hot-path
+        cost), propagates the bundle to the head epoch's session (forked
+        epochs inherit it through :meth:`QuerySession.fork`), and binds the
+        durability hook's ``wal_*`` families when one is attached.  Binding
+        ``None`` is a no-op.
+        """
+        if telemetry is None:
+            return
+        self.telemetry = telemetry
+        registry = telemetry.registry
+        self.stats.bind_registry(registry)
+        self._m_pins = registry.counter(
+            "store_pins_total", "Snapshot pins taken against the version chain"
+        )
+        registry.gauge(
+            "store_head_version", "Latest published graph version",
+            fn=lambda: self.head_version,
+        )
+        registry.gauge(
+            "store_versions_retained", "Epochs currently in the chain",
+            fn=lambda: self.num_versions_retained,
+        )
+        registry.gauge(
+            "store_pinned_epochs", "Epochs with at least one live pin",
+            fn=lambda: self.pinned_epoch_count,
+        )
+        registry.gauge(
+            "store_live_pins", "Total live pins across retained epochs",
+            fn=lambda: self.total_pin_count,
+        )
+        with self._chain_lock:
+            head = self._head
+        head.session.bind_telemetry(telemetry)
+        if self.durability is not None and hasattr(self.durability, "bind_registry"):
+            self.durability.bind_registry(registry)
 
     # ------------------------------------------------------------------ #
     # read side: pinning
@@ -328,7 +404,10 @@ class VersionedGraphStore:
                         f"(chain holds {sorted(self._records)})"
                     )
             record.pins += 1
-            return StoreSnapshot(self, record)
+            snapshot = StoreSnapshot(self, record)
+        if self._m_pins is not None:
+            self._m_pins.inc()
+        return snapshot
 
     def _release(self, record: VersionRecord) -> None:
         with self._chain_lock:

@@ -154,6 +154,38 @@ class WalDurability:
         self._last_journaled_version: Optional[int] = None
         self._recovery: Optional[RecoveryReport] = None
         self._closed = False
+        self._m_journal_entries = None
+        self._m_journal_bytes = None
+        self._m_fsync_seconds = None
+        self._m_checkpoints = None
+        self._m_checkpoint_failures = None
+        self._m_checkpoint_seconds = None
+
+    def bind_registry(self, registry) -> None:
+        """Mirror every future journal/checkpoint into ``wal_*`` families.
+
+        The fsync-latency histogram observes the full durable-append time
+        (serialise + write + fsync) of each journaled delta — the per-fold
+        price of the write-ahead guarantee.
+        """
+        self._m_journal_entries = registry.counter(
+            "wal_journal_entries_total", "Deltas journaled ahead of publish"
+        )
+        self._m_journal_bytes = registry.counter(
+            "wal_journal_bytes_total", "Bytes appended to the delta log"
+        )
+        self._m_fsync_seconds = registry.histogram(
+            "wal_fsync_seconds", "Durable journal-append latency (incl. fsync)"
+        )
+        self._m_checkpoints = registry.counter(
+            "wal_checkpoints_total", "Checkpoints written"
+        )
+        self._m_checkpoint_failures = registry.counter(
+            "wal_checkpoint_failures_total", "Checkpoint attempts that raised"
+        )
+        self._m_checkpoint_seconds = registry.histogram(
+            "wal_checkpoint_seconds", "Checkpoint write + log truncate latency"
+        )
 
     # ------------------------------------------------------------------ #
     # construction
@@ -271,12 +303,17 @@ class WalDurability:
                 "delta": delta.to_dict(),
             }
         )
+        elapsed = time.perf_counter() - started
         with self._lock:
             self._journal_entries += 1
             self._journal_bytes += written
-            self._journal_seconds += time.perf_counter() - started
+            self._journal_seconds += elapsed
             self._entries_since_checkpoint += 1
             self._last_journaled_version = int(new_version)
+        if self._m_journal_entries is not None:
+            self._m_journal_entries.inc()
+            self._m_journal_bytes.inc(written)
+            self._m_fsync_seconds.observe(elapsed)
 
     def should_checkpoint(self) -> bool:
         """True when the auto-checkpoint threshold is reached."""
@@ -302,15 +339,21 @@ class WalDurability:
         except BaseException:
             with self._lock:
                 self._checkpoint_failures += 1
+            if self._m_checkpoint_failures is not None:
+                self._m_checkpoint_failures.inc()
             raise
         self.log.truncate()
         version = getattr(graph, "version", 0)
+        elapsed = time.perf_counter() - started
         with self._lock:
             self._checkpoints += 1
-            self._checkpoint_seconds += time.perf_counter() - started
+            self._checkpoint_seconds += elapsed
             dropped = self._entries_since_checkpoint
             self._entries_since_checkpoint = 0
             self._last_checkpoint_version = version
+        if self._m_checkpoints is not None:
+            self._m_checkpoints.inc()
+            self._m_checkpoint_seconds.observe(elapsed)
         return {
             "path": self.checkpoint_path,
             "version": version,

@@ -1,0 +1,290 @@
+"""End-to-end telemetry over the wire: traces, metrics, and the slow log.
+
+A real :class:`GraphServer` on a loopback socket, exercised through
+:class:`GraphClient`:
+
+* trace-ID propagation — a ``trace_id`` on a remote query forces tracing
+  server-side and the full span tree returns in ``extra["trace"]``; on
+  failure the same id rides the error payload back;
+* the streaming span tree accounts for the whole root wall-clock (the
+  acceptance bar: stage sum within 10% of the root);
+* ``server_metrics`` exposes every per-tenant family — session cache,
+  store, service, server, engine, and (for durable tenants) WAL — in both
+  JSON and Prometheus form;
+* rejection-time load context (queue depth, worker occupancy) crosses the
+  wire on :class:`ServiceOverloadedError`;
+* the ``slow_queries`` op returns structured entries with span trees.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from fixtures_paper import build_paper_graph, build_paper_query
+from repro.api import GraphDB
+from repro.client import GraphClient
+from repro.exceptions import ServiceOverloadedError, StoreError
+from repro.obs import Telemetry, new_trace_id
+from repro.server import GraphCatalog, GraphServer
+from repro.server.protocol import decode_error, encode_error
+
+pytestmark = pytest.mark.timeout(120)
+
+PAPER_DSL = (
+    "node a A\nnode b B\nnode c C\n"
+    "edge a -> b\nedge a -> c\nedge b => c"
+)
+
+
+@pytest.fixture
+def server():
+    with GraphServer() as srv:
+        yield srv
+
+
+@pytest.fixture
+def client(server):
+    graph = build_paper_graph()
+    with GraphClient(*server.address, timeout=60.0) as cli:
+        cli.create_graph(
+            "paper", labels=graph.labels, edges=graph.edges(), switch=True
+        )
+        yield cli
+
+
+# ---------------------------------------------------------------------- #
+# trace propagation
+# ---------------------------------------------------------------------- #
+
+
+class TestTracePropagation:
+    def test_unary_query_trace_round_trip(self, client):
+        trace_id = new_trace_id()
+        report = client.query(build_paper_query(), trace_id=trace_id)
+        trace = report.extra.get("trace")
+        assert trace is not None
+        assert trace["trace_id"] == trace_id
+        assert trace["name"] == "query"
+        span_names = [span["name"] for span in trace["spans"]]
+        # The service synthesises the stage breakdown; the server appends
+        # its wire-encoding time.
+        for required in ["queue_wait", "pin", "plan", "stream_drain", "wire_encode"]:
+            assert required in span_names, required
+        assert trace["meta"]["status"] == "ok"
+        assert trace["meta"]["num_matches"] == report.num_matches
+        assert trace["seconds"] >= 0.0
+        assert all(span["seconds"] >= 0.0 for span in trace["spans"])
+
+    def test_untraced_query_carries_no_trace(self, client):
+        report = client.query(build_paper_query())
+        assert "trace" not in report.extra
+
+    def test_streaming_trace_spans_account_for_root(self, client):
+        trace_id = new_trace_id()
+        stream = client.stream(
+            build_paper_query(), page_size=1, trace_id=trace_id
+        )
+        occurrences = list(stream)
+        report = stream.report()
+        assert occurrences  # paper query matches
+        trace = report.extra.get("trace")
+        assert trace is not None
+        assert trace["trace_id"] == trace_id
+        span_names = [span["name"] for span in trace["spans"]]
+        assert "wire_encode" in span_names
+        # Acceptance bar: the stage spans of a traced remote streaming
+        # query sum to within 10% of the root wall-clock.
+        span_sum = sum(span["seconds"] for span in trace["spans"])
+        root = trace["seconds"]
+        assert root > 0.0
+        assert abs(span_sum - root) <= 0.10 * root
+
+    def test_distinct_queries_get_distinct_traces(self, client):
+        first = client.query(build_paper_query(), trace_id="trace-aa")
+        second = client.query(build_paper_query(), trace_id="trace-bb")
+        assert first.extra["trace"]["trace_id"] == "trace-aa"
+        assert second.extra["trace"]["trace_id"] == "trace-bb"
+
+    def test_error_path_returns_trace_id(self, client):
+        trace_id = new_trace_id()
+        with pytest.raises(ServiceOverloadedError) as excinfo:
+            client.query(
+                build_paper_query(), deadline_seconds=0.0, trace_id=trace_id
+            )
+        assert excinfo.value.trace_id == trace_id
+
+    def test_parse_error_returns_trace_id(self, client):
+        from repro.exceptions import QueryParseError
+
+        with pytest.raises(QueryParseError) as excinfo:
+            client.query("node a", trace_id="trace-parse")
+        assert getattr(excinfo.value, "trace_id", None) == "trace-parse"
+
+
+# ---------------------------------------------------------------------- #
+# overload context over the wire
+# ---------------------------------------------------------------------- #
+
+
+class TestOverloadContext:
+    def test_deadline_shed_ships_load_context(self, client):
+        with pytest.raises(ServiceOverloadedError) as excinfo:
+            client.query(build_paper_query(), deadline_seconds=0.0)
+        error = excinfo.value
+        assert error.reason == "deadline"
+        assert error.queue_depth is not None and error.queue_depth >= 0
+        assert error.workers_busy is not None and error.workers_busy >= 0
+        assert error.workers_total is not None and error.workers_total >= 1
+
+    def test_protocol_round_trip_preserves_context(self):
+        original = ServiceOverloadedError(
+            "queue_full",
+            "97 queued",
+            queue_depth=97,
+            workers_busy=3,
+            workers_total=4,
+        )
+        original.trace_id = "trace-ff"
+        decoded = decode_error(encode_error(original))
+        assert isinstance(decoded, ServiceOverloadedError)
+        assert decoded.reason == "queue_full"
+        assert decoded.queue_depth == 97
+        assert decoded.workers_busy == 3
+        assert decoded.workers_total == 4
+        assert decoded.trace_id == "trace-ff"
+
+    def test_protocol_round_trip_without_context(self):
+        decoded = decode_error(encode_error(ServiceOverloadedError("deadline")))
+        assert isinstance(decoded, ServiceOverloadedError)
+        assert decoded.queue_depth is None
+        assert decoded.workers_busy is None
+        assert decoded.workers_total is None
+
+
+# ---------------------------------------------------------------------- #
+# server metrics
+# ---------------------------------------------------------------------- #
+
+
+class TestServerMetrics:
+    def test_families_cover_every_layer(self, client):
+        client.query(build_paper_query())
+        client.ingest(labels=["A"], edges=[], graph="paper")
+        snapshot = client.server_metrics(graph="paper")
+        for family in [
+            "session_cache_hits_total",
+            "session_cache_misses_total",
+            "store_applies_total",
+            "store_pins_total",
+            "store_head_version",
+            "service_submitted_total",
+            "service_completed_total",
+            "service_queue_depth",
+            "service_workers_busy",
+            "service_workers_total",
+            "engine_queries_total",
+            "engine_candidates_total",
+            "server_requests_total",
+            "server_bytes_sent_total",
+        ]:
+            assert family in snapshot, family
+
+    def test_server_request_counters_attribute_by_op(self, client):
+        client.query(build_paper_query())
+        client.query(build_paper_query())
+        snapshot = client.server_metrics(graph="paper")
+        by_op = {
+            value["labels"]["op"]: value["value"]
+            for value in snapshot["server_requests_total"]["values"]
+        }
+        assert by_op.get("query", 0) >= 2
+        bytes_sent = snapshot["server_bytes_sent_total"]["values"][0]["value"]
+        assert bytes_sent > 0
+
+    def test_stream_counter_increments(self, client):
+        before = client.server_metrics(graph="paper").get(
+            "server_streams_opened_total"
+        )
+        stream = client.stream(build_paper_query(), page_size=8)
+        list(stream)
+        stream.report()
+        after = client.server_metrics(graph="paper")["server_streams_opened_total"]
+        count = after["values"][0]["value"]
+        previous = before["values"][0]["value"] if before else 0
+        assert count == previous + 1
+
+    def test_prometheus_format_over_wire(self, client):
+        client.query(build_paper_query())
+        text = client.server_metrics(graph="paper", format="prometheus")
+        assert isinstance(text, str)
+        assert "# TYPE service_completed_total counter" in text
+        assert "service_completed_total" in text
+
+    def test_wal_families_for_durable_tenant(self, tmp_path):
+        with GraphServer(data_dir=str(tmp_path / "data")) as srv:
+            with GraphClient(*srv.address, timeout=60.0) as cli:
+                graph = build_paper_graph()
+                cli.create_graph(
+                    "durable", labels=graph.labels, edges=graph.edges(), switch=True
+                )
+                cli.ingest(labels=["A"], edges=[])
+                cli.checkpoint()
+                snapshot = cli.server_metrics()
+        for family in [
+            "wal_journal_entries_total",
+            "wal_checkpoints_total",
+        ]:
+            assert family in snapshot, family
+        journalled = snapshot["wal_journal_entries_total"]["values"][0]["value"]
+        assert journalled >= 1
+
+    def test_disabled_telemetry_tenant_raises(self, server):
+        db = GraphDB.from_edges(["A"], [], telemetry=None)
+        server.catalog.attach("dark", db, owned=True)
+        with GraphClient(*server.address, timeout=60.0, graph="dark") as cli:
+            with pytest.raises(StoreError):
+                cli.server_metrics()
+
+
+# ---------------------------------------------------------------------- #
+# slow-query log over the wire
+# ---------------------------------------------------------------------- #
+
+
+class TestSlowQueriesOp:
+    @pytest.fixture
+    def slow_client(self, server):
+        graph = build_paper_graph()
+        db = GraphDB.open(graph, telemetry=Telemetry(slow_query_seconds=0.0))
+        server.catalog.attach("slow", db, owned=True)
+        with GraphClient(*server.address, timeout=60.0, graph="slow") as cli:
+            yield cli
+
+    def test_entries_returned_oldest_first(self, slow_client):
+        slow_client.query(build_paper_query(), name="first")
+        slow_client.query(build_paper_query(), name="second")
+        entries = slow_client.slow_queries()
+        names = [entry["query"] for entry in entries]
+        assert names[-2:] == ["first", "second"]
+        for entry in entries:
+            assert entry["seconds"] >= 0.0
+            assert entry["engine"] == "GM"
+            assert entry["status"] == "ok"
+
+    def test_traced_entry_carries_span_tree(self, slow_client):
+        trace_id = new_trace_id()
+        slow_client.query(build_paper_query(), trace_id=trace_id)
+        entries = slow_client.slow_queries(limit=1)
+        assert len(entries) == 1
+        trace = entries[0]["trace"]
+        assert trace["trace_id"] == trace_id
+        assert any(span["name"] == "plan" for span in trace["spans"])
+
+    def test_limit(self, slow_client):
+        for index in range(4):
+            slow_client.query(build_paper_query(), name=f"q{index}")
+        assert len(slow_client.slow_queries(limit=2)) == 2
+
+    def test_empty_without_threshold(self, client):
+        client.query(build_paper_query())
+        assert client.slow_queries(graph="paper") == ()
