@@ -65,6 +65,9 @@ WAL_JSON_PATH = RESULTS_DIR / "BENCH_wal.json"
 #: Machine-readable trajectory of the telemetry-overhead benchmarks.
 OBS_JSON_PATH = RESULTS_DIR / "BENCH_obs.json"
 
+#: Machine-readable trajectory of the EXPLAIN ANALYZE benchmarks.
+EXPLAIN_JSON_PATH = RESULTS_DIR / "BENCH_explain.json"
+
 
 def _update_json(path: Path, section: str, payload: dict) -> Path:
     """Merge one benchmark's results into a sectioned JSON document.
@@ -117,6 +120,11 @@ def update_wal_json(section: str, payload: dict) -> Path:
 def update_obs_json(section: str, payload: dict) -> Path:
     """Merge one benchmark's results into ``results/BENCH_obs.json``."""
     return _update_json(OBS_JSON_PATH, section, payload)
+
+
+def update_explain_json(section: str, payload: dict) -> Path:
+    """Merge one benchmark's results into ``results/BENCH_explain.json``."""
+    return _update_json(EXPLAIN_JSON_PATH, section, payload)
 
 
 @pytest.fixture(scope="session")

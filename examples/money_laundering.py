@@ -66,8 +66,14 @@ def main() -> None:
     query = build_query()
     budget = Budget(max_matches=200)
 
-    gm_report = GraphMatcher(graph).match(query, budget=budget)
+    matcher = GraphMatcher(graph)
+    gm_report = matcher.match(query, budget=budget)
     tm_report = TMMatcher(graph).match(query, budget=budget)
+
+    # EXPLAIN ANALYZE: the plan GM ran, with estimate-vs-actual columns.
+    plan = matcher.explain(query, analyze=True, budget=budget)
+    print(plan.render())
+    print()
 
     print(f"data graph: {graph.num_nodes} nodes, {graph.num_edges} edges")
     print(f"GM found {gm_report.num_matches} suspicious patterns "

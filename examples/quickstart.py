@@ -109,7 +109,15 @@ def main() -> None:
     #    of each label that participate in at least one match.
     print(f"participating nodes per label: {db.histogram(pattern)}")
 
-    # 9. Serve the database over the network.  A GraphServer fronts a
+    # 9. EXPLAIN ANALYZE: what plan ran, and what each operator actually
+    #    did.  Plan-only explain (analyze=False) never enumerates; with
+    #    analyze=True the query executes with live per-operator counters,
+    #    and the root row count reconciles exactly with db.query()'s
+    #    occurrence count.  The same call exists on the remote client.
+    plan = db.explain(pattern, analyze=True)
+    print(f"\n{plan.render()}")
+
+    # 10. Serve the database over the network.  A GraphServer fronts a
     #    multi-tenant catalog of named GraphDBs (attach this one, or let
     #    clients create their own); the synchronous GraphClient mirrors
     #    the GraphDB API, so the calls below are the ones used above —
@@ -162,7 +170,7 @@ def main() -> None:
 
     db.close()
 
-    # 10. Durability: a server opened with data_dir journals every fold to
+    # 11. Durability: a server opened with data_dir journals every fold to
     #     a per-tenant write-ahead log (fsync'd *before* the fold is
     #     acknowledged) and snapshots on checkpoint().  Kill the process —
     #     even between journal and publish — and a restarted server over

@@ -88,6 +88,7 @@ from repro.service import (
     StreamingResult,
 )
 from repro.api import GraphDB
+from repro.explain import PlanOperator, QueryPlan, plan_digest
 from repro.obs import MetricsRegistry, SlowQueryLog, Telemetry, Tracer
 from repro.wal import DeltaLog, RecoveryReport, WalDurability
 from repro.server import GraphCatalog, GraphServer
@@ -160,6 +161,9 @@ __all__ = [
     "ServiceStats",
     "StreamingResult",
     "GraphDB",
+    "PlanOperator",
+    "QueryPlan",
+    "plan_digest",
     "MetricsRegistry",
     "SlowQueryLog",
     "Telemetry",

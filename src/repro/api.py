@@ -35,6 +35,7 @@ from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
 
 from repro.dynamic.delta import GraphDelta
 from repro.dynamic.maintenance import ApplyReport
+from repro.explain.plan import QueryPlan
 from repro.graph.digraph import DataGraph
 from repro.graph.io import load_graph_json, save_graph_json
 from repro.matching.result import Budget, MatchReport, jsonable
@@ -350,6 +351,30 @@ class GraphDB:
         with self.store.pin() as snapshot:
             return snapshot.histogram(
                 self._as_query(query, name), node=node, engine=engine, budget=budget
+            )
+
+    def explain(
+        self,
+        query: QueryLike,
+        engine: str = "GM",
+        analyze: bool = False,
+        budget: Optional[Budget] = None,
+        name: Optional[str] = None,
+    ) -> QueryPlan:
+        """EXPLAIN (or, with ``analyze=True``, EXPLAIN ANALYZE) a query.
+
+        ``analyze=False`` plans without executing: the returned
+        :class:`~repro.explain.QueryPlan` carries the ordering strategy,
+        the chosen vertex order, per-step candidate estimates and which
+        cached artifacts the plan consults.  ``analyze=True`` executes the
+        query (under ``budget``) with per-operator counters; the plan's
+        root actual row count equals the occurrence count a plain
+        :meth:`query` would report.  ``plan.render()`` produces the
+        deterministic text tree; ``plan.to_dict()`` the JSON form.
+        """
+        with self.store.pin() as snapshot:
+            return snapshot.explain(
+                self._as_query(query, name), engine=engine, analyze=analyze, budget=budget
             )
 
     def run_batch(self, queries, **kwargs) -> ServiceBatchReport:

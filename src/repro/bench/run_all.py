@@ -41,8 +41,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         report = driver(**kwargs)
         elapsed = time.perf_counter() - start
         section = report.text() + f"\n  (driver wall-clock: {elapsed:.1f}s)"
-        print(section)
-        print()
+        sys.stdout.write(section + "\n\n")
         sections.append(section)
 
     if args.output:

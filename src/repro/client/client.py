@@ -4,7 +4,8 @@ A :class:`GraphClient` speaks the frame protocol of
 :mod:`repro.server.protocol` over one blocking socket and exposes the same
 method surface as :class:`~repro.api.GraphDB` — ``ingest`` / ``apply`` /
 ``apply_async`` / ``query`` / ``stream`` / ``count`` / ``histogram`` /
-``run_batch`` / ``pin`` / ``stats`` / ``save`` — plus the catalog's tenant
+``explain`` / ``run_batch`` / ``pin`` / ``stats`` / ``save`` — plus the
+catalog's tenant
 lifecycle (``create_graph`` / ``drop_graph`` / ``graphs``).  Existing
 facade callers switch transports without code changes::
 
@@ -47,6 +48,7 @@ from repro.api import decode_apply_report, decode_batch_report
 from repro.dynamic.delta import GraphDelta
 from repro.dynamic.maintenance import ApplyReport
 from repro.exceptions import ProtocolError, StoreError
+from repro.explain.plan import QueryPlan
 from repro.matching.result import Budget, MatchReport
 from repro.matching.stream import decode_page
 from repro.query.pattern import PatternQuery
@@ -119,6 +121,10 @@ class RemoteSnapshot:
     def count(self, query: QueryLike, **kwargs) -> int:
         """Occurrence count at the pinned version (counting drain)."""
         return self._client.count(query, graph=self._graph, pin=self.token, **kwargs)
+
+    def explain(self, query: QueryLike, **kwargs) -> QueryPlan:
+        """EXPLAIN (or EXPLAIN ANALYZE) one query at the pinned version."""
+        return self._client.explain(query, graph=self._graph, pin=self.token, **kwargs)
 
     def histogram(self, query: QueryLike, **kwargs) -> Dict[str, int]:
         """Per-label participating-node histogram at the pinned version."""
@@ -628,6 +634,37 @@ class GraphClient:
             pin=pin,
         )
         return int(payload["count"])
+
+    def explain(
+        self,
+        query: QueryLike,
+        engine: Optional[str] = None,
+        analyze: bool = False,
+        budget: Optional[Budget] = None,
+        timeout: Optional[float] = None,
+        graph: Optional[str] = None,
+        pin: Optional[str] = None,
+    ) -> "QueryPlan":
+        """EXPLAIN (plan-only) or EXPLAIN ANALYZE one query server-side.
+
+        The server plans — and with ``analyze=True`` executes — the query
+        against the tenant's head (or the pinned version when ``pin`` is
+        given) and returns the resulting
+        :class:`~repro.explain.QueryPlan`, rendering identically to a
+        local :meth:`GraphDB.explain` (``plan.render()`` /
+        ``plan.to_dict()``).
+        """
+        payload = self._request(
+            "explain",
+            timeout=timeout,
+            graph=self._graph_name(graph),
+            query=_encode_query(query),
+            engine=engine,
+            analyze=analyze or None,
+            budget=budget.to_wire() if budget is not None else None,
+            pin=pin,
+        )
+        return QueryPlan.from_wire(payload["plan"])
 
     def histogram(
         self,

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.exceptions import EngineError, StaleIndexError
+from repro.explain.plan import PlanOperator, QueryPlan
 from repro.graph.digraph import DataGraph
 from repro.matching.result import Budget, MatchReport
 from repro.matching.stream import MatchStream
@@ -122,7 +123,7 @@ class Engine(ABC):
         """Per-engine precomputation (catalogs, indexes).  Default: none."""
 
     def _iter_evaluate(
-        self, graph: DataGraph, query: PatternQuery, budget: Budget
+        self, graph: DataGraph, query: PatternQuery, budget: Budget, profile=None
     ) -> Iterator[Tuple[int, ...]]:
         """Lazily enumerate occurrences of a child-only query on ``graph``.
 
@@ -132,6 +133,14 @@ class Engine(ABC):
         ``budget.max_matches`` themselves — the :meth:`iter_matches`
         driver stops the generator at the cap, which also makes
         first-``k`` prefixes identical to a capped eager run.
+
+        ``profile`` (EXPLAIN ANALYZE only) is a mutable dict the engine
+        fills with per-operator counters: ``profile["operators"]`` must be
+        a list of actual-counter dicts aligned with the children of the
+        plan :meth:`_describe_plan` produces, flushed in a ``finally``
+        block so an abandoned (first-``k``) run still records its work.
+        Overrides that predate profiling are still called without the
+        keyword (see :meth:`_call_iter_evaluate`).
 
         The default implementation adapts a legacy blocking
         :meth:`_evaluate` override (materialise, then replay); that path
@@ -167,6 +176,23 @@ class Engine(ABC):
             if clock.check_matches(len(occurrences)):
                 break
         return occurrences
+
+    def _call_iter_evaluate(
+        self, graph: DataGraph, query: PatternQuery, budget: Budget, profile=None
+    ) -> Iterator[Tuple[int, ...]]:
+        """Invoke :meth:`_iter_evaluate`, tolerating pre-profiling overrides.
+
+        Third-party subclasses registered before the ``profile`` keyword
+        existed are called with the original three-argument shape (a
+        generator function raises ``TypeError`` at call time, before any
+        iteration, so the fallback is safe).
+        """
+        if profile is None:
+            return self._iter_evaluate(graph, query, budget)
+        try:
+            return self._iter_evaluate(graph, query, budget, profile=profile)
+        except TypeError:
+            return self._iter_evaluate(graph, query, budget)
 
     # ------------------------------------------------------------------ #
     # public API
@@ -223,7 +249,7 @@ class Engine(ABC):
         return self._expanded_graph, query.with_edges(rewritten_edges, name=query.name)
 
     def iter_matches(
-        self, query: PatternQuery, budget: Optional[Budget] = None
+        self, query: PatternQuery, budget: Optional[Budget] = None, profile=None
     ) -> Iterator[Tuple[int, ...]]:
         """Lazily enumerate occurrences of ``query`` (the streaming primitive).
 
@@ -236,6 +262,13 @@ class Engine(ABC):
         exhausted mid-enumeration.  Closing the generator (or breaking out
         of a ``for`` loop that owns it) stops the search immediately.
 
+        ``profile`` (EXPLAIN ANALYZE) threads the per-operator counter dict
+        through to :meth:`_iter_evaluate`; the driver itself records the
+        rows it yielded as ``profile["root_rows"]`` in a ``finally`` block,
+        so the root operator's actual count reconciles exactly with the
+        report's ``num_matches`` even when the match cap or the consumer
+        truncates the stream.
+
         Wrap with :meth:`match_stream` for exception-free consumption with
         running counters and report finalisation.
         """
@@ -243,12 +276,16 @@ class Engine(ABC):
         graph, rewritten = self._graph_for(query)
         clock = budget.start_clock()
         count = 0
-        for occurrence in self._iter_evaluate(graph, rewritten, budget):
-            clock.check_time()
-            yield occurrence
-            count += 1
-            if clock.check_matches(count):
-                return
+        try:
+            for occurrence in self._call_iter_evaluate(graph, rewritten, budget, profile):
+                clock.check_time()
+                yield occurrence
+                count += 1
+                if clock.check_matches(count):
+                    return
+        finally:
+            if profile is not None:
+                profile["root_rows"] = count
 
     def match_stream(
         self,
@@ -310,3 +347,76 @@ class Engine(ABC):
         for _ in stream:
             pass
         return stream.num_yielded
+
+    # ------------------------------------------------------------------ #
+    # EXPLAIN / EXPLAIN ANALYZE
+    # ------------------------------------------------------------------ #
+
+    def _describe_plan(self, graph: DataGraph, query: PatternQuery) -> QueryPlan:
+        """The engine's operator tree for ``query`` (plan-only skeleton).
+
+        The default is a single opaque evaluate operator; engines with a
+        real planner override this to expose their operator pipeline with
+        per-operator cardinality estimates.  The children must be listed in
+        the same order as the actual-counter dicts the engine's
+        :meth:`_iter_evaluate` flushes into ``profile["operators"]``.
+        """
+        return QueryPlan(
+            query=query.name or "query",
+            engine=self.name,
+            analyze=False,
+            root=PlanOperator(op="evaluate", label=f"Evaluate [{self.name}]"),
+        )
+
+    def explain(
+        self,
+        query: PatternQuery,
+        analyze: bool = False,
+        budget: Optional[Budget] = None,
+    ) -> QueryPlan:
+        """The engine's :class:`QueryPlan` for ``query``.
+
+        Plan-only mode never enumerates (it runs only the engine's planner
+        over precomputed statistics).  ``analyze=True`` executes the query
+        under ``budget`` with per-operator counters threaded through
+        :meth:`iter_matches` and attaches the actuals; the root operator's
+        actual row count equals the ``num_matches`` of the run's
+        :class:`MatchReport`.
+        """
+        budget = budget or self.budget
+        graph, rewritten = self._graph_for(query)
+        plan = self._describe_plan(graph, rewritten)
+        plan.query = query.name or "query"
+        plan.analyze = analyze
+        expanded = graph is not self.graph
+        plan.artifacts.setdefault("expanded_graph", expanded)
+        if expanded:
+            plan.artifacts.setdefault("descendant_mode", self.descendant_mode)
+        if not analyze:
+            return plan
+        profile: Dict[str, object] = {}
+        info: Dict[str, object] = {
+            "extra": {"precompute_seconds": self._precompute_seconds}
+        }
+        stream = MatchStream(
+            self.iter_matches(query, budget=budget, profile=profile),
+            query_name=query.name,
+            algorithm=self.name,
+            budget=budget,
+            info=info,
+            keep_occurrences=False,
+        )
+        for _ in stream:
+            pass
+        report = stream.report()
+        operators = profile.get("operators") or []
+        for child, actual in zip(plan.root.children, operators):
+            child.actual = dict(actual)
+        plan.root.actual = {"rows": profile.get("root_rows", report.num_matches)}
+        plan.execution = {
+            "status": report.status.value,
+            "rows": report.num_matches,
+            "matching_seconds": report.matching_seconds,
+            "enumeration_seconds": report.enumeration_seconds,
+        }
+        return plan

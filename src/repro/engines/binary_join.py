@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.explain.plan import PlanOperator, QueryPlan
 from repro.graph.digraph import DataGraph
 from repro.matching.result import Budget
 from repro.query.pattern import PatternEdge, PatternQuery
@@ -55,8 +56,64 @@ class BinaryJoinEngine(Engine):
         self._plan_cache[cache_key] = (anchor, plan)
         return anchor, plan
 
+    def _describe_plan(self, graph: DataGraph, query: PatternQuery) -> QueryPlan:
+        anchor, plan = self._plan(graph, query)
+        children = [
+            PlanOperator(
+                op="scan",
+                label=f"scan u{anchor} [{query.label(anchor)}]",
+                estimate=len(graph.inverted_list(query.label(anchor))),
+                details={"node": anchor},
+            )
+        ]
+        bound = {anchor}
+        vertex_order = [anchor]
+        for edge in plan:
+            source, target = edge.endpoints()
+            if source in bound and target in bound:
+                children.append(
+                    PlanOperator(
+                        op="filter",
+                        label=f"filter {edge!r}",
+                        details={"edge": repr(edge)},
+                    )
+                )
+            elif source in bound:
+                children.append(
+                    PlanOperator(
+                        op="expand",
+                        label=f"expand {edge!r} (forward)",
+                        estimate=len(graph.inverted_list(query.label(target))),
+                        details={"edge": repr(edge), "direction": "forward"},
+                    )
+                )
+                vertex_order.append(target)
+            else:
+                children.append(
+                    PlanOperator(
+                        op="expand",
+                        label=f"expand {edge!r} (backward)",
+                        estimate=len(graph.inverted_list(query.label(source))),
+                        details={"edge": repr(edge), "direction": "backward"},
+                    )
+                )
+                vertex_order.append(source)
+            bound.update(edge.endpoints())
+        root = PlanOperator(
+            op="project_dedup",
+            label=f"Project+Dedup [{self.name}]",
+            children=children,
+        )
+        return QueryPlan(
+            query=query.name or "query",
+            engine=self.name,
+            analyze=False,
+            root=root,
+            vertex_order=vertex_order,
+        )
+
     def _iter_evaluate(
-        self, graph: DataGraph, query: PatternQuery, budget: Budget
+        self, graph: DataGraph, query: PatternQuery, budget: Budget, profile=None
     ) -> Iterator[Tuple[int, ...]]:
         """Expand-and-filter pipeline with a streaming projection tail.
 
@@ -69,12 +126,17 @@ class BinaryJoinEngine(Engine):
         """
         clock = budget.start_clock()
         anchor, plan = self._plan(graph, query)
+        # EXPLAIN ANALYZE: one actual-counter dict per pipeline operator
+        # (scan + one per plan edge), aligned with _describe_plan's children.
+        operators: Optional[List[Dict[str, int]]] = [] if profile is not None else None
 
         bound: List[int] = [anchor]
         bindings: List[Tuple[int, ...]] = [
             (node,) for node in graph.inverted_list(query.label(anchor))
         ]
         clock.check_intermediate(len(bindings))
+        if operators is not None:
+            operators.append({"rows": len(bindings)})
 
         for edge in plan:
             clock.check_time()
@@ -110,15 +172,26 @@ class BinaryJoinEngine(Engine):
                         if graph.label(parent) == source_label:
                             next_bindings.append(row + (parent,))
                             clock.check_intermediate(len(next_bindings))
+            if operators is not None:
+                operators.append(
+                    {"rows": len(next_bindings), "input_rows": len(bindings)}
+                )
             bindings = next_bindings
             if not bindings:
                 break
 
-        seen = set()
-        position_of: Dict[int, int] = {node: index for index, node in enumerate(bound)}
-        for row in bindings:
-            occurrence = tuple(row[position_of[node]] for node in query.nodes())
-            if occurrence in seen:
-                continue
-            seen.add(occurrence)
-            yield occurrence
+        try:
+            seen = set()
+            position_of: Dict[int, int] = {node: index for index, node in enumerate(bound)}
+            for row in bindings:
+                occurrence = tuple(row[position_of[node]] for node in query.nodes())
+                if occurrence in seen:
+                    continue
+                seen.add(occurrence)
+                yield occurrence
+        finally:
+            if operators is not None:
+                # Edges skipped by an empty intermediate table produced 0 rows.
+                while len(operators) < 1 + len(plan):
+                    operators.append({"rows": 0})
+                profile["operators"] = operators

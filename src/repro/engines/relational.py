@@ -17,9 +17,10 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.explain.plan import PlanOperator, QueryPlan
 from repro.graph.digraph import DataGraph
 from repro.matching.result import Budget
-from repro.query.pattern import PatternQuery
+from repro.query.pattern import PatternEdge, PatternQuery
 from repro.engines.base import Engine
 
 
@@ -74,24 +75,15 @@ class RelationalEngine(Engine):
             if graph.label(u) == key[0] and graph.label(v) == key[1]
         ]
 
-    def _iter_evaluate(
-        self, graph: DataGraph, query: PatternQuery, budget: Budget
-    ) -> Iterator[Tuple[int, ...]]:
-        """Hash-join pipeline with a streaming projection tail.
+    def _join_plan(
+        self, graph: DataGraph, query: PatternQuery
+    ) -> Tuple[List[PatternEdge], Dict[Tuple[int, int], int]]:
+        """Connected join order, smallest relation first, with relation sizes.
 
-        Like the binary-join engine, the hash joins materialise every
-        intermediate relation (EH's measured cost profile), so only the
-        final projection/dedup pass streams — but the whole pipeline is
-        deferred until the first occurrence is requested, and abandoning
-        the iterator skips the un-projected remainder.
+        Shared by the evaluator and EXPLAIN so the introspected plan is by
+        construction the executed one.
         """
-        clock = budget.start_clock()
         edges = list(query.edges())
-        if not edges:
-            yield from ((node,) for node in graph.inverted_list(query.label(0)))
-            return
-
-        # Connected join order, smallest relation first.
         sizes = {
             edge.endpoints(): len(self._edge_relation(graph, query, *edge.endpoints()))
             for edge in edges
@@ -106,6 +98,91 @@ class RelationalEngine(Engine):
             plan.append(chosen)
             covered.update(chosen.endpoints())
             remaining.remove(chosen)
+        return plan, sizes
+
+    def _describe_plan(self, graph: DataGraph, query: PatternQuery) -> QueryPlan:
+        if not query.edges():
+            root = PlanOperator(
+                op="project_dedup",
+                label=f"Project+Dedup [{self.name}]",
+                children=[
+                    PlanOperator(
+                        op="scan",
+                        label=f"scan u0 [{query.label(0)}]",
+                        estimate=len(graph.inverted_list(query.label(0))),
+                        details={"node": 0},
+                    )
+                ],
+            )
+            return QueryPlan(
+                query=query.name or "query",
+                engine=self.name,
+                analyze=False,
+                root=root,
+                vertex_order=list(query.nodes()),
+                artifacts={"partitions": graph is self.graph},
+            )
+        plan, sizes = self._join_plan(graph, query)
+        first = plan[0]
+        children = [
+            PlanOperator(
+                op="relation_scan",
+                label=f"relation scan {first!r}",
+                estimate=sizes[first.endpoints()],
+                details={"edge": repr(first)},
+            )
+        ]
+        bound = list(first.endpoints())
+        for edge in plan[1:]:
+            source, target = edge.endpoints()
+            if source not in bound:
+                bound.append(source)
+            if target not in bound:
+                bound.append(target)
+            children.append(
+                PlanOperator(
+                    op="hash_join",
+                    label=f"hash join {edge!r}",
+                    estimate=sizes[edge.endpoints()],
+                    details={"edge": repr(edge)},
+                )
+            )
+        root = PlanOperator(
+            op="project_dedup",
+            label=f"Project+Dedup [{self.name}]",
+            children=children,
+        )
+        return QueryPlan(
+            query=query.name or "query",
+            engine=self.name,
+            analyze=False,
+            root=root,
+            vertex_order=bound,
+            artifacts={"partitions": graph is self.graph},
+        )
+
+    def _iter_evaluate(
+        self, graph: DataGraph, query: PatternQuery, budget: Budget, profile=None
+    ) -> Iterator[Tuple[int, ...]]:
+        """Hash-join pipeline with a streaming projection tail.
+
+        Like the binary-join engine, the hash joins materialise every
+        intermediate relation (EH's measured cost profile), so only the
+        final projection/dedup pass streams — but the whole pipeline is
+        deferred until the first occurrence is requested, and abandoning
+        the iterator skips the un-projected remainder.
+        """
+        clock = budget.start_clock()
+        edges = list(query.edges())
+        if not edges:
+            nodes = graph.inverted_list(query.label(0))
+            if profile is not None:
+                profile["operators"] = [{"rows": len(nodes)}]
+            yield from ((node,) for node in nodes)
+            return
+
+        plan, _ = self._join_plan(graph, query)
+        operators: Optional[List[Dict[str, int]]] = [] if profile is not None else None
 
         first = plan[0]
         bound: List[int] = list(first.endpoints())
@@ -113,6 +190,8 @@ class RelationalEngine(Engine):
             tuple(pair) for pair in self._edge_relation(graph, query, *first.endpoints())
         ]
         clock.check_intermediate(len(rows))
+        if operators is not None:
+            operators.append({"rows": len(rows)})
 
         for edge in plan[1:]:
             clock.check_time()
@@ -159,15 +238,30 @@ class RelationalEngine(Engine):
                     for tail, head in relation:
                         next_rows.append(row + (tail, head))
                         clock.check_intermediate(len(next_rows))
+            if operators is not None:
+                operators.append(
+                    {
+                        "rows": len(next_rows),
+                        "input_rows": len(rows),
+                        "relation_rows": len(relation),
+                    }
+                )
             rows = next_rows
             if not rows:
                 break
 
-        seen = set()
-        position_of = {node: index for index, node in enumerate(bound)}
-        for row in rows:
-            occurrence = tuple(row[position_of[node]] for node in query.nodes())
-            if occurrence in seen:
-                continue
-            seen.add(occurrence)
-            yield occurrence
+        try:
+            seen = set()
+            position_of = {node: index for index, node in enumerate(bound)}
+            for row in rows:
+                occurrence = tuple(row[position_of[node]] for node in query.nodes())
+                if occurrence in seen:
+                    continue
+                seen.add(occurrence)
+                yield occurrence
+        finally:
+            if operators is not None:
+                # Joins skipped by an empty intermediate relation made 0 rows.
+                while len(operators) < len(plan):
+                    operators.append({"rows": 0})
+                profile["operators"] = operators

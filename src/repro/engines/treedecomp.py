@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
+from repro.explain.plan import PlanOperator, QueryPlan
 from repro.graph.digraph import DataGraph
 from repro.matching.result import Budget
 from repro.query.pattern import PatternEdge, PatternQuery
@@ -119,11 +120,55 @@ class TreeDecompEngine(Engine):
         return order
 
     # ------------------------------------------------------------------ #
+    # EXPLAIN
+    # ------------------------------------------------------------------ #
+
+    def _describe_plan(self, graph: DataGraph, query: PatternQuery) -> QueryPlan:
+        # The plan phase runs the tree filter (RM's matching phase) so the
+        # per-step estimates are the filtered candidate-set sizes the real
+        # execution would enumerate over — enumeration itself never runs.
+        clock = self.budget.start_clock()
+        candidates = self._filter_candidates(graph, query, clock)
+        order = self._order(query, candidates)
+        tree = self._spanning_tree(query)
+        children = [
+            PlanOperator(
+                op="tree_filter",
+                label=f"tree filter ({len(tree)} tree edges)",
+                estimate=sum(
+                    len(graph.inverted_list(query.label(node))) for node in query.nodes()
+                ),
+                details={"tree": [repr(edge) for edge in tree]},
+            )
+        ]
+        children.extend(
+            PlanOperator(
+                op="wco_extend",
+                label=f"wco extend u{node} [{query.label(node)}]",
+                estimate=len(candidates[node]),
+                details={"position": position, "node": node},
+            )
+            for position, node in enumerate(order)
+        )
+        root = PlanOperator(
+            op="tree_wcoj",
+            label=f"TreeFilter+WCOJoin [{self.name}]",
+            children=children,
+        )
+        return QueryPlan(
+            query=query.name or "query",
+            engine=self.name,
+            analyze=False,
+            root=root,
+            vertex_order=order,
+        )
+
+    # ------------------------------------------------------------------ #
     # evaluation
     # ------------------------------------------------------------------ #
 
     def _iter_evaluate(
-        self, graph: DataGraph, query: PatternQuery, budget: Budget
+        self, graph: DataGraph, query: PatternQuery, budget: Budget, profile=None
     ) -> Iterator[Tuple[int, ...]]:
         """Tree-filter, then enumerate lazily.
 
@@ -134,10 +179,22 @@ class TreeDecompEngine(Engine):
         """
         clock = budget.start_clock()
         candidates = self._filter_candidates(graph, query, clock)
+        n = query.num_nodes
+        filtered_total = sum(len(values) for values in candidates.values())
+        # EXPLAIN ANALYZE: per-position [candidates, intersections, rows].
+        slots = [[0, 0, 0] for _ in range(n)] if profile is not None else None
+
+        def flush() -> None:
+            if profile is not None:
+                profile["operators"] = [{"rows": filtered_total}] + [
+                    {"rows": rows, "candidates": produced, "intersections": intersections}
+                    for produced, intersections, rows in slots
+                ]
+
         if any(not candidate_set for candidate_set in candidates.values()):
+            flush()
             return
         order = self._order(query, candidates)
-        n = query.num_nodes
         assignment: List[Optional[int]] = [None] * n
 
         def local_candidates(position: int) -> List[int]:
@@ -150,13 +207,19 @@ class TreeDecompEngine(Engine):
                 if query.has_edge(node, earlier):
                     operands.append(graph.predecessor_set(value) & candidates[node])
             if not operands:
-                return list(candidates[node])
+                local = list(candidates[node])
+                if slots is not None:
+                    slots[position][0] += len(local)
+                return local
             operands.sort(key=len)
             result = operands[0]
             for operand in operands[1:]:
                 result = result & operand
                 if not result:
                     break
+            if slots is not None:
+                slots[position][0] += len(result)
+                slots[position][1] += len(operands)
             return list(result)
 
         def extend(position: int) -> Iterator[Tuple[int, ...]]:
@@ -167,7 +230,12 @@ class TreeDecompEngine(Engine):
             node = order[position]
             for value in local_candidates(position):
                 assignment[node] = value
+                if slots is not None:
+                    slots[position][2] += 1
                 yield from extend(position + 1)
                 assignment[node] = None
 
-        yield from extend(0)
+        try:
+            yield from extend(0)
+        finally:
+            flush()

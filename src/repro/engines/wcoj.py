@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.exceptions import MemoryBudgetExceeded
+from repro.explain.plan import PlanOperator, QueryPlan
 from repro.graph.digraph import DataGraph
 from repro.matching.result import Budget
 from repro.query.pattern import PatternQuery
@@ -219,11 +220,57 @@ class WCOJEngine(Engine):
         return order
 
     # ------------------------------------------------------------------ #
+    # EXPLAIN
+    # ------------------------------------------------------------------ #
+
+    def _step_estimate(self, graph: DataGraph, query: PatternQuery, node: int) -> int:
+        """Catalog-based candidate estimate for one extension step."""
+        cardinality = len(graph.inverted_list(query.label(node)))
+        estimates = [
+            self.catalog.edge_cardinality(query.label(node), query.label(child))
+            for child in query.children(node)
+        ] + [
+            self.catalog.edge_cardinality(query.label(parent), query.label(node))
+            for parent in query.parents(node)
+        ]
+        return min(estimates) if estimates else cardinality
+
+    def _describe_plan(self, graph: DataGraph, query: PatternQuery) -> QueryPlan:
+        order = self._order(graph, query)
+        children = [
+            PlanOperator(
+                op="wco_extend",
+                label=f"wco extend u{node} [{query.label(node)}]",
+                estimate=self._step_estimate(graph, query, node),
+                details={"position": position, "node": node},
+            )
+            for position, node in enumerate(order)
+        ]
+        root = PlanOperator(
+            op="wcoj",
+            label=f"WCOJoin [{self.name}]",
+            children=children,
+            details={"catalog_entries": len(self.catalog.path_counts)},
+        )
+        return QueryPlan(
+            query=query.name or "query",
+            engine=self.name,
+            analyze=False,
+            root=root,
+            vertex_order=order,
+            artifacts={
+                "catalog": True,
+                "catalog_build_seconds": self.catalog.build_seconds,
+                "catalog_truncated": self.catalog.truncated,
+            },
+        )
+
+    # ------------------------------------------------------------------ #
     # evaluation
     # ------------------------------------------------------------------ #
 
     def _iter_evaluate(
-        self, graph: DataGraph, query: PatternQuery, budget: Budget
+        self, graph: DataGraph, query: PatternQuery, budget: Budget, profile=None
     ) -> Iterator[Tuple[int, ...]]:
         """Node-at-a-time WCO join as a lazy generator.
 
@@ -237,6 +284,8 @@ class WCOJEngine(Engine):
         n = query.num_nodes
         assignment: List[Optional[int]] = [None] * n
         label_sets = {node: graph.inverted_set(query.label(node)) for node in query.nodes()}
+        # EXPLAIN ANALYZE: per-position [candidates, intersections, rows].
+        slots = [[0, 0, 0] for _ in range(n)] if profile is not None else None
 
         def candidates(position: int) -> List[int]:
             node = order[position]
@@ -248,13 +297,19 @@ class WCOJEngine(Engine):
                 if query.has_edge(node, earlier):
                     operands.append(graph.predecessor_set(value) & label_sets[node])
             if not operands:
-                return list(label_sets[node])
+                local = list(label_sets[node])
+                if slots is not None:
+                    slots[position][0] += len(local)
+                return local
             operands.sort(key=len)
             result = operands[0]
             for operand in operands[1:]:
                 result = result & operand
                 if not result:
                     break
+            if slots is not None:
+                slots[position][0] += len(result)
+                slots[position][1] += len(operands)
             return list(result)
 
         def extend(position: int) -> Iterator[Tuple[int, ...]]:
@@ -265,7 +320,16 @@ class WCOJEngine(Engine):
             node = order[position]
             for value in candidates(position):
                 assignment[node] = value
+                if slots is not None:
+                    slots[position][2] += 1
                 yield from extend(position + 1)
                 assignment[node] = None
 
-        yield from extend(0)
+        try:
+            yield from extend(0)
+        finally:
+            if profile is not None:
+                profile["operators"] = [
+                    {"rows": rows, "candidates": produced, "intersections": intersections}
+                    for produced, intersections, rows in slots
+                ]

@@ -1,0 +1,13 @@
+"""EXPLAIN / EXPLAIN ANALYZE: query-plan introspection and profiling.
+
+The plan document lives here (:class:`QueryPlan`, :class:`PlanOperator`,
+:func:`plan_digest`); the builders live with the code they introspect —
+:meth:`repro.matching.gm.GraphMatcher.explain` for the GM pipeline,
+:meth:`repro.engines.base.Engine.explain` for the alternative engines, and
+:meth:`repro.session.QuerySession.explain` /
+:meth:`repro.api.GraphDB.explain` as the cache-aware entry points.
+"""
+
+from repro.explain.plan import PlanOperator, QueryPlan, plan_digest
+
+__all__ = ["PlanOperator", "QueryPlan", "plan_digest"]

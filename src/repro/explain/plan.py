@@ -1,0 +1,238 @@
+"""The EXPLAIN plan document: operators, estimates, actuals, renderer.
+
+A :class:`QueryPlan` is the structured answer to "what will (or did) this
+query do?".  It is produced in two modes:
+
+* **EXPLAIN** (``analyze=False``) — plan only, nothing executes.  The plan
+  captures the chosen ordering strategy and vertex order, per-operator
+  cardinality *estimates* (RIG candidate-set sizes, catalog statistics,
+  edge-partition sizes — whatever the engine's own planner consulted), and
+  which shared artifacts (reachability index, expanded graph, catalog,
+  partitions) each step will use.
+* **EXPLAIN ANALYZE** (``analyze=True``) — the query runs with lightweight
+  per-operator counters threaded through the enumeration loops, and every
+  operator additionally carries *actuals*: rows emitted, candidates
+  examined, intersections performed.  The root operator's actual row count
+  reconciles exactly with the :class:`~repro.matching.result.MatchReport`
+  the same execution would have produced.
+
+The document round-trips losslessly through JSON (:meth:`QueryPlan.to_wire`
+/ :meth:`QueryPlan.from_wire` — that is what the ``explain`` wire op
+ships), and renders deterministically as a pg-style indented tree with
+estimate-vs-actual columns (:meth:`QueryPlan.render`).
+
+Plans are identified by a :meth:`QueryPlan.digest` — a stable hash over the
+plan *shape* (engine, ordering strategy, vertex order), not over data-
+dependent estimates.  The GM matcher stamps the same digest into
+``report.extra["plan_digest"]`` at execution time, so a slow-query-log
+entry can be joined against an analyzed plan after the fact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+def plan_digest(engine: str, ordering: Optional[str], order: Optional[Sequence[int]]) -> str:
+    """A stable 12-hex-char digest of a plan's identity.
+
+    The identity is the *choice* the planner made — engine, ordering
+    strategy, vertex order — not the data-dependent cardinality estimates,
+    so the digest of a query's plan is stable across graph versions that
+    do not change the chosen plan.
+    """
+    canonical = json.dumps(
+        {
+            "engine": engine,
+            "ordering": ordering,
+            "order": list(order) if order is not None else None,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+
+
+@dataclass
+class PlanOperator:
+    """One node of the operator tree.
+
+    ``op`` is the machine-readable operator kind (see the glossary in
+    ``docs/architecture.md``); ``label`` the human-readable variant shown
+    by :meth:`QueryPlan.render`.  ``estimate`` is the planner's row/
+    candidate cardinality estimate (``None`` when the planner has no
+    statistic for this operator); ``actual`` holds the ANALYZE counters
+    (empty in plan-only mode).
+    """
+
+    op: str
+    label: str
+    estimate: Optional[int] = None
+    details: Dict[str, object] = field(default_factory=dict)
+    children: List["PlanOperator"] = field(default_factory=list)
+    actual: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        document: Dict[str, object] = {"op": self.op, "label": self.label}
+        if self.estimate is not None:
+            document["estimate"] = self.estimate
+        if self.details:
+            document["details"] = dict(self.details)
+        if self.actual:
+            document["actual"] = dict(self.actual)
+        if self.children:
+            document["children"] = [child.to_dict() for child in self.children]
+        return document
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "PlanOperator":
+        return cls(
+            op=str(payload["op"]),
+            label=str(payload["label"]),
+            estimate=payload.get("estimate"),  # type: ignore[arg-type]
+            details=dict(payload.get("details") or {}),  # type: ignore[arg-type]
+            children=[
+                cls.from_dict(child) for child in payload.get("children") or ()  # type: ignore[union-attr]
+            ],
+            actual=dict(payload.get("actual") or {}),  # type: ignore[arg-type]
+        )
+
+    def walk(self):
+        """Pre-order iteration over this operator and its descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+@dataclass
+class QueryPlan:
+    """The full EXPLAIN document for one query on one engine."""
+
+    query: str
+    engine: str
+    analyze: bool
+    root: PlanOperator
+    ordering: Optional[str] = None
+    vertex_order: Optional[List[int]] = None
+    artifacts: Dict[str, object] = field(default_factory=dict)
+    execution: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # identity
+    # ------------------------------------------------------------------ #
+
+    def digest(self) -> str:
+        """Stable plan-shape digest (joins slow-log entries to plans)."""
+        return plan_digest(self.engine, self.ordering, self.vertex_order)
+
+    # ------------------------------------------------------------------ #
+    # JSON codec (also the wire form)
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, object]:
+        document: Dict[str, object] = {
+            "query": self.query,
+            "engine": self.engine,
+            "analyze": self.analyze,
+            "digest": self.digest(),
+            "root": self.root.to_dict(),
+        }
+        if self.ordering is not None:
+            document["ordering"] = self.ordering
+        if self.vertex_order is not None:
+            document["vertex_order"] = list(self.vertex_order)
+        if self.artifacts:
+            document["artifacts"] = dict(self.artifacts)
+        if self.execution:
+            document["execution"] = dict(self.execution)
+        return document
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "QueryPlan":
+        vertex_order = payload.get("vertex_order")
+        return cls(
+            query=str(payload["query"]),
+            engine=str(payload["engine"]),
+            analyze=bool(payload.get("analyze", False)),
+            root=PlanOperator.from_dict(payload["root"]),  # type: ignore[arg-type]
+            ordering=payload.get("ordering"),  # type: ignore[arg-type]
+            vertex_order=list(vertex_order) if vertex_order is not None else None,  # type: ignore[arg-type]
+            artifacts=dict(payload.get("artifacts") or {}),  # type: ignore[arg-type]
+            execution=dict(payload.get("execution") or {}),  # type: ignore[arg-type]
+        )
+
+    def to_wire(self) -> Dict[str, object]:
+        """The frame payload of the ``explain`` wire op."""
+        return self.to_dict()
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, object]) -> "QueryPlan":
+        return cls.from_dict(payload)
+
+    # ------------------------------------------------------------------ #
+    # rendering
+    # ------------------------------------------------------------------ #
+
+    def render(self) -> str:
+        """Deterministic pg-style indented tree with est-vs-actual columns.
+
+        The output depends only on the plan document (no timestamps, no
+        hashes beyond the digest, stable key order), so golden tests can
+        compare it verbatim.
+        """
+        mode = "EXPLAIN ANALYZE" if self.analyze else "EXPLAIN"
+        header = f"{mode}  query={self.query}  engine={self.engine}"
+        if self.ordering is not None:
+            header += f"  ordering={self.ordering}"
+        header += f"  digest={self.digest()}"
+        lines = [header]
+        if self.vertex_order is not None:
+            lines.append(
+                "  vertex order: " + " -> ".join(str(node) for node in self.vertex_order)
+            )
+        if self.artifacts:
+            rendered = " ".join(
+                f"{key}={_render_value(self.artifacts[key])}"
+                for key in sorted(self.artifacts)
+            )
+            lines.append(f"  artifacts: {rendered}")
+        lines.extend(self._render_operator(self.root, depth=0))
+        if self.execution:
+            rendered = "  ".join(
+                f"{key}={_render_value(self.execution[key])}"
+                for key in sorted(self.execution)
+            )
+            lines.append(f"  execution: {rendered}")
+        return "\n".join(lines)
+
+    def _render_operator(self, operator: PlanOperator, depth: int) -> List[str]:
+        indent = "  " + "    " * depth
+        prefix = "" if depth == 0 else "->  "
+        columns = []
+        if operator.estimate is not None:
+            columns.append(f"est={operator.estimate}")
+        if self.analyze:
+            rows = operator.actual.get("rows")
+            columns.append(f"act={rows if rows is not None else '-'}")
+            extras = [
+                f"{key}={_render_value(operator.actual[key])}"
+                for key in sorted(operator.actual)
+                if key != "rows"
+            ]
+            columns.extend(extras)
+        suffix = f"  ({', '.join(columns)})" if columns else ""
+        lines = [f"{indent}{prefix}{operator.label}{suffix}"]
+        for child in operator.children:
+            lines.extend(self._render_operator(child, depth + 1))
+        return lines
+
+
+def _render_value(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.6f}".rstrip("0").rstrip(".")
+    return str(value)

@@ -21,6 +21,7 @@ from dataclasses import dataclass, replace
 from enum import Enum
 from typing import Iterator, MutableMapping, Optional, Sequence, Tuple
 
+from repro.explain.plan import PlanOperator, QueryPlan, plan_digest
 from repro.graph.digraph import DataGraph
 from repro.matching.mjoin import mjoin_iter
 from repro.matching.ordering import OrderingMethod, search_order
@@ -144,6 +145,7 @@ class GraphMatcher:
         order: Optional[Sequence[int]] = None,
         injective: bool = False,
         _info: Optional[dict] = None,
+        step_stats: Optional[list] = None,
     ) -> Iterator[Tuple[int, ...]]:
         """Lazily enumerate occurrences of ``query`` (the streaming primitive).
 
@@ -192,6 +194,12 @@ class GraphMatcher:
                 "simulation_passes": report.simulation.passes if report.simulation else 0,
                 "rig_cached": rig_cached,
                 "mjoin": mjoin_stats,
+                # Joins this execution to its EXPLAIN output: the slow-query
+                # log copies the digest, and GraphMatcher.explain() on the
+                # same query/ordering produces the same value.
+                "plan_digest": plan_digest(
+                    self.algorithm_name(), self.ordering.value, chosen_order
+                ),
             }
         clock = budget.start_clock()
         count = 0
@@ -201,6 +209,7 @@ class GraphMatcher:
             budget=budget,
             injective=injective,
             stats=mjoin_stats if _info is not None else None,
+            step_stats=step_stats,
         ):
             yield occurrence
             count += 1
@@ -280,3 +289,144 @@ class GraphMatcher:
         for _ in stream:
             pass
         return stream.num_yielded
+
+    # ------------------------------------------------------------------ #
+    # EXPLAIN / EXPLAIN ANALYZE
+    # ------------------------------------------------------------------ #
+
+    def explain(
+        self,
+        query: PatternQuery,
+        analyze: bool = False,
+        budget: Optional[Budget] = None,
+        order: Optional[Sequence[int]] = None,
+        injective: bool = False,
+    ) -> QueryPlan:
+        """The GM pipeline's :class:`QueryPlan` for ``query``.
+
+        Plan-only mode runs the matching phase (reduction, filtering, RIG,
+        search order) but never enumerates: the per-step estimates are the
+        RIG candidate-set cardinalities the order selector itself consulted.
+        ``analyze=True`` additionally executes the enumeration under the
+        budget with per-position counters and reconciles the root operator's
+        actual row count against the :class:`MatchReport` of the same run.
+        """
+        budget = budget or self.budget
+        build, rig_cached = self._rig_for(query)
+        rig = build.rig
+        reduced = build.query
+        empty = rig.is_empty()
+        if order is not None:
+            chosen_order = list(order)
+        elif empty:
+            chosen_order = list(reduced.nodes())
+        else:
+            chosen_order = search_order(reduced, rig, self.ordering)
+
+        steps = []
+        root_estimate = None if empty else self._estimate_rows(reduced, rig)
+        for position, node in enumerate(chosen_order):
+            constraints = []
+            uses_reachability = False
+            placed = set(chosen_order[:position])
+            for edge in reduced.edges():
+                if (edge.source == node and edge.target in placed) or (
+                    edge.target == node and edge.source in placed
+                ):
+                    constraints.append(repr(edge))
+                    uses_reachability = uses_reachability or edge.is_descendant
+            details = {"position": position, "node": node}
+            if constraints:
+                details["constraints"] = constraints
+            if uses_reachability:
+                details["reachability_index"] = type(self.reachability).__name__
+            steps.append(
+                PlanOperator(
+                    op="mjoin_extend",
+                    label=f"extend u{node} [{reduced.label(node)}]",
+                    estimate=rig.candidate_count(node),
+                    details=details,
+                )
+            )
+        root = PlanOperator(
+            op="mjoin",
+            label=f"MJoin [{self.algorithm_name()}]",
+            estimate=root_estimate,
+            details={"injective": injective},
+            children=steps,
+        )
+        artifacts = {
+            "reachability_index": type(self.reachability).__name__,
+            "rig_cached": rig_cached,
+            "rig_size": rig.size(),
+            "set_kind": rig.set_kind,
+            "simulation_passes": build.simulation.passes if build.simulation else 0,
+            "transitive_reduction": self.rig_options.transitive_reduction,
+        }
+        plan = QueryPlan(
+            query=query.name or "query",
+            engine=self.algorithm_name(),
+            analyze=analyze,
+            root=root,
+            ordering=self.ordering.value,
+            vertex_order=chosen_order,
+            artifacts=artifacts,
+        )
+        if not analyze:
+            return plan
+
+        step_stats: list = []
+        info: dict = {}
+        stream = MatchStream(
+            self.iter_matches(
+                query,
+                budget=budget,
+                order=chosen_order,
+                injective=injective,
+                _info=info,
+                step_stats=step_stats,
+            ),
+            query_name=query.name,
+            algorithm=self.algorithm_name(),
+            budget=budget,
+            info=info,
+            keep_occurrences=False,
+        )
+        for _ in stream:
+            pass
+        report = stream.report()
+        for operator, stats in zip(steps, step_stats):
+            operator.actual = {
+                "rows": stats["rows"],
+                "candidates": stats["candidates"],
+                "intersections": stats["intersections"],
+            }
+        mjoin_stats = report.extra.get("mjoin", {}) if report.extra else {}
+        root.actual = {
+            "rows": report.num_matches,
+            "candidates": mjoin_stats.get("candidates", 0),
+            "intersections": mjoin_stats.get("intersections", 0),
+        }
+        plan.execution = {
+            "status": report.status.value,
+            "rows": report.num_matches,
+            "matching_seconds": report.matching_seconds,
+            "enumeration_seconds": report.enumeration_seconds,
+        }
+        return plan
+
+    @staticmethod
+    def _estimate_rows(query: PatternQuery, rig) -> int:
+        """Independence-assumption occurrence estimate from RIG statistics."""
+        estimate = 1.0
+        for node in query.nodes():
+            estimate *= max(rig.candidate_count(node), 0)
+        for edge in query.edges():
+            tail = rig.candidate_count(edge.source)
+            head = rig.candidate_count(edge.target)
+            if tail == 0 or head == 0:
+                return 0
+            estimate *= rig.edge_candidate_count(edge.source, edge.target) / float(
+                tail * head
+            )
+        return int(round(estimate))

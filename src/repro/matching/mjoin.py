@@ -82,6 +82,7 @@ def mjoin_iter(
     budget: Optional[Budget] = None,
     injective: bool = False,
     stats: Optional[dict] = None,
+    step_stats: Optional[List[dict]] = None,
 ) -> Iterator[Tuple[int, ...]]:
     """Lazily enumerate occurrences from ``rig``.
 
@@ -96,6 +97,14 @@ def mjoin_iter(
     — accumulated in plain local integers and flushed once when the
     generator finishes or is closed, so instrumentation adds no per-step
     synchronisation to the inner loop.
+
+    ``step_stats`` (a mutable list, EXPLAIN ANALYZE only) additionally
+    receives one dict per search-order position — ``{"node", "candidates",
+    "intersections", "rows"}`` where ``rows`` counts the partial assignments
+    accepted at that position (at the last position: occurrences yielded).
+    Per-position counters live in plain local lists and are flushed in the
+    same ``finally`` block, so the extra cost is one list increment per
+    accepted candidate.
     """
     query = rig.query
     if rig.is_empty():
@@ -110,12 +119,22 @@ def mjoin_iter(
     clock = budget.start_clock() if budget is not None else None
 
     counters: List[int] = [0, 0]  # [candidates scanned, intersections]
+    # EXPLAIN ANALYZE: per-position [candidates, intersections, rows] slots
+    # (``_local_candidates`` only ever touches slots 0 and 1).
+    per_position: Optional[List[List[int]]] = None
+    if step_stats is not None:
+        per_position = [[0, 0, 0] for _ in range(n)]
     assignment: List[Optional[int]] = [None] * n
     used: set = set()
     try:
         # Iterative backtracking: stack of candidate iterators per position.
         iterators: List[Iterator[int]] = [
-            iter(_local_candidates(rig, order, assignment, 0, counters))
+            iter(
+                _local_candidates(
+                    rig, order, assignment, 0,
+                    counters if per_position is None else per_position[0],
+                )
+            )
         ]
         position = 0
         while position >= 0:
@@ -134,6 +153,8 @@ def mjoin_iter(
             if injective and candidate in used:
                 continue
             assignment[position] = candidate
+            if per_position is not None:
+                per_position[position][2] += 1
             if injective:
                 used.add(candidate)
             if position + 1 == n:
@@ -147,9 +168,29 @@ def mjoin_iter(
                 continue
             position += 1
             iterators.append(
-                iter(_local_candidates(rig, order, assignment, position, counters))
+                iter(
+                    _local_candidates(
+                        rig, order, assignment, position,
+                        counters if per_position is None else per_position[position],
+                    )
+                )
             )
     finally:
+        if per_position is not None:
+            for slots in per_position:
+                counters[0] += slots[0]
+                counters[1] += slots[1]
+            if step_stats is not None:
+                del step_stats[:]
+                step_stats.extend(
+                    {
+                        "node": order[index],
+                        "candidates": slots[0],
+                        "intersections": slots[1],
+                        "rows": slots[2],
+                    }
+                    for index, slots in enumerate(per_position)
+                )
         if stats is not None:
             stats["candidates"] = stats.get("candidates", 0) + counters[0]
             stats["intersections"] = stats.get("intersections", 0) + counters[1]

@@ -23,6 +23,7 @@ surface.  This package is that surface:
   implementation (nearest-rank) and its bounded-memory sampling companion.
 """
 
+from repro.obs.log import TenantLoggerAdapter, configure as configure_logging, get_logger
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     CounterFamily,
@@ -45,8 +46,11 @@ __all__ = [
     "Reservoir",
     "SlowQueryLog",
     "Telemetry",
+    "TenantLoggerAdapter",
     "Trace",
     "Tracer",
+    "configure_logging",
+    "get_logger",
     "new_trace_id",
     "percentile",
 ]

@@ -1,0 +1,89 @@
+"""Stdlib ``logging`` wiring for the serving stack.
+
+One hierarchical logger namespace rooted at ``repro``: each layer asks
+:func:`get_logger` for its component logger (``repro.server``,
+``repro.wal`` ...), optionally scoped to a tenant, and the library as a
+whole stays silent by default — the root carries a
+:class:`logging.NullHandler`, so an embedding application sees nothing
+until *it* configures handlers (the standard library-logging contract).
+
+:func:`configure` is the convenience for processes that want output
+without touching ``logging`` themselves (``GraphServer(log_level=...)``
+uses it): it attaches a single stream handler to the ``repro`` root, and
+calling it again only adjusts the level — handlers never stack.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, Union
+
+#: Root of the library's logger hierarchy.
+ROOT_LOGGER = "repro"
+
+#: Default line format for :func:`configure`.
+DEFAULT_FORMAT = "%(asctime)s %(levelname)s %(name)s: %(message)s"
+
+# Library default: silent until the application (or configure()) says so.
+logging.getLogger(ROOT_LOGGER).addHandler(logging.NullHandler())
+
+#: The handler :func:`configure` manages (so repeat calls never stack).
+_configured_handler: Optional[logging.Handler] = None
+
+
+class TenantLoggerAdapter(logging.LoggerAdapter):
+    """Prefixes every record with the tenant (graph) it concerns.
+
+    The tenant also rides on ``record.tenant`` (via ``extra``) so a
+    structured formatter or filter can key on it directly.
+    """
+
+    def process(self, msg, kwargs):
+        kwargs.setdefault("extra", {})["tenant"] = self.extra["tenant"]
+        return f"[{self.extra['tenant']}] {msg}", kwargs
+
+
+def get_logger(
+    component: Optional[str] = None, tenant: Optional[str] = None
+) -> Union[logging.Logger, TenantLoggerAdapter]:
+    """The library logger for ``component``, optionally scoped to a tenant.
+
+    ``get_logger("server")`` -> the ``repro.server`` logger;
+    ``get_logger("server", tenant="fraud")`` -> an adapter over it that
+    stamps every record with the tenant name.
+    """
+    name = ROOT_LOGGER if not component else f"{ROOT_LOGGER}.{component}"
+    logger = logging.getLogger(name)
+    if tenant is None:
+        return logger
+    return TenantLoggerAdapter(logger, {"tenant": tenant})
+
+
+def configure(
+    level: Union[int, str] = logging.INFO,
+    stream=None,
+    fmt: str = DEFAULT_FORMAT,
+) -> logging.Logger:
+    """Attach (or re-level) the one managed handler on the ``repro`` root.
+
+    Idempotent: the first call installs a :class:`~logging.StreamHandler`
+    (to ``stream``, default stderr); later calls only adjust the level and
+    format.  Returns the root library logger.
+    """
+    global _configured_handler
+    if isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = resolved
+    root = logging.getLogger(ROOT_LOGGER)
+    if _configured_handler is None:
+        _configured_handler = logging.StreamHandler(stream or sys.stderr)
+        root.addHandler(_configured_handler)
+    elif stream is not None:
+        _configured_handler.setStream(stream)
+    _configured_handler.setFormatter(logging.Formatter(fmt))
+    _configured_handler.setLevel(level)
+    root.setLevel(level)
+    return root

@@ -53,6 +53,12 @@ def _escape_label_value(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
+def _escape_help(value: str) -> str:
+    # Exposition-format HELP text escapes backslash and newline (but not
+    # quotes — HELP text is not quoted).
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _render_labels(labels: Mapping[str, str]) -> str:
     if not labels:
         return ""
@@ -421,7 +427,7 @@ class MetricsRegistry:
         lines: List[str] = []
         for name, family in families:
             if family.help:
-                lines.append(f"# HELP {name} {family.help}")
+                lines.append(f"# HELP {name} {_escape_help(family.help)}")
             lines.append(f"# TYPE {name} {family.kind}")
             for key, child in family.children():
                 labels = dict(base)

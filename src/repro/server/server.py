@@ -2,8 +2,8 @@
 
 The server puts the :class:`~repro.api.GraphDB` facade on the wire: every
 facade capability — ``ingest`` / ``apply`` / ``apply_async`` / ``query`` /
-``stream`` / ``count`` / ``histogram`` / ``run_batch`` / ``pin`` /
-``stats`` / ``save`` — plus the tenant lifecycle of a
+``stream`` / ``count`` / ``explain`` / ``histogram`` / ``run_batch`` /
+``pin`` / ``stats`` / ``save`` — plus the tenant lifecycle of a
 :class:`~repro.server.catalog.GraphCatalog` (``create_graph`` /
 ``drop_graph`` / ``graphs``) is one request frame away (see
 :mod:`repro.server.protocol` for the frame format).
@@ -48,9 +48,15 @@ from typing import Dict, Optional, Set, Tuple
 
 from repro.api import GraphDB, encode_apply_report, encode_batch_report
 from repro.dynamic.delta import GraphDelta
-from repro.exceptions import ProtocolError, StoreError, UnknownGraphError
+from repro.exceptions import (
+    ProtocolError,
+    ServiceOverloadedError,
+    StoreError,
+    UnknownGraphError,
+)
 from repro.matching.result import Budget, jsonable
 from repro.matching.stream import encode_page
+from repro.obs.log import configure as configure_logging, get_logger
 from repro.query.parser import parse_query
 from repro.query.pattern import PatternQuery
 from repro.server.catalog import GraphCatalog
@@ -269,6 +275,13 @@ class _Connection:
             sent = await self._safe_send({"id": ident, "ok": True, "result": result})
             self._note_bytes_for(frame, sent)
         except Exception as exc:
+            if isinstance(exc, ServiceOverloadedError):
+                self.server._log.warning(
+                    "shed %s request for graph %r: %s",
+                    frame.get("op"),
+                    frame.get("graph"),
+                    exc,
+                )
             # A traced request that fails still correlates: the client's
             # propagated trace id rides on the error payload.
             trace_value = frame.get("trace")
@@ -432,6 +445,9 @@ class _Connection:
             )
 
         database = await self._run(build)
+        self.server._log.info(
+            "created graph %r (%d node(s))", name, database.num_nodes
+        )
         return self._info(name, database)
 
     async def _op_drop_graph(self, frame):
@@ -445,6 +461,7 @@ class _Connection:
             )
 
         await self._run(drop)
+        self.server._log.info("dropped graph %r", name)
         return {"dropped": name}
 
     async def _op_checkpoint(self, frame):
@@ -531,6 +548,25 @@ class _Connection:
                 return snap.count(query, engine=engine, budget=budget)
 
         return {"count": await self._run(run)}
+
+    async def _op_explain(self, frame):
+        name, database = self._db(frame)
+        query = _decode_query(frame.get("query"), frame.get("name"))
+        budget = _decode_budget(frame.get("budget"))
+        engine = frame.get("engine") or "GM"
+        analyze = bool(frame.get("analyze", False))
+        snapshot = self._pin_for(frame, name)
+
+        def run():
+            if snapshot is not None:
+                return snapshot.explain(
+                    query, engine=engine, analyze=analyze, budget=budget
+                )
+            with database.store.pin() as snap:
+                return snap.explain(query, engine=engine, analyze=analyze, budget=budget)
+
+        plan = await self._run(run)
+        return {"plan": plan.to_wire()}
 
     async def _op_histogram(self, frame):
         name, database = self._db(frame)
@@ -699,6 +735,7 @@ class _Connection:
         "apply_wait": _op_apply_wait,
         "query": _op_query,
         "count": _op_count,
+        "explain": _op_explain,
         "histogram": _op_histogram,
         "run_batch": _op_run_batch,
         "pin": _op_pin,
@@ -774,6 +811,12 @@ class GraphServer:
         terminate the query).
     service_config:
         Default :class:`ServiceConfig` for catalogs the server creates.
+    log_level:
+        When given (``"INFO"``, ``logging.DEBUG``, ...), attaches the
+        library's managed log handler (see :func:`repro.obs.get_logger`)
+        so connection, tenant-lifecycle, recovery and shed events are
+        emitted; ``None`` (default) leaves handler configuration to the
+        embedding application.
 
     The server runs its event loop on a dedicated daemon thread:
     :meth:`start` returns once the socket is bound, :meth:`close` stops
@@ -791,7 +834,13 @@ class GraphServer:
         service_config: Optional[ServiceConfig] = None,
         data_dir: Optional[str] = None,
         checkpoint_every: Optional[int] = None,
+        log_level=None,
     ) -> None:
+        # ``log_level`` ("INFO", logging.DEBUG, ...) attaches the library's
+        # managed stream handler; None leaves logging to the application.
+        if log_level is not None:
+            configure_logging(log_level)
+        self._log = get_logger("server")
         if catalog is not None:
             if data_dir is not None:
                 raise StoreError(
@@ -803,6 +852,14 @@ class GraphServer:
             self.catalog = GraphCatalog.open(
                 data_dir, config=service_config, checkpoint_every=checkpoint_every
             )
+            for name in self.catalog.names():
+                recovery = getattr(self.catalog.get(name), "last_recovery", None)
+                if recovery is not None:
+                    self._log.info(
+                        "recovered tenant %r to version %s",
+                        name,
+                        getattr(recovery, "head_version", "?"),
+                    )
         else:
             self.catalog = GraphCatalog(config=service_config)
         self._owns_catalog = catalog is None
@@ -857,6 +914,9 @@ class GraphServer:
             return
         bound = server.sockets[0].getsockname()
         self.address = (bound[0], bound[1])
+        self._log.info(
+            "listening on %s:%s (%d tenant(s))", bound[0], bound[1], len(self.catalog)
+        )
         self._started.set()
         async with server:
             await self._stop_event.wait()
@@ -868,6 +928,8 @@ class GraphServer:
 
     async def _on_client(self, reader, writer) -> None:
         connection = _Connection(self, reader, writer)
+        peer = writer.get_extra_info("peername")
+        self._log.info("client connected from %s", peer)
         self._connections.add(connection)
         task = asyncio.current_task()
         if task is not None:
@@ -877,6 +939,7 @@ class GraphServer:
             await connection.run()
         finally:
             self._connections.discard(connection)
+            self._log.info("client %s disconnected", peer)
 
     def close(self) -> None:
         """Stop serving; tears down live connections and joins the loop thread."""
@@ -893,6 +956,7 @@ class GraphServer:
             self._thread.join(timeout=30.0)
         if self._owns_catalog:
             self.catalog.close()
+        self._log.info("server stopped")
 
     def __enter__(self) -> "GraphServer":
         self.start()

@@ -966,6 +966,9 @@ class QueryService:
             version=version,
             num_matches=report.num_matches,
         )
+        plan_digest = report.extra.get("plan_digest")
+        if plan_digest:
+            trace.annotate(plan_digest=plan_digest)
         trace.finish()
         extra["trace"] = trace.to_dict()
 
@@ -983,6 +986,8 @@ class QueryService:
             status=report.status.value,
             num_matches=report.num_matches,
             version=version,
+            trace_id=ticket.trace.trace_id,
+            plan_digest=report.extra.get("plan_digest"),
             trace=ticket.trace.to_dict(),
         )
 

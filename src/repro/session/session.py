@@ -29,6 +29,7 @@ from repro.dynamic.maintenance import (
     should_patch,
 )
 from repro.exceptions import QueryError, StoreError
+from repro.explain.plan import PlanOperator, QueryPlan
 from repro.dynamic.overlay import MutableDataGraph
 from repro.engines.base import Engine, EngineResult, expand_descendant_edges
 from repro.engines.binary_join import BinaryJoinEngine
@@ -588,6 +589,82 @@ class QuerySession:
         return MatchStream.from_report(
             matcher.match(query, budget=budget), budget=budget
         )
+
+    def explain(
+        self,
+        query: PatternQuery,
+        engine: str = "GM",
+        analyze: bool = False,
+        budget: Optional[Budget] = None,
+        injective: bool = False,
+    ) -> QueryPlan:
+        """The query plan ``engine`` would execute for ``query``.
+
+        With ``analyze=False`` the query is planned but never executed:
+        GM runs its real pipeline up to (and including) search-order
+        selection — RIG build, ordering strategy, per-step candidate
+        estimates — and the comparator engines describe their operator
+        trees with catalog / label-cardinality estimates.  With
+        ``analyze=True`` the query *is* executed (under ``budget``) with
+        lightweight per-operator counters, and the plan carries
+        estimate-vs-actual columns whose root row count equals the
+        :class:`MatchReport` occurrence count of a plain :meth:`query`.
+
+        The returned :class:`~repro.explain.QueryPlan` is annotated with
+        which of the session's shared artifacts were already cached at
+        explain time (nothing is built just to report on it).
+        """
+        matcher = self.matcher(engine)
+        budget = budget or self.budget
+        if isinstance(matcher, GraphMatcher):
+            plan = matcher.explain(
+                query, analyze=analyze, budget=budget, injective=injective
+            )
+        elif isinstance(matcher, Engine):
+            plan = matcher.explain(query, analyze=analyze, budget=budget)
+        else:
+            # JM / TM / ISO baselines: no operator pipeline to introspect —
+            # a single opaque evaluate node, still reconciled under analyze.
+            root = PlanOperator(op="evaluate", label=f"Evaluate [{engine}]")
+            plan = QueryPlan(
+                query=query.name or "query",
+                engine=engine,
+                analyze=analyze,
+                root=root,
+            )
+            if analyze:
+                report = matcher.match(query, budget=budget)
+                root.actual = {"rows": report.num_matches}
+                plan.execution = {
+                    "status": report.status.value,
+                    "rows": report.num_matches,
+                    "matching_seconds": report.matching_seconds,
+                    "enumeration_seconds": report.enumeration_seconds,
+                }
+        # Session-level context: the reachability scheme and which shared
+        # artifacts were already cached when this plan was produced.
+        plan.artifacts.setdefault("reachability_kind", self.reachability_kind)
+        with self._lock:
+            cached = [
+                key
+                for key, attr in (
+                    ("reachability", "_context"),
+                    ("closure", "_closure"),
+                    ("expanded_graph", "_expanded_graph"),
+                    ("catalog", "_catalog"),
+                    ("partitions", "_partitions"),
+                    ("bitmaps", "_label_bitmaps"),
+                )
+                if getattr(self, attr) is not None
+            ]
+        plan.artifacts.setdefault("session_cached", cached)
+        if self.telemetry is not None:
+            self.telemetry.registry.counter(
+                "explain_total",
+                "EXPLAIN / EXPLAIN ANALYZE requests",
+                labelnames=("engine", "mode"),
+            ).labels(engine, "analyze" if analyze else "plan").inc()
+        return plan
 
     def count(self, query: PatternQuery, engine: str = "GM", budget: Optional[Budget] = None) -> int:
         """Number of occurrences of ``query`` (subject to the budget).

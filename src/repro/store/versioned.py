@@ -160,6 +160,23 @@ class StoreSnapshot:
             query, node=node, engine=engine, budget=budget
         )
 
+    def explain(
+        self,
+        query: PatternQuery,
+        engine: str = "GM",
+        analyze: bool = False,
+        budget: Optional[Budget] = None,
+        injective: bool = False,
+    ):
+        """EXPLAIN (or EXPLAIN ANALYZE) ``query`` at the pinned version.
+
+        Returns a :class:`~repro.explain.QueryPlan` — see
+        :meth:`QuerySession.explain`.
+        """
+        return self._require_pinned().session.explain(
+            query, engine=engine, analyze=analyze, budget=budget, injective=injective
+        )
+
     def stream(self, query: PatternQuery, engine: str = "GM", budget: Optional[Budget] = None):
         """Incrementally evaluate ``query`` at the pinned version.
 

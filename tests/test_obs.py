@@ -216,6 +216,22 @@ class TestMetricsRegistry:
     def test_default_buckets_are_sorted(self):
         assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
 
+    def test_prometheus_escaping_golden(self):
+        # Hostile label values and help text: backslashes, quotes, and
+        # newlines must round-trip through the exposition format exactly
+        # as the spec requires (help escapes \ and newline only; label
+        # values additionally escape the quote).
+        registry = MetricsRegistry()
+        counter = registry.counter(
+            "evil_total", 'a "quoted"\nmulti\\line help', labelnames=("q",)
+        )
+        counter.labels('va\\l"ue\nwith everything').inc()
+        assert registry.to_prometheus() == (
+            '# HELP evil_total a "quoted"\\nmulti\\\\line help\n'
+            "# TYPE evil_total counter\n"
+            'evil_total{q="va\\\\l\\"ue\\nwith everything"} 1\n'
+        )
+
 
 class TestRegistryConcurrency:
     """Satellite: concurrent mutation with a live snapshot reader."""
