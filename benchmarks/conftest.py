@@ -68,6 +68,9 @@ OBS_JSON_PATH = RESULTS_DIR / "BENCH_obs.json"
 #: Machine-readable trajectory of the EXPLAIN ANALYZE benchmarks.
 EXPLAIN_JSON_PATH = RESULTS_DIR / "BENCH_explain.json"
 
+#: Machine-readable trajectory of the replication benchmarks.
+REPLICATION_JSON_PATH = RESULTS_DIR / "BENCH_replication.json"
+
 
 def _update_json(path: Path, section: str, payload: dict) -> Path:
     """Merge one benchmark's results into a sectioned JSON document.
@@ -125,6 +128,11 @@ def update_obs_json(section: str, payload: dict) -> Path:
 def update_explain_json(section: str, payload: dict) -> Path:
     """Merge one benchmark's results into ``results/BENCH_explain.json``."""
     return _update_json(EXPLAIN_JSON_PATH, section, payload)
+
+
+def update_replication_json(section: str, payload: dict) -> Path:
+    """Merge one benchmark's results into ``results/BENCH_replication.json``."""
+    return _update_json(REPLICATION_JSON_PATH, section, payload)
 
 
 @pytest.fixture(scope="session")

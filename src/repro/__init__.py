@@ -27,7 +27,11 @@ the pieces most applications need:
   end-to-end query traces, and a structured slow-query log;
 * :class:`GraphServer` / :class:`GraphCatalog` / :class:`GraphClient` —
   multi-tenant network serving of the facade over a length-prefixed JSON
-  frame protocol (``repro.server`` / ``repro.client``).
+  frame protocol (``repro.server`` / ``repro.client``);
+* :class:`ReplicaServer` / :class:`RoutedClient` — one-writer/N-replica
+  replication: replicas tail the primary's delta log and serve the full
+  read surface, the routed client splits writes (primary) from reads
+  (replicas, round-robin under a staleness floor) — ``repro.replication``.
 """
 
 from repro.exceptions import (
@@ -48,6 +52,10 @@ from repro.exceptions import (
     UnknownGraphError,
     ProtocolError,
     ServiceOverloadedError,
+    ReplicationError,
+    ReadOnlyReplicaError,
+    ReplicaDivergedError,
+    PrimaryUnavailableError,
 )
 from repro.graph import DataGraph, GraphBuilder, load_dataset, available_datasets
 from repro.query import (
@@ -92,7 +100,8 @@ from repro.explain import PlanOperator, QueryPlan, plan_digest
 from repro.obs import MetricsRegistry, SlowQueryLog, Telemetry, Tracer
 from repro.wal import DeltaLog, RecoveryReport, WalDurability
 from repro.server import GraphCatalog, GraphServer
-from repro.client import GraphClient, RemoteSnapshot, RemoteStream
+from repro.client import GraphClient, RemoteSnapshot, RemoteStream, RoutedClient
+from repro.replication import ReplicaServer, ReplicaTail, ReplicationHub
 
 __version__ = "1.0.0"
 
@@ -179,5 +188,13 @@ __all__ = [
     "GraphClient",
     "RemoteSnapshot",
     "RemoteStream",
+    "RoutedClient",
+    "ReplicationError",
+    "ReadOnlyReplicaError",
+    "ReplicaDivergedError",
+    "PrimaryUnavailableError",
+    "ReplicaServer",
+    "ReplicaTail",
+    "ReplicationHub",
     "__version__",
 ]

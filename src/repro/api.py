@@ -71,6 +71,15 @@ class GraphDB:
     context manager and must be :meth:`close`\\ d to stop the worker pool.
     """
 
+    #: True on databases that only fold deltas shipped by a replication
+    #: primary (see :meth:`open_replica`).  Both the in-process write
+    #: methods (:meth:`ingest` / :meth:`apply` / :meth:`apply_async` /
+    #: :meth:`checkpoint`) and the server's wire surface reject writes
+    #: against a read-only database with
+    #: :class:`~repro.exceptions.ReadOnlyReplicaError` — a local fold
+    #: would fork the replica's version chain off the primary's.
+    read_only = False
+
     def __init__(
         self,
         store: VersionedGraphStore,
@@ -89,6 +98,10 @@ class GraphDB:
         store.bind_telemetry(telemetry)
         self.service = QueryService(store, config=config, telemetry=telemetry)
         self._owns_store = owns_store
+        #: Callables run (in registration order) at the top of
+        #: :meth:`close` — how optional attachments (the replication hub,
+        #: a replica tail) tear down with the database.
+        self._close_hooks = []
 
     # ------------------------------------------------------------------ #
     # construction
@@ -205,6 +218,45 @@ class GraphDB:
         return cls.open(graph, config=config, durability=durability, **open_kwargs)
 
     @classmethod
+    def open_replica(
+        cls,
+        host: str,
+        port: int,
+        graph: str,
+        data_dir: Optional[Union[str, os.PathLike]] = None,
+        config: Optional[ServiceConfig] = None,
+        checkpoint_every: Optional[int] = None,
+        **open_kwargs,
+    ) -> "GraphDB":
+        """Open a read-only replica of a tenant served by a primary.
+
+        Connects to the :class:`~repro.server.GraphServer` at
+        ``host:port``, bootstraps ``graph`` from a shipped snapshot (or,
+        with ``data_dir``, recovers the replica's own write-ahead log and
+        tails from its exact pre-crash version), then folds every delta
+        the primary publishes through the ordinary store publish path on
+        a background thread.  The returned database serves the full read
+        surface at the replicated version and refuses local writes
+        (:attr:`read_only`); its replication state — mode, lag in
+        versions and seconds, frames applied — is available as
+        ``db.replication_status()`` and through the
+        ``replication_*`` metric families in :meth:`metrics`.  Closing
+        the database stops the tail.
+        """
+        from repro.replication.replica import ReplicaTail
+
+        tail = ReplicaTail(
+            host,
+            int(port),
+            graph,
+            data_dir=os.fspath(data_dir) if data_dir is not None else None,
+            config=config,
+            checkpoint_every=checkpoint_every,
+            **open_kwargs,
+        )
+        return tail.start()
+
+    @classmethod
     def from_edges(
         cls,
         labels: Sequence[str],
@@ -224,6 +276,15 @@ class GraphDB:
     # writes
     # ------------------------------------------------------------------ #
 
+    def _require_writable(self) -> None:
+        if self.read_only:
+            from repro.exceptions import ReadOnlyReplicaError
+
+            raise ReadOnlyReplicaError(
+                "this database is a read-only replica; send writes to the"
+                " primary (e.g. through a RoutedClient)"
+            )
+
     def ingest(
         self,
         labels: Sequence[str] = (),
@@ -240,6 +301,7 @@ class GraphDB:
         never disturbed.  Returns the fold's
         :class:`~repro.dynamic.ApplyReport`.
         """
+        self._require_writable()
         delta = GraphDelta.for_graph(self.store.graph)
         for label in labels:
             delta.add_node(label)
@@ -251,10 +313,12 @@ class GraphDB:
 
     def apply(self, delta: GraphDelta, materialize: bool = True) -> ApplyReport:
         """Fold a prepared delta synchronously (see :meth:`VersionedGraphStore.apply`)."""
+        self._require_writable()
         return self.store.apply(delta, materialize=materialize)
 
     def apply_async(self, delta: GraphDelta, materialize: bool = True):
         """Queue a delta on the store's background writer; returns a future."""
+        self._require_writable()
         return self.store.apply_async(delta, materialize=materialize)
 
     def delta(self) -> GraphDelta:
@@ -422,6 +486,7 @@ class GraphDB:
         Requires a durable database (see :meth:`open_durable`); returns
         the checkpoint summary (path, version, log entries dropped).
         """
+        self._require_writable()
         return self.store.checkpoint()
 
     def stats(self) -> Dict[str, object]:
@@ -474,6 +539,12 @@ class GraphDB:
 
     def close(self) -> None:
         """Stop the service workers (and an owned store's writer)."""
+        hooks, self._close_hooks = list(self._close_hooks), []
+        for hook in hooks:
+            try:
+                hook()
+            except Exception:  # a hook must not block database shutdown
+                pass
         self.service.close()
         if not self._owns_store:
             return

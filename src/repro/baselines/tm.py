@@ -22,6 +22,7 @@ from typing import Dict, Iterator, List, Optional, Set, Tuple
 from repro.exceptions import MemoryBudgetExceeded, TimeoutExceeded
 from repro.graph.digraph import DataGraph
 from repro.matching.result import Budget, MatchReport, MatchStatus
+from repro.matching.stream import MatchStream
 from repro.query.pattern import PatternEdge, PatternQuery
 from repro.query.transitive import transitive_reduction
 from repro.simulation.context import MatchContext
@@ -272,3 +273,97 @@ class TMMatcher:
                 status=MatchStatus.OUT_OF_MEMORY,
                 matching_seconds=time.perf_counter() - start,
             )
+
+    # ------------------------------------------------------------------ #
+    # streaming execution
+    # ------------------------------------------------------------------ #
+
+    def iter_matches(
+        self,
+        query: PatternQuery,
+        budget: Optional[Budget] = None,
+        info: Optional[Dict[str, object]] = None,
+    ) -> Iterator[Tuple[int, ...]]:
+        """Lazily enumerate occurrences: yield per surviving tree solution.
+
+        The tree phase (refinement + per-edge adjacency) stays blocking —
+        that is TM's cost profile — but enumeration streams: each tree
+        occurrence is checked against the non-tree edges as it is produced
+        and yielded immediately if it survives, so a consumer sees the first
+        occurrence before the (possibly huge) tree-solution space is
+        exhausted.  Budget exceptions propagate; :meth:`match_stream`
+        converts them into terminal statuses.
+
+        ``info`` follows the mutable-mapping contract of
+        :class:`~repro.matching.stream.MatchStream`; ``extra`` is updated
+        in place so the finalised report carries the final
+        ``tree_solutions`` count.
+        """
+        budget = budget or self.budget
+        clock = budget.start_clock()
+        start = time.perf_counter()
+        if self.apply_transitive_reduction:
+            query = transitive_reduction(query)
+        candidates = (
+            node_prefilter(self.context, query)
+            if self.prefilter
+            else self.context.match_sets(query)
+        )
+        tree_edges, non_tree_edges = self.spanning_tree(query)
+        if tree_edges or query.num_edges == 0:
+            candidates = self._refine_tree_candidates(query, tree_edges, candidates, clock)
+        adjacency = self._tree_adjacency(tree_edges, candidates, clock)
+        extra: Dict[str, object] = {
+            "tree_solutions": 0,
+            "non_tree_edges": len(non_tree_edges),
+        }
+        if info is not None:
+            info["matching_seconds"] = time.perf_counter() - start
+            info["extra"] = extra
+
+        if not all(candidates[node] for node in query.nodes()):
+            return
+        context = self.context
+        tree_solutions = 0
+        count = 0
+        for tree_occurrence in self._enumerate_tree(
+            query, tree_edges, candidates, adjacency, clock
+        ):
+            tree_solutions += 1
+            extra["tree_solutions"] = tree_solutions
+            clock.check_intermediate(tree_solutions)
+            satisfied = all(
+                context.edge_match(
+                    edge, tree_occurrence[edge.source], tree_occurrence[edge.target]
+                )
+                for edge in non_tree_edges
+            )
+            if satisfied:
+                yield tree_occurrence
+                count += 1
+                if clock.check_matches(count):
+                    return
+
+    def match_stream(
+        self,
+        query: PatternQuery,
+        budget: Optional[Budget] = None,
+        keep_occurrences: bool = True,
+    ) -> MatchStream:
+        """An incremental evaluation of ``query`` as a :class:`MatchStream`.
+
+        Streams genuinely (no replay of a finished report): occurrences flow
+        out of :meth:`iter_matches` as tree solutions survive the non-tree
+        edge filter.  ``stream.report()`` finalises into a report equivalent
+        to the eager :meth:`match`.
+        """
+        budget = budget or self.budget
+        info: Dict[str, object] = {}
+        return MatchStream(
+            self.iter_matches(query, budget=budget, info=info),
+            query_name=query.name,
+            algorithm="TM",
+            budget=budget,
+            info=info,
+            keep_occurrences=keep_occurrences,
+        )

@@ -1,6 +1,9 @@
 """Wire-protocol client: the :class:`~repro.api.GraphDB` facade over a socket.
 
-* :class:`GraphClient` — synchronous client mirroring the facade's API;
+* :class:`GraphClient` — synchronous client mirroring the facade's API,
+  with transparent bounded-backoff reconnect for idempotent reads;
+* :class:`RoutedClient` — read/write splitting across a primary and its
+  replicas (round-robin reads, staleness floors, eviction + re-probe);
 * :class:`RemoteStream` — lazy, credit-gated page iteration;
 * :class:`RemoteSnapshot` — a server-side pin for repeated consistent reads;
 * :class:`RemoteApplyHandle` — the future of an async fold.
@@ -12,10 +15,12 @@ from repro.client.client import (
     RemoteSnapshot,
     RemoteStream,
 )
+from repro.client.routed import RoutedClient
 
 __all__ = [
     "GraphClient",
     "RemoteApplyHandle",
     "RemoteSnapshot",
     "RemoteStream",
+    "RoutedClient",
 ]

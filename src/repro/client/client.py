@@ -38,8 +38,10 @@ interleave with a response.
 from __future__ import annotations
 
 import itertools
+import random
 import socket
 import threading
+import time
 import weakref
 from collections import deque
 from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple, Union
@@ -51,12 +53,37 @@ from repro.exceptions import ProtocolError, StoreError
 from repro.explain.plan import QueryPlan
 from repro.matching.result import Budget, MatchReport
 from repro.matching.stream import decode_page
+from repro.obs.metrics import MetricsRegistry
 from repro.query.pattern import PatternQuery
 from repro.server.protocol import decode_error, encode_frame, read_frame_sync
 from repro.service.service import ServiceBatchReport
 
 #: A query, as a parsed pattern or DSL text (mirrors ``repro.api.QueryLike``).
 QueryLike = Union[PatternQuery, str]
+
+#: Ops safe to resend verbatim after a reconnect: pure reads with no
+#: server-side connection state.  Writes are never here — a connection
+#: that died mid-``apply`` may or may not have folded the delta, and
+#: resending would double-apply it.  ``stream_open`` is excluded too
+#: (its pages are connection-scoped), as is anything pin-scoped: pin
+#: tokens die with the connection, so a retried read naming one fails
+#: loudly rather than silently reading a different version.
+_IDEMPOTENT_OPS = frozenset(
+    {
+        "ping",
+        "graphs",
+        "info",
+        "query",
+        "count",
+        "explain",
+        "histogram",
+        "run_batch",
+        "stats",
+        "metrics",
+        "slow_queries",
+        "replica_status",
+    }
+)
 
 
 def _encode_query(query: QueryLike):
@@ -326,6 +353,21 @@ class GraphClient:
         it); per-call ``timeout`` arguments override.
     stream_window:
         Credit window requested for this client's streams.
+    reconnect:
+        When True (default), a connection dropped under an **idempotent
+        read** (``query`` / ``count`` / ``explain`` / ``histogram`` /
+        ``run_batch`` / ``info`` / ``stats`` / ...) is transparently
+        re-established — up to ``max_retries`` times, with bounded
+        exponential backoff plus jitter — and the request resent.
+        Writes (``ingest`` / ``apply`` / ...) are **never** retried: a
+        socket that died mid-write leaves the fold in doubt, and the
+        caller must decide.  Response *timeouts* are never retried
+        either (the server is still working; resending would double the
+        load).  Reconnects are counted in the ``client_reconnects_total``
+        metric on :attr:`registry`.
+    registry:
+        The :class:`~repro.obs.MetricsRegistry` client-side metrics land
+        in; by default the client creates its own (see :meth:`local_metrics`).
     """
 
     def __init__(
@@ -336,7 +378,15 @@ class GraphClient:
         timeout: Optional[float] = 60.0,
         stream_window: int = 4,
         connect_timeout: float = 10.0,
+        reconnect: bool = True,
+        max_retries: int = 3,
+        backoff_base: float = 0.05,
+        backoff_max: float = 1.0,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
+        self._host = host
+        self._port = int(port)
+        self._connect_timeout = connect_timeout
         self._sock = socket.create_connection((host, port), timeout=connect_timeout)
         self._sock.settimeout(timeout)
         self._timeout = timeout
@@ -344,6 +394,16 @@ class GraphClient:
         self._ids = itertools.count(1)
         self._graph = graph
         self.stream_window = max(1, stream_window)
+        self._reconnect_enabled = bool(reconnect)
+        self._max_retries = max(0, int(max_retries))
+        self._backoff_base = float(backoff_base)
+        self._backoff_max = float(backoff_max)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._m_reconnects = self.registry.counter(
+            "client_reconnects_total",
+            "Connections transparently re-established under idempotent reads",
+        )
+        self.reconnects = 0
         # Weak refs: a stream the caller abandons must become garbage, so
         # its __del__ can cancel the remote producer (a strong registry
         # reference would pin it — and the server-side query — forever).
@@ -368,6 +428,34 @@ class GraphClient:
                 f"no frame from the server within {timeout or self._timeout}s"
             ) from None
 
+    def _reopen(self) -> None:
+        """Replace the dead socket with a fresh connection.
+
+        Connection-scoped state does not survive: open streams are
+        forgotten (their server side tore down with the old connection),
+        and any pin / apply tokens the caller still holds will answer
+        with their mapped server errors.
+        """
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._streams.clear()
+        self._sock = socket.create_connection(
+            (self._host, self._port), timeout=self._connect_timeout
+        )
+        self._sock.settimeout(self._timeout)
+        self.reconnects += 1
+        self._m_reconnects.inc()
+
+    def _can_retry(self, op: str, frame: Dict[str, object]) -> bool:
+        return (
+            self._reconnect_enabled
+            and not self._closed
+            and op in _IDEMPOTENT_OPS
+            and frame.get("pin") is None  # pin tokens died with the socket
+        )
+
     def _request(
         self, op: str, timeout: Optional[float] = None, **args
     ) -> Dict[str, object]:
@@ -378,17 +466,42 @@ class GraphClient:
         :class:`TimeoutError` — otherwise a timed-out client would leave
         an executor thread blocked server-side.  The client's own socket
         wait gets a grace period on top so that error frame can arrive.
+
+        A connection lost under an idempotent read reconnects (bounded
+        exponential backoff + jitter) and resends; see the class notes.
         """
         with self._lock:
-            ident = next(self._ids)
-            frame = {"id": ident, "op": op}
+            frame = {"op": op}
             frame.update({key: value for key, value in args.items() if value is not None})
             wait = None
             if timeout is not None:
                 frame.setdefault("timeout", timeout)
                 wait = timeout + 10.0
-            self._send(frame)
-            return self._wait_response(ident, wait)
+            last_error: Optional[BaseException] = None
+            for attempt in range(self._max_retries + 1):
+                if attempt:
+                    delay = min(
+                        self._backoff_base * (2 ** (attempt - 1)), self._backoff_max
+                    )
+                    time.sleep(delay + random.uniform(0.0, delay))
+                    try:
+                        self._reopen()
+                    except OSError as exc:
+                        last_error = exc
+                        continue  # server still down; next attempt backs off more
+                frame["id"] = next(self._ids)
+                try:
+                    self._send(frame)
+                    return self._wait_response(frame["id"], wait)
+                except TimeoutError:
+                    # The server is (presumably) still working on it;
+                    # resending would double the load, not halve the wait.
+                    raise
+                except (ConnectionError, OSError) as exc:
+                    if not self._can_retry(op, frame):
+                        raise
+                    last_error = exc
+            raise last_error
 
     def _wait_response(self, ident: int, timeout: Optional[float]) -> Dict[str, object]:
         while True:
@@ -803,6 +916,20 @@ class GraphClient:
         if payload.get("format") == "prometheus":
             return str(payload.get("text", ""))
         return dict(payload.get("metrics", {}))
+
+    def replica_status(self, graph: Optional[str] = None) -> Dict[str, object]:
+        """Replication state of one tenant on the connected node.
+
+        On a replica: ``replica=True`` plus connection/mode/lag detail
+        (``lag_versions`` / ``lag_seconds`` / ``frames_applied`` / ...).
+        On a primary: ``replica=False`` with the tenant's head version —
+        which is how a routing layer measures staleness bounds.
+        """
+        return self._request("replica_status", graph=self._graph_name(graph))
+
+    def local_metrics(self) -> Dict[str, object]:
+        """This client's own metric families (``client_reconnects_total``)."""
+        return self.registry.snapshot()
 
     def slow_queries(
         self, graph: Optional[str] = None, limit: Optional[int] = None

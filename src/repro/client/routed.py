@@ -1,0 +1,445 @@
+"""RoutedClient: read/write splitting across a primary and its replicas.
+
+One writer, N read replicas is only useful if callers do not have to
+hand-route every call, so :class:`RoutedClient` holds one
+:class:`~repro.client.GraphClient` per node and splits the facade
+surface:
+
+* **writes** (``ingest`` / ``apply`` / ``apply_async`` / ``checkpoint``
+  / ``create_graph`` / ``drop_graph`` / ``save``) go to the primary,
+  always.  A primary that cannot be reached fails *fast* with
+  :class:`~repro.exceptions.PrimaryUnavailableError` — writes have
+  exactly one home, and silently retrying a fold the server may already
+  have applied would double it.
+* **reads** (``query`` / ``count`` / ``explain`` / ``histogram`` /
+  ``run_batch`` / ``stream``) fan out across the replicas round-robin,
+  subject to a staleness floor built from the version chain:
+  ``read_your_writes=True`` (default) pins this client to versions at or
+  above its own last acknowledged write, and ``max_staleness=k`` bounds
+  reads to within ``k`` versions of the last *known* primary head.  A
+  replica that cannot prove it meets the floor (cheap ``info`` probe,
+  cached for ``probe_ttl`` seconds) is skipped for that read; a replica
+  whose connection fails is **evicted** and transparently re-probed
+  after ``probe_interval`` seconds.  When no replica qualifies the read
+  falls back to the primary; when the primary is down too, the read
+  keeps retrying the surviving replicas until ``read_timeout`` — which
+  is exactly the "primary died, reads keep flowing under the bound"
+  failover mode.
+
+Routing decisions surface as ``routed_reads_total{target=...}`` /
+``routed_writes_total`` / ``routed_evictions_total`` metric families on
+:attr:`registry`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.client.client import GraphClient
+from repro.exceptions import PrimaryUnavailableError, ReplicationError
+from repro.obs.metrics import MetricsRegistry
+
+#: ``(host, port)`` of one serving node.
+Endpoint = Tuple[str, int]
+
+
+class _Node:
+    """One endpoint's connection state inside the router."""
+
+    def __init__(self, endpoint: Endpoint, label: str) -> None:
+        self.endpoint = (str(endpoint[0]), int(endpoint[1]))
+        self.label = label
+        self.client: Optional[GraphClient] = None
+        self.evicted_at: Optional[float] = None
+        #: graph -> (head_version, probed_at)
+        self.versions: Dict[str, Tuple[int, float]] = {}
+
+
+class RoutedClient:
+    """Read/write-splitting client over one primary and N replicas.
+
+    Parameters
+    ----------
+    primary:
+        ``(host, port)`` of the writable :class:`~repro.server.GraphServer`.
+    replicas:
+        ``(host, port)`` of each :class:`~repro.replication.ReplicaServer`.
+        An empty sequence routes every read to the primary.
+    graph:
+        Default tenant for every call (override per call with ``graph=``).
+    read_your_writes:
+        Pin this client's reads to versions >= its last acknowledged
+        write (per tenant).
+    max_staleness:
+        Optional bound, in *versions*, on how far behind the last known
+        primary head a serving replica may be.  ``None`` means any
+        replicated version is acceptable (modulo ``read_your_writes``).
+    """
+
+    def __init__(
+        self,
+        primary: Endpoint,
+        replicas: Sequence[Endpoint] = (),
+        graph: Optional[str] = None,
+        read_your_writes: bool = True,
+        max_staleness: Optional[int] = None,
+        probe_ttl: float = 0.25,
+        probe_interval: float = 1.0,
+        read_timeout: float = 10.0,
+        timeout: Optional[float] = 60.0,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self._graph = graph
+        self._read_your_writes = bool(read_your_writes)
+        self._max_staleness = max_staleness
+        self._probe_ttl = float(probe_ttl)
+        self._probe_interval = float(probe_interval)
+        self._read_timeout = float(read_timeout)
+        self._timeout = timeout
+        self._lock = threading.RLock()
+        self._primary = _Node(primary, "primary")
+        self._replicas = [
+            _Node(endpoint, f"replica-{index}")
+            for index, endpoint in enumerate(replicas)
+        ]
+        self._rr = itertools.count()
+        #: graph -> last version this client's writes were acknowledged at
+        self._last_written: Dict[str, int] = {}
+        #: graph -> last primary head this client observed
+        self._known_head: Dict[str, int] = {}
+        self._closed = False
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._m_reads = self.registry.counter(
+            "routed_reads_total",
+            "Reads dispatched, by serving node",
+            labelnames=("target",),
+        )
+        self._m_writes = self.registry.counter(
+            "routed_writes_total", "Writes dispatched to the primary"
+        )
+        self._m_evictions = self.registry.counter(
+            "routed_evictions_total", "Replica connections evicted after failures"
+        )
+
+    # ------------------------------------------------------------------ #
+    # node plumbing
+    # ------------------------------------------------------------------ #
+
+    def _connect(self, node: _Node) -> Optional[GraphClient]:
+        """The node's live client, (re)connecting if due; None while evicted."""
+        if node.client is not None:
+            return node.client
+        if (
+            node.evicted_at is not None
+            and time.monotonic() - node.evicted_at < self._probe_interval
+        ):
+            return None
+        try:
+            # Routing owns the failure semantics, so the inner clients
+            # do not transparently retry on their own.
+            node.client = GraphClient(
+                node.endpoint[0],
+                node.endpoint[1],
+                timeout=self._timeout,
+                reconnect=False,
+            )
+            node.evicted_at = None
+            return node.client
+        except OSError:
+            node.evicted_at = time.monotonic()
+            return None
+
+    def _evict(self, node: _Node) -> None:
+        if node.client is not None:
+            try:
+                node.client.close()
+            except Exception:
+                pass
+            node.client = None
+        node.evicted_at = time.monotonic()
+        node.versions.clear()
+        self._m_evictions.inc()
+
+    def _graph_name(self, graph: Optional[str]) -> str:
+        name = graph or self._graph
+        if not name:
+            raise ReplicationError(
+                "no graph selected: pass graph=..., or set one at construction"
+            )
+        return name
+
+    # ------------------------------------------------------------------ #
+    # staleness accounting
+    # ------------------------------------------------------------------ #
+
+    def _version_floor(self, graph: str) -> int:
+        """The minimum version a node must serve for this read, or -1."""
+        floor = -1
+        if self._read_your_writes:
+            floor = max(floor, self._last_written.get(graph, -1))
+        if self._max_staleness is not None:
+            head = self._known_head.get(graph, -1)
+            if head >= 0:
+                floor = max(floor, head - int(self._max_staleness))
+        return floor
+
+    def _meets_floor(self, node: _Node, client: GraphClient, graph: str, floor: int) -> bool:
+        if floor < 0:
+            return True
+        cached = node.versions.get(graph)
+        now = time.monotonic()
+        if cached is not None and cached[0] >= floor:
+            return True  # versions are monotone: an old "fresh enough" stays true
+        if cached is not None and now - cached[1] < self._probe_ttl:
+            return False
+        version = int(client.info(graph=graph)["head_version"])
+        node.versions[graph] = (version, now)
+        return version >= floor
+
+    def _note_write(self, graph: str, new_version) -> None:
+        if new_version is None:
+            return
+        version = int(new_version)
+        self._last_written[graph] = max(self._last_written.get(graph, -1), version)
+        self._known_head[graph] = max(self._known_head.get(graph, -1), version)
+
+    # ------------------------------------------------------------------ #
+    # routing cores
+    # ------------------------------------------------------------------ #
+
+    def _write(self, method: str, *args, graph: Optional[str] = None, **kwargs):
+        """Dispatch one write to the primary; never retried, never rerouted."""
+        with self._lock:
+            client = self._connect(self._primary)
+            if client is None:
+                raise PrimaryUnavailableError(
+                    f"primary {self._primary.endpoint} is unreachable — "
+                    "writes have no failover"
+                )
+            try:
+                if graph is not None:
+                    kwargs["graph"] = graph
+                result = getattr(client, method)(*args, **kwargs)
+            except TimeoutError:
+                raise
+            except (ConnectionError, OSError) as exc:
+                self._evict(self._primary)
+                raise PrimaryUnavailableError(
+                    f"primary {self._primary.endpoint} dropped during {method}: {exc}"
+                ) from exc
+            self._m_writes.inc()
+            return result
+
+    def _read(self, method: str, *args, graph: Optional[str] = None, **kwargs):
+        """Dispatch one read: qualified replicas first, then the primary."""
+        name = self._graph_name(graph)
+        kwargs["graph"] = name
+        with self._lock:
+            floor = self._version_floor(name)
+            deadline = time.monotonic() + self._read_timeout
+            while True:
+                outcome = self._try_read_once(method, name, floor, args, kwargs)
+                if outcome is not None:
+                    return outcome[0]
+                if time.monotonic() >= deadline:
+                    raise ReplicationError(
+                        f"no node can serve {method} on {name!r} at version "
+                        f">= {floor} (primary unreachable, "
+                        f"{len(self._replicas)} replica(s) configured)"
+                    )
+                time.sleep(0.05)  # wait for a replica to fold up to the floor
+
+    def _try_read_once(self, method, name, floor, args, kwargs):
+        """One pass over the topology; ``(result,)`` or None to retry."""
+        offset = next(self._rr)
+        count = len(self._replicas)
+        for step in range(count):
+            node = self._replicas[(offset + step) % count]
+            client = self._connect(node)
+            if client is None:
+                continue
+            try:
+                if not self._meets_floor(node, client, name, floor):
+                    continue
+                result = getattr(client, method)(*args, **kwargs)
+            except TimeoutError:
+                raise
+            except (ConnectionError, OSError):
+                self._evict(node)
+                continue
+            self._m_reads.labels(node.label).inc()
+            return (result,)
+        # No replica qualified (all evicted, stale, or none configured).
+        client = self._connect(self._primary)
+        if client is not None:
+            try:
+                result = getattr(client, method)(*args, **kwargs)
+                self._m_reads.labels(self._primary.label).inc()
+                return (result,)
+            except TimeoutError:
+                raise
+            except (ConnectionError, OSError):
+                self._evict(self._primary)
+        return None
+
+    # ------------------------------------------------------------------ #
+    # writes -> primary
+    # ------------------------------------------------------------------ #
+
+    def ingest(self, labels=(), edges=(), remove_edges=(), graph=None):
+        """Fold nodes/edges on the primary; advances the read floor."""
+        name = self._graph_name(graph)
+        report = self._write(
+            "ingest", labels=labels, edges=edges, remove_edges=remove_edges, graph=name
+        )
+        self._note_write(name, report.new_version)
+        return report
+
+    def apply(self, delta, graph=None):
+        """Fold a prepared delta on the primary; advances the read floor."""
+        name = self._graph_name(graph)
+        report = self._write("apply", delta, graph=name)
+        self._note_write(name, report.new_version)
+        return report
+
+    def apply_async(self, delta, graph=None):
+        """Queue a delta on the primary's background writer.
+
+        The returned handle's ``result()`` reports the folded version;
+        call :meth:`note_version` with it to advance this client's
+        read-your-writes floor (an unresolved async fold has no version
+        to pin to yet).
+        """
+        return self._write("apply_async", delta, graph=self._graph_name(graph))
+
+    def checkpoint(self, graph=None):
+        """Checkpoint the durable tenant on the primary."""
+        return self._write("checkpoint", graph=self._graph_name(graph))
+
+    def create_graph(self, name, labels=(), edges=(), exist_ok=False):
+        """Create a tenant on the primary (replicas pick it up when tailed)."""
+        info = self._write(
+            "create_graph", name, labels=labels, edges=edges, exist_ok=exist_ok
+        )
+        if self._graph is None:
+            self._graph = name
+        self._note_write(name, info.get("head_version"))
+        return info
+
+    def drop_graph(self, name, force=False, delete_storage=False):
+        """Drop a tenant on the primary."""
+        result = self._write(
+            "drop_graph", name, force=force, delete_storage=delete_storage
+        )
+        if self._graph == name:
+            self._graph = None
+        return result
+
+    def save(self, path, graph=None):
+        """Persist the tenant's head on the primary; returns the path."""
+        return self._write("save", path, graph=self._graph_name(graph))
+
+    def note_version(self, version, graph=None) -> None:
+        """Manually advance the read-your-writes floor (async fold results)."""
+        self._note_write(self._graph_name(graph), version)
+
+    # ------------------------------------------------------------------ #
+    # reads -> replicas (primary fallback)
+    # ------------------------------------------------------------------ #
+
+    def query(self, query, graph=None, **kwargs):
+        """Evaluate one query on a qualified replica."""
+        return self._read("query", query, graph=graph, **kwargs)
+
+    def count(self, query, graph=None, **kwargs):
+        """Occurrence count on a qualified replica."""
+        return self._read("count", query, graph=graph, **kwargs)
+
+    def explain(self, query, graph=None, **kwargs):
+        """EXPLAIN (or EXPLAIN ANALYZE) on a qualified replica."""
+        return self._read("explain", query, graph=graph, **kwargs)
+
+    def histogram(self, query, graph=None, **kwargs):
+        """Per-label histogram on a qualified replica."""
+        return self._read("histogram", query, graph=graph, **kwargs)
+
+    def run_batch(self, queries, graph=None, **kwargs):
+        """Execute a batch against one qualified replica's pinned version."""
+        return self._read("run_batch", queries, graph=graph, **kwargs)
+
+    def stream(self, query, graph=None, **kwargs):
+        """Open a pipelined stream on a qualified replica.
+
+        The stream stays bound to the node that opened it; a connection
+        lost mid-stream raises there (pages are connection-scoped) and
+        the *next* routed call moves on to a surviving node.
+        """
+        return self._read("stream", query, graph=graph, **kwargs)
+
+    def info(self, graph=None):
+        """Head version / node / edge counts from a qualified node."""
+        return self._read("info", graph=graph)
+
+    # ------------------------------------------------------------------ #
+    # topology introspection
+    # ------------------------------------------------------------------ #
+
+    def replica_status(self, graph=None) -> List[Dict[str, object]]:
+        """Replication status of every configured replica (reachable ones)."""
+        name = self._graph_name(graph)
+        statuses: List[Dict[str, object]] = []
+        with self._lock:
+            for node in self._replicas:
+                client = self._connect(node)
+                if client is None:
+                    statuses.append(
+                        {"target": node.label, "reachable": False}
+                    )
+                    continue
+                try:
+                    status = client.replica_status(graph=name)
+                except (ConnectionError, OSError):
+                    self._evict(node)
+                    statuses.append({"target": node.label, "reachable": False})
+                    continue
+                status = dict(status)
+                status.update({"target": node.label, "reachable": True})
+                statuses.append(status)
+        return statuses
+
+    def local_metrics(self) -> Dict[str, object]:
+        """This router's metric families (reads by target, writes, evictions)."""
+        return self.registry.snapshot()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Close every node connection (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for node in [self._primary, *self._replicas]:
+            if node.client is not None:
+                try:
+                    node.client.close()
+                except Exception:
+                    pass
+                node.client = None
+
+    def __enter__(self) -> "RoutedClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RoutedClient(primary={self._primary.endpoint}, "
+            f"replicas={[node.endpoint for node in self._replicas]}, "
+            f"graph={self._graph!r})"
+        )

@@ -136,6 +136,53 @@ class WalError(StoreError):
     """
 
 
+class ReplicationError(StoreError):
+    """Raised for replication-subsystem failures.
+
+    Typical causes: subscribing to the delta log of a tenant that has no
+    write-ahead log to ship, a log-shipping subscription falling so far
+    behind that its frame buffer overflowed, or routing a request to a
+    topology with no node able to serve it.
+    """
+
+
+class ReadOnlyReplicaError(ReplicationError):
+    """Raised when a write operation is sent to a read-only replica.
+
+    Replicas fold exactly the deltas the primary ships; a locally applied
+    write would fork the version chain and make every subsequent shipped
+    frame diverge, so the serving layer rejects writes outright.
+    """
+
+
+class ReplicaDivergedError(ReplicationError):
+    """Raised when folding a shipped delta does not reproduce the version
+    the primary journalled.
+
+    The version chain is deterministic — the same delta folded onto the
+    same base graph always yields the same version — so a mismatch means
+    the replica's graph is not the primary's graph and the only safe
+    recovery is a fresh snapshot bootstrap.
+    """
+
+    def __init__(self, expected_version: int, found_version: int) -> None:
+        super().__init__(
+            f"replica diverged: shipped frame announced version "
+            f"{expected_version}, fold produced {found_version}"
+        )
+        self.expected_version = expected_version
+        self.found_version = found_version
+
+
+class PrimaryUnavailableError(ReplicationError):
+    """Raised by the routed client when a write cannot reach the primary.
+
+    Reads keep flowing from the surviving replicas under the configured
+    staleness bound; writes have exactly one home, so they fail fast with
+    this typed error instead of blocking until the primary returns.
+    """
+
+
 class CatalogError(StoreError):
     """Raised for invalid multi-tenant catalog operations.
 

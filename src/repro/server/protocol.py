@@ -55,10 +55,14 @@ from repro.exceptions import (
     CatalogError,
     EngineError,
     GraphError,
+    PrimaryUnavailableError,
     ProtocolError,
     QueryCancelled,
     QueryError,
     QueryParseError,
+    ReadOnlyReplicaError,
+    ReplicaDivergedError,
+    ReplicationError,
     ReproError,
     ServiceOverloadedError,
     StaleIndexError,
@@ -160,6 +164,9 @@ _CODED_CLASSES = (
     ("graph", GraphError),
     ("catalog", CatalogError),
     ("wal", WalError),
+    ("read_only_replica", ReadOnlyReplicaError),
+    ("primary_unavailable", PrimaryUnavailableError),
+    ("replication", ReplicationError),
     ("store", StoreError),
     ("engine", EngineError),
     ("protocol", ProtocolError),
@@ -208,6 +215,12 @@ def _encode_error_payload(exc: BaseException) -> Dict[str, object]:
         }
     if isinstance(exc, UnknownGraphError):
         return {"code": "unknown_graph", "name": exc.name, "message": str(exc)}
+    if isinstance(exc, ReplicaDivergedError):
+        return {
+            "code": "replica_diverged",
+            "expected_version": exc.expected_version,
+            "found_version": exc.found_version,
+        }
     if isinstance(exc, QueryCancelled):
         return {"code": "cancelled", "message": str(exc)}
     if isinstance(exc, (TimeoutError, FutureTimeoutError)):
@@ -262,6 +275,11 @@ def _decode_error_payload(
         )
     if code == "unknown_graph":
         return UnknownGraphError(str(payload.get("name", "?")))
+    if code == "replica_diverged":
+        return ReplicaDivergedError(
+            int(payload.get("expected_version", -1)),
+            int(payload.get("found_version", -1)),
+        )
     if code == "cancelled":
         return QueryCancelled(message)
     if code == "timeout":

@@ -50,6 +50,8 @@ from repro.api import GraphDB, encode_apply_report, encode_batch_report
 from repro.dynamic.delta import GraphDelta
 from repro.exceptions import (
     ProtocolError,
+    ReadOnlyReplicaError,
+    ReplicationError,
     ServiceOverloadedError,
     StoreError,
     UnknownGraphError,
@@ -211,6 +213,106 @@ class _ServerStream:
                 pass
 
 
+#: Delta frames batched into one ``log_frames`` wire frame.
+LOG_SHIP_BATCH = 64
+
+#: Idle heartbeat period: an empty batch carrying the primary's head, so
+#: a caught-up replica keeps its lag gauges current without traffic.
+LOG_SHIP_HEARTBEAT_SECONDS = 1.0
+
+
+class _LogShipper:
+    """One replication subscription being pumped to one connection.
+
+    Ships the catch-up entries computed at subscribe time, then tails the
+    hub subscription's live queue, batching up to :data:`LOG_SHIP_BATCH`
+    delta frames per wire frame::
+
+        {"sub": s, "frames": [...], "head": primary-head-version}
+
+    A subscription whose buffer overflowed (the replica fell too far
+    behind) ends with ``{"sub": s, "end": true, "error": {...}}`` — the
+    replica's cue to resubscribe from wherever it actually got to.  While
+    idle the shipper heartbeats the current head about once a second.
+    """
+
+    def __init__(
+        self,
+        connection: "_Connection",
+        ident: int,
+        database: GraphDB,
+        subscription,
+        entries,
+    ) -> None:
+        self.connection = connection
+        self.ident = ident
+        self.database = database
+        self.subscription = subscription
+        self._entries = list(entries)
+        self._stopped = threading.Event()
+
+    def stop(self) -> None:
+        """Stop pumping and drop the hub subscription (idempotent)."""
+        self._stopped.set()
+        self.subscription.close()
+
+    def _send(self, frames) -> None:
+        sent = self.connection.send_from_thread(
+            {
+                "sub": self.ident,
+                "frames": frames,
+                "head": int(self.database.head_version),
+            }
+        )
+        self.connection.note_tenant_bytes(self.database, sent)
+
+    def pump(self) -> None:
+        """Forward catch-up + live delta frames (runs on its own thread)."""
+        try:
+            for start in range(0, len(self._entries), LOG_SHIP_BATCH):
+                if self._stopped.is_set():
+                    return
+                self._send(self._entries[start : start + LOG_SHIP_BATCH])
+            self._entries = []
+            last_sent = time.monotonic()
+            while not self._stopped.is_set():
+                try:
+                    frame = self.subscription.next(timeout=0.25)
+                except ReplicationError as exc:
+                    self.connection.send_from_thread(
+                        {"sub": self.ident, "end": True, "error": encode_error(exc)}
+                    )
+                    return
+                if frame is None:
+                    if time.monotonic() - last_sent >= LOG_SHIP_HEARTBEAT_SECONDS:
+                        self._send([])
+                        last_sent = time.monotonic()
+                    continue
+                batch = [frame]
+                lag_error = None
+                while len(batch) < LOG_SHIP_BATCH:
+                    try:
+                        extra = self.subscription.next(timeout=0.0)
+                    except ReplicationError as exc:
+                        lag_error = exc
+                        break
+                    if extra is None:
+                        break
+                    batch.append(extra)
+                self._send(batch)
+                last_sent = time.monotonic()
+                if lag_error is not None:
+                    self.connection.send_from_thread(
+                        {"sub": self.ident, "end": True, "error": encode_error(lag_error)}
+                    )
+                    return
+        except Exception:
+            pass  # connection gone (or shutting down); teardown cleans up
+        finally:
+            self.subscription.close()
+            self.connection.discard_shipper(self.ident)
+
+
 class _Connection:
     """One client connection: frame loop, dispatch, per-client resources."""
 
@@ -222,6 +324,7 @@ class _Connection:
         self._send_lock = asyncio.Lock()
         self._tasks: Set[asyncio.Task] = set()
         self._streams: Dict[int, _ServerStream] = {}
+        self._shippers: Dict[int, _LogShipper] = {}
         self._tickets: Set[object] = set()
         self._pins: Dict[str, Tuple[str, object]] = {}
         self._apply_futures: Dict[str, object] = {}
@@ -401,9 +504,23 @@ class _Connection:
         if stream is not None and close:
             stream.close()
 
+    def discard_shipper(self, ident) -> None:
+        """Forget (and stop) one log shipper; thread-safe enough."""
+        shipper = self._shippers.pop(ident, None)
+        if shipper is not None:
+            shipper.stop()
+
     def _track_ticket(self, ticket) -> None:
         self._tickets.add(ticket)
         ticket.add_done_callback(self._tickets.discard)
+
+    @staticmethod
+    def _require_writable(name: str, database: GraphDB) -> None:
+        if getattr(database, "read_only", False):
+            raise ReadOnlyReplicaError(
+                f"graph {name!r} is a read-only replica — "
+                "writes must go to the primary"
+            )
 
     def _info(self, name: str, database: GraphDB) -> Dict[str, object]:
         graph = database.graph
@@ -465,7 +582,8 @@ class _Connection:
         return {"dropped": name}
 
     async def _op_checkpoint(self, frame):
-        _, database = self._db(frame)
+        name, database = self._db(frame)
+        self._require_writable(name, database)
         return await self._run(database.checkpoint)
 
     async def _op_info(self, frame):
@@ -473,7 +591,8 @@ class _Connection:
         return self._info(name, database)
 
     async def _op_ingest(self, frame):
-        _, database = self._db(frame)
+        name, database = self._db(frame)
+        self._require_writable(name, database)
 
         def run():
             return database.ingest(
@@ -485,13 +604,15 @@ class _Connection:
         return encode_apply_report(await self._run(run))
 
     async def _op_apply(self, frame):
-        _, database = self._db(frame)
+        name, database = self._db(frame)
+        self._require_writable(name, database)
         delta = GraphDelta.from_dict(frame.get("delta") or {})
         report = await self._run(database.apply, delta)
         return encode_apply_report(report)
 
     async def _op_apply_async(self, frame):
-        _, database = self._db(frame)
+        name, database = self._db(frame)
+        self._require_writable(name, database)
         delta = GraphDelta.from_dict(frame.get("delta") or {})
         future = database.apply_async(delta)
         token = f"a{next(self._pin_ids)}"
@@ -723,6 +844,55 @@ class _Connection:
         self._loop.run_in_executor(self.server._executor, stream.pump)
         return reply
 
+    async def _op_subscribe_log(self, frame):
+        name, database = self._db(frame)
+        # Lazy import: repro.replication imports the api/server layers,
+        # so the hub cannot be a module-level dependency of the server.
+        from repro.replication.hub import get_hub
+
+        from_version = frame.get("from_version")
+        if from_version is not None:
+            from_version = int(from_version)
+
+        def subscribe():
+            return get_hub(database).subscribe(from_version=from_version)
+
+        subscription, catchup = await self._run(subscribe)
+        ident = frame["id"]
+        shipper = _LogShipper(
+            self, ident, database, subscription, catchup["entries"]
+        )
+        self._shippers[ident] = shipper
+        snapshot = catchup["snapshot"]
+        reply = {
+            "subscription": ident,
+            "graph": name,
+            "mode": catchup["mode"],
+            "snapshot": snapshot,
+            "snapshot_version": int(snapshot["version"]) if snapshot else None,
+            "head_version": catchup["head_version"],
+        }
+        # Long-lived pump: a dedicated thread, not an executor slot — a
+        # fleet of replicas must not starve the query pool.
+        threading.Thread(
+            target=shipper.pump, name=f"log-shipper-{ident}", daemon=True
+        ).start()
+        return reply
+
+    async def _op_replica_status(self, frame):
+        name, database = self._db(frame)
+        status = {
+            "graph": name,
+            "replica": False,
+            "read_only": bool(getattr(database, "read_only", False)),
+            "head_version": int(database.head_version),
+        }
+        reporter = getattr(database, "replication_status", None)
+        if reporter is not None:
+            status.update(await self._run(reporter))
+            status["replica"] = True
+        return status
+
     _HANDLERS = {
         "ping": _op_ping,
         "graphs": _op_graphs,
@@ -746,6 +916,8 @@ class _Connection:
         "checkpoint": _op_checkpoint,
         "save": _op_save,
         "stream_open": _op_stream_open,
+        "subscribe_log": _op_subscribe_log,
+        "replica_status": _op_replica_status,
     }
 
     # ------------------------------------------------------------------ #
@@ -758,6 +930,9 @@ class _Connection:
         for stream in list(self._streams.values()):
             stream.close()
         self._streams.clear()
+        for shipper in list(self._shippers.values()):
+            shipper.stop()
+        self._shippers.clear()
         for ticket in list(self._tickets):
             ticket.cancel()
         for _, snapshot in self._pins.values():

@@ -563,11 +563,12 @@ class QuerySession:
     ) -> MatchStream:
         """Incrementally evaluate one query as a :class:`MatchStream`.
 
-        Occurrences flow out as the matcher finds them (lazily for GM and
-        the streaming-capable engines); ``stream.report()`` drains the rest
-        and finalises into the same :class:`MatchReport` :meth:`query`
-        returns.  Matchers without a streaming path (the JM / TM / ISO
-        baselines) evaluate eagerly and replay their finished result
+        Occurrences flow out as the matcher finds them (lazily for GM, the
+        streaming-capable engines, and the JM / TM / ISO baselines, each of
+        which streams genuinely from its enumeration phase);
+        ``stream.report()`` drains the rest and finalises into the same
+        :class:`MatchReport` :meth:`query` returns.  Matchers without a
+        streaming path evaluate eagerly and replay their finished result
         through the same interface.
         """
         matcher = self.matcher(engine)
@@ -581,8 +582,9 @@ class QuerySession:
             )
         stream_method = getattr(matcher, "match_stream", None)
         if stream_method is not None:
-            # Engines, and any baseline with a genuine streaming path (JM's
-            # final hash join emits as it probes).
+            # Engines and the baselines, each with a genuine streaming path
+            # (JM's final hash join emits as it probes, TM yields per
+            # surviving tree solution, ISO yields per completed assignment).
             return stream_method(
                 query, budget=budget, keep_occurrences=keep_occurrences
             )

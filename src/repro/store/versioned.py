@@ -355,7 +355,34 @@ class VersionedGraphStore:
         # Lazily started background writer (apply_async).
         self._write_queue: Optional[queue_module.Queue] = None
         self._writer_thread: Optional[threading.Thread] = None
+        # Publish listeners (replication log shipping): called under the
+        # writer lock, right after the head swap, in registration order.
+        self._publish_listeners: List = []
         self.bind_telemetry(telemetry)
+
+    def add_publish_listener(self, listener) -> None:
+        """Register ``listener(delta, old_version, new_version, published_at)``.
+
+        Called for every *effective* fold (no-ops publish nothing), after
+        the new head is visible to readers but still under the writer lock
+        — so listeners observe publishes in exactly version order, which is
+        what lets the replication hub ship a gapless delta stream without
+        re-reading the journal.  Listeners must be fast and must not apply
+        deltas to this store (deadlock: the writer lock is held).  A
+        listener that raises is dropped from subsequent publishes by the
+        caller's own error handling, not here — exceptions are swallowed so
+        a broken subscriber can never poison the write path.
+        """
+        with self._chain_lock:
+            self._publish_listeners.append(listener)
+
+    def remove_publish_listener(self, listener) -> None:
+        """Deregister a publish listener (missing listeners are ignored)."""
+        with self._chain_lock:
+            try:
+                self._publish_listeners.remove(listener)
+            except ValueError:
+                pass
 
     def bind_telemetry(self, telemetry) -> None:
         """Attach a :class:`~repro.obs.Telemetry` bundle to the store.
@@ -572,7 +599,15 @@ class VersionedGraphStore:
                 self._head = record
                 self._gc_locked()
                 self.stats.note_versions(len(self._records))
+                listeners = list(self._publish_listeners)
             self.stats.note_apply(report)
+            if listeners:
+                published_at = time.time()
+                for listener in listeners:
+                    try:
+                        listener(delta, report.old_version, report.new_version, published_at)
+                    except Exception:  # a subscriber must never poison the write path
+                        pass
             # Auto-checkpoint (still under the writer lock, so the head is
             # stable).  Failure is non-fatal: the journal still covers every
             # published version, so durability holds — only the replay tail

@@ -26,7 +26,7 @@ from repro.wal.durability import (
     is_tenant_directory,
     remove_tenant_directory,
 )
-from repro.wal.log import DeltaLog, scan_log
+from repro.wal.log import DeltaLog, log_identity, scan_log
 
 __all__ = [
     "CHECKPOINT_FILE",
@@ -36,5 +36,6 @@ __all__ = [
     "WalDurability",
     "is_tenant_directory",
     "remove_tenant_directory",
+    "log_identity",
     "scan_log",
 ]

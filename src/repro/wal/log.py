@@ -22,6 +22,7 @@ non-JSON body — cannot be produced by a crash and raises
 from __future__ import annotations
 
 import os
+import tempfile
 import threading
 from typing import Dict, List, Optional, Tuple
 
@@ -63,6 +64,22 @@ def scan_log(path: str) -> Tuple[List[Dict[str, object]], int, int]:
     return entries, valid, size - valid
 
 
+def log_identity(path: str) -> Optional[Tuple[int, int]]:
+    """Identity ``(st_dev, st_ino)`` of the file currently at ``path``.
+
+    :meth:`DeltaLog.truncate` rotates a new inode into place rather than
+    shrinking the old one, so a tailer that remembers the identity it
+    opened can tell "the log I am reading was checkpointed away" (identity
+    changed — finish the old file, reopen) from "no new frames yet"
+    (identity unchanged).  Returns ``None`` while no log file exists.
+    """
+    try:
+        info = os.stat(path)
+    except OSError:
+        return None
+    return (info.st_dev, info.st_ino)
+
+
 class DeltaLog:
     """One tenant's append-only delta journal.
 
@@ -85,6 +102,7 @@ class DeltaLog:
         self._lock = threading.Lock()
         self.entries_appended = 0
         self.bytes_appended = 0
+        self.truncations = 0
 
     # ------------------------------------------------------------------ #
     # appending
@@ -116,17 +134,39 @@ class DeltaLog:
     # ------------------------------------------------------------------ #
 
     def truncate(self) -> None:
-        """Drop every entry (after a checkpoint made them redundant)."""
+        """Drop every entry (after a checkpoint made them redundant).
+
+        Rotation, not in-place truncation: a fresh empty file replaces the
+        log atomically (``os.replace``), so a concurrent tailer holding the
+        old inode open keeps reading *stable* bytes to a clean EOF instead
+        of watching the file shrink mid-frame and then refill with frames
+        from a later generation — the torn/garbage reads an in-place
+        ``truncate(0)`` hands a reader positioned past the new EOF.  The
+        tailer detects the rotation by comparing its handle's inode with
+        the path's (see :func:`log_identity`) and reopens.
+        """
         with self._lock:
             if self._handle is not None:
-                self._handle.truncate(0)
-                self._handle.flush()
+                self._handle.close()
+                self._handle = None
+            if not os.path.exists(self.path):
+                return
+            directory = os.path.dirname(os.path.abspath(self.path)) or "."
+            fd, tmp_path = tempfile.mkstemp(
+                dir=directory, prefix=os.path.basename(self.path) + ".", suffix=".tmp"
+            )
+            try:
                 if self.fsync:
-                    os.fsync(self._handle.fileno())
-            elif os.path.exists(self.path):
-                with open(self.path, "wb") as handle:
-                    if self.fsync:
-                        os.fsync(handle.fileno())
+                    os.fsync(fd)
+                os.close(fd)
+                os.replace(tmp_path, self.path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+                raise
+            self.truncations += 1
 
     def repair(self, valid_bytes: int) -> int:
         """Truncate a torn tail back to the last complete frame boundary.

@@ -43,6 +43,7 @@ from repro.wal import (
     DeltaLog,
     WalDurability,
     is_tenant_directory,
+    log_identity,
     scan_log,
 )
 
@@ -131,6 +132,43 @@ class TestDeltaLog:
         assert log.size_bytes == 0
         entries, _, _ = scan_log(log.path)
         assert entries == []
+        log.close()
+
+    def test_truncate_is_safe_against_a_concurrent_tailer(self, tmp_path):
+        """Truncate-while-shipping: rotation must not yank bytes from a reader.
+
+        A log shipper tails the journal by holding the file open; truncate
+        rotates a fresh empty file into the path instead of truncating in
+        place, so the tailer's handle keeps reading the *old* generation's
+        stable bytes to a clean EOF (never a half-overwritten frame), and
+        the rotation is detectable through :func:`log_identity`.
+        """
+        path = str(tmp_path / "wal.log")
+        log = DeltaLog(path)
+        log.append({"seq": 0})
+        log.append({"seq": 1})
+        old_size = os.path.getsize(path)
+        identity_before = log_identity(path)
+        assert identity_before is not None
+
+        with open(path, "rb") as tailer:  # a shipper mid-tail
+            assert log.truncations == 0
+            log.truncate()
+            assert log.truncations == 1
+            # the old handle still sees every pre-truncate byte, then EOF
+            payload = tailer.read()
+            assert len(payload) == old_size
+            assert tailer.read() == b""
+
+        # the path now names a fresh generation...
+        identity_after = log_identity(path)
+        assert identity_after is not None
+        assert identity_after != identity_before
+        # ...which appends and scans independently of the old bytes
+        log.append({"seq": 2})
+        entries, _, torn = scan_log(path)
+        assert [entry["seq"] for entry in entries] == [2]
+        assert torn == 0
         log.close()
 
 
