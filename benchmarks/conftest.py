@@ -71,6 +71,9 @@ EXPLAIN_JSON_PATH = RESULTS_DIR / "BENCH_explain.json"
 #: Machine-readable trajectory of the replication benchmarks.
 REPLICATION_JSON_PATH = RESULTS_DIR / "BENCH_replication.json"
 
+#: Machine-readable trajectory of the cluster-observability benchmarks.
+OBS_CLUSTER_JSON_PATH = RESULTS_DIR / "BENCH_obs_cluster.json"
+
 
 def _update_json(path: Path, section: str, payload: dict) -> Path:
     """Merge one benchmark's results into a sectioned JSON document.
@@ -133,6 +136,11 @@ def update_explain_json(section: str, payload: dict) -> Path:
 def update_replication_json(section: str, payload: dict) -> Path:
     """Merge one benchmark's results into ``results/BENCH_replication.json``."""
     return _update_json(REPLICATION_JSON_PATH, section, payload)
+
+
+def update_obs_cluster_json(section: str, payload: dict) -> Path:
+    """Merge one benchmark's results into ``results/BENCH_obs_cluster.json``."""
+    return _update_json(OBS_CLUSTER_JSON_PATH, section, payload)
 
 
 @pytest.fixture(scope="session")

@@ -250,6 +250,71 @@ def main() -> None:
                 print(f"reads by target: {spread}")
     shutil.rmtree(primary_dir)
 
+    # 13. Cluster observability: one write, one trace, every node — and a
+    #     federated metrics/health surface over the whole fleet.  The same
+    #     primary + 2 replicas topology; trace=True makes the router record
+    #     the trace's root span, the primary hang ingest/fold/publish/ship
+    #     under it, and each replica join with a replica_apply span, all
+    #     stitched back by assemble_trace.  ClusterMonitor scrapes health +
+    #     per-tenant metrics from all three nodes into one document (the
+    #     `python -m repro.obs.console` dashboard renders it live).
+    import time as _time
+
+    from repro.obs import ClusterMonitor, assemble_trace
+    from repro.obs.console import render_dashboard
+
+    with GraphServer(node="primary") as primary:
+        host, port = primary.address
+        with GraphClient(host, port) as writer:
+            writer.create_graph(
+                "fleet",
+                labels=["Person", "Project", "Task"],
+                edges=[(0, 1), (1, 2)],
+            )
+        with ReplicaServer(host, port, node="replica-a") as replica_a, \
+                ReplicaServer(host, port, node="replica-b") as replica_b:
+            endpoints = [replica_a.address, replica_b.address]
+            with RoutedClient((host, port), replicas=endpoints,
+                              graph="fleet") as routed:
+                report = routed.ingest(labels=["Task"], edges=[(1, 3)],
+                                       trace=True)
+                deadline = _time.monotonic() + 30.0
+                while _time.monotonic() < deadline and not all(
+                    s.get("head_version") == report.new_version
+                    for s in routed.replica_status() if s.get("reachable")
+                ):
+                    _time.sleep(0.05)
+                _time.sleep(0.2)  # let the replicas record their spans
+                tree = assemble_trace(routed.trace_spans(),
+                                      trace_id=routed.last_trace_id)
+
+                def show(node, depth=0):
+                    span = node["span"]
+                    print(f"  {'  ' * depth}{span['name']:<14} "
+                          f"[{span['node']}] {span['seconds'] * 1000:.2f}ms")
+                    for child in node["children"]:
+                        show(child, depth + 1)
+
+                print(f"\none traced write, trace {tree['trace_id']}:")
+                show(tree["root"])
+
+                for entry in routed.health():
+                    print(f"health {entry['target']}: {entry['status']}")
+
+                with ClusterMonitor([(host, port), *endpoints],
+                                    interval=2.0) as monitor:
+                    document = monitor.scrape_once()
+                    print("\nops console frame:")
+                    print(render_dashboard(
+                        document, events=monitor.events(limit=4)))
+                    lag_lines = [
+                        line for line in monitor.to_prometheus().splitlines()
+                        if line.startswith("replication_lag_versions{")
+                    ]
+                    print("\nfederated lag gauges:")
+                    for line in lag_lines:
+                        print(f"  {line}")
+
 
 if __name__ == "__main__":
     main()

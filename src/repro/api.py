@@ -529,6 +529,23 @@ class GraphDB:
             return []
         return self.telemetry.slow_log.recent(limit)
 
+    def trace_spans(
+        self, trace_id: Optional[str] = None, limit: Optional[int] = None
+    ):
+        """Finished distributed-trace spans from this tenant's span ring.
+
+        With ``trace_id``: every retained span of that trace (this node's
+        contribution to the cross-node tree —
+        :func:`repro.obs.assemble_trace` stitches contributions from
+        several nodes).  Without: the most recent spans, oldest first.
+        Empty when telemetry is disabled.
+        """
+        if self.telemetry is None:
+            return []
+        if trace_id is not None:
+            return self.telemetry.spans.for_trace(trace_id)
+        return self.telemetry.spans.recent(limit)
+
     def save(self, path: str) -> str:
         """Persist the head version as one JSON document (see :meth:`open`)."""
         return save_graph_json(self.store.graph, path)

@@ -53,6 +53,7 @@ from repro.exceptions import ProtocolError, StoreError
 from repro.explain.plan import QueryPlan
 from repro.matching.result import Budget, MatchReport
 from repro.matching.stream import decode_page
+from repro.obs.context import TraceContext
 from repro.obs.metrics import MetricsRegistry
 from repro.query.pattern import PatternQuery
 from repro.server.protocol import decode_error, encode_frame, read_frame_sync
@@ -82,8 +83,23 @@ _IDEMPOTENT_OPS = frozenset(
         "metrics",
         "slow_queries",
         "replica_status",
+        "health",
+        "events",
+        "spans",
     }
 )
+
+
+def _encode_trace(trace) -> Optional[object]:
+    """Wire form of a trace argument: a plain id string passes through
+    (pre-distributed-tracing servers understand it), a
+    :class:`~repro.obs.TraceContext` encodes to its structured form so
+    the server can parent its spans under the caller's."""
+    if trace is None:
+        return None
+    if isinstance(trace, TraceContext):
+        return trace.to_wire()
+    return str(trace)
 
 
 def _encode_query(query: QueryLike):
@@ -457,7 +473,11 @@ class GraphClient:
         )
 
     def _request(
-        self, op: str, timeout: Optional[float] = None, **args
+        self,
+        op: str,
+        timeout: Optional[float] = None,
+        wait_timeout: Optional[float] = None,
+        **args,
     ) -> Dict[str, object]:
         """One request/response round trip (stream frames are demultiplexed).
 
@@ -477,6 +497,12 @@ class GraphClient:
             if timeout is not None:
                 frame.setdefault("timeout", timeout)
                 wait = timeout + 10.0
+            if wait_timeout is not None:
+                # Probe mode: bound the *socket* wait itself.  A frozen
+                # process (SIGSTOP) keeps its TCP socket open but answers
+                # nothing — health probes must fail in probe time, not in
+                # request-timeout-plus-grace time.
+                wait = wait_timeout
             last_error: Optional[BaseException] = None
             for attempt in range(self._max_retries + 1):
                 if attempt:
@@ -660,14 +686,23 @@ class GraphClient:
         edges: Iterable[Tuple[int, int]] = (),
         remove_edges: Iterable[Tuple[int, int]] = (),
         graph: Optional[str] = None,
+        trace: Optional[Union[str, TraceContext]] = None,
     ) -> ApplyReport:
-        """Fold nodes/edges into a new version (see :meth:`GraphDB.ingest`)."""
+        """Fold nodes/edges into a new version (see :meth:`GraphDB.ingest`).
+
+        ``trace`` (a :class:`~repro.obs.TraceContext` or plain trace id)
+        makes the fold a traced write: the server parents its
+        ingest/fold/journal/publish spans under the caller's span, and the
+        replication frames ship the context so every replica's apply lands
+        in the same trace.
+        """
         payload = self._request(
             "ingest",
             graph=self._graph_name(graph),
             labels=list(labels),
             edges=[list(edge) for edge in edges],
             remove_edges=[list(edge) for edge in remove_edges],
+            trace=_encode_trace(trace),
         )
         return decode_apply_report(payload)
 
@@ -675,10 +710,18 @@ class GraphClient:
         """A fresh delta written against the tenant's current head."""
         return GraphDelta(int(self.info(graph)["num_nodes"]))
 
-    def apply(self, delta: GraphDelta, graph: Optional[str] = None) -> ApplyReport:
-        """Fold a prepared delta synchronously."""
+    def apply(
+        self,
+        delta: GraphDelta,
+        graph: Optional[str] = None,
+        trace: Optional[Union[str, TraceContext]] = None,
+    ) -> ApplyReport:
+        """Fold a prepared delta synchronously (``trace`` as in :meth:`ingest`)."""
         payload = self._request(
-            "apply", graph=self._graph_name(graph), delta=delta.to_dict()
+            "apply",
+            graph=self._graph_name(graph),
+            delta=delta.to_dict(),
+            trace=_encode_trace(trace),
         )
         return decode_apply_report(payload)
 
@@ -722,7 +765,7 @@ class GraphClient:
             deadline_seconds=deadline_seconds,
             name=name,
             pin=pin,
-            trace=trace_id,
+            trace=_encode_trace(trace_id),
             timeout=timeout,
         )
         return MatchReport.from_wire(payload)
@@ -870,7 +913,7 @@ class GraphClient:
             window=self.stream_window,
             name=name,
             pin=pin,
-            trace=trace_id,
+            trace=_encode_trace(trace_id),
         )
         stream = RemoteStream(
             self,
@@ -926,6 +969,58 @@ class GraphClient:
         which is how a routing layer measures staleness bounds.
         """
         return self._request("replica_status", graph=self._graph_name(graph))
+
+    def health(self, timeout: Optional[float] = None) -> Dict[str, object]:
+        """The node's health summary (graph-less, cheap, probe-friendly).
+
+        Returns ``{"status", "node", "role", "uptime_seconds", "tenants"}``
+        where each tenant entry carries its head version, WAL state,
+        replication lag and a ``ready`` / ``degraded`` / ``unhealthy``
+        classification (see :mod:`repro.obs.health`).  ``timeout`` bounds
+        the *socket* wait: a node that cannot answer within it raises
+        :class:`TimeoutError`, which routers treat as ``unreachable``.
+        """
+        return self._request("health", wait_timeout=timeout)
+
+    def events(
+        self,
+        limit: Optional[int] = None,
+        kinds: Optional[Sequence[str]] = None,
+        after_seq: Optional[int] = None,
+    ) -> Dict[str, object]:
+        """Recent server lifecycle events, oldest first.
+
+        Returns ``{"events": [...], "last_seq": n}``; pass ``after_seq``
+        (the previous reply's ``last_seq``) to page incrementally — the
+        ring's monotonic sequence numbers survive overflow, so a consumer
+        polling with ``after_seq`` never re-reads an event.
+        """
+        return self._request(
+            "events",
+            limit=limit,
+            kinds=list(kinds) if kinds is not None else None,
+            after_seq=after_seq,
+        )
+
+    def trace_spans(
+        self,
+        trace_id: Optional[str] = None,
+        graph: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> Tuple[Dict[str, object], ...]:
+        """Finished distributed-trace spans from one tenant's span ring.
+
+        With ``trace_id``: every span this node recorded for that trace
+        (the raw material :func:`repro.obs.assemble_trace` stitches into
+        a cross-node tree).  Without: the most recent spans, oldest first.
+        """
+        payload = self._request(
+            "spans",
+            graph=self._graph_name(graph),
+            trace_id=trace_id,
+            limit=limit,
+        )
+        return tuple(payload.get("spans", ()))
 
     def local_metrics(self) -> Dict[str, object]:
         """This client's own metric families (``client_reconnects_total``)."""

@@ -40,6 +40,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.client.client import GraphClient
 from repro.exceptions import PrimaryUnavailableError, ReplicationError
+from repro.obs import health as health_states
+from repro.obs.context import Span, SpanRecorder, TraceContext
 from repro.obs.metrics import MetricsRegistry
 
 #: ``(host, port)`` of one serving node.
@@ -56,6 +58,16 @@ class _Node:
         self.evicted_at: Optional[float] = None
         #: graph -> (head_version, probed_at)
         self.versions: Dict[str, Tuple[int, float]] = {}
+        #: last health verdict (``ready``/``degraded``/``unhealthy``/
+        #: ``unreachable``) and when it was probed
+        self.state: Optional[str] = None
+        self.health_at: Optional[float] = None
+        #: graph -> replication lag in versions, as last reported by ``health``
+        self.lag: Dict[str, int] = {}
+
+    @property
+    def servable(self) -> bool:
+        return self.state is not None and health_states.is_servable(self.state)
 
 
 class RoutedClient:
@@ -88,15 +100,18 @@ class RoutedClient:
         max_staleness: Optional[int] = None,
         probe_ttl: float = 0.25,
         probe_interval: float = 1.0,
+        probe_timeout: float = 1.0,
         read_timeout: float = 10.0,
         timeout: Optional[float] = 60.0,
         registry: Optional[MetricsRegistry] = None,
+        span_capacity: int = 256,
     ) -> None:
         self._graph = graph
         self._read_your_writes = bool(read_your_writes)
         self._max_staleness = max_staleness
         self._probe_ttl = float(probe_ttl)
         self._probe_interval = float(probe_interval)
+        self._probe_timeout = float(probe_timeout)
         self._read_timeout = float(read_timeout)
         self._timeout = timeout
         self._lock = threading.RLock()
@@ -123,6 +138,16 @@ class RoutedClient:
         self._m_evictions = self.registry.counter(
             "routed_evictions_total", "Replica connections evicted after failures"
         )
+        self._m_lag = self.registry.gauge(
+            "routed_replica_lag_versions",
+            "Replication lag each replica last reported to this router's probes",
+            labelnames=("replica",),
+        )
+        #: Router-side spans of traced writes (the trace's client root).
+        self.spans = SpanRecorder(span_capacity)
+        #: Trace id of the most recent traced write (handy when the
+        #: caller passed ``trace=True`` and let the router mint the id).
+        self.last_trace_id: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # node plumbing
@@ -161,6 +186,8 @@ class RoutedClient:
             node.client = None
         node.evicted_at = time.monotonic()
         node.versions.clear()
+        node.state = health_states.UNREACHABLE
+        node.health_at = None  # re-probe health first thing after reconnect
         self._m_evictions.inc()
 
     def _graph_name(self, graph: Optional[str]) -> str:
@@ -186,18 +213,50 @@ class RoutedClient:
                 floor = max(floor, head - int(self._max_staleness))
         return floor
 
+    def _probe_health(self, node: _Node, client: GraphClient):
+        """One ``health`` round trip: refresh state, heads and lag caches.
+
+        Returns the health document, or ``None`` after evicting the node —
+        a probe that cannot answer within ``probe_timeout`` means the
+        process is down *or frozen* (a SIGSTOP'd server keeps its socket
+        open but answers nothing), and both verdicts are ``unreachable``.
+        """
+        try:
+            document = client.health(timeout=self._probe_timeout)
+        except (TimeoutError, ConnectionError, OSError):
+            self._evict(node)
+            return None
+        node.state = str(document.get("status") or health_states.UNHEALTHY)
+        now = time.monotonic()
+        node.health_at = now
+        for name, entry in (document.get("tenants") or {}).items():
+            if not isinstance(entry, dict):
+                continue
+            head = entry.get("head_version")
+            if head is not None:
+                node.versions[name] = (int(head), now)
+            replication = entry.get("replication")
+            if isinstance(replication, dict):
+                lag = int(replication.get("lag_versions") or 0)
+                node.lag[name] = lag
+                self._m_lag.labels(node.label).set(float(lag))
+        return document
+
     def _meets_floor(self, node: _Node, client: GraphClient, graph: str, floor: int) -> bool:
+        """Health-gated qualification: the node answers probes, classifies
+        as servable, and (when a floor applies) has folded up to it."""
+        now = time.monotonic()
+        if node.health_at is None or now - node.health_at >= self._probe_ttl:
+            if self._probe_health(node, client) is None:
+                return False  # unreachable — just evicted
+        if not node.servable:
+            return False
         if floor < 0:
             return True
         cached = node.versions.get(graph)
-        now = time.monotonic()
-        if cached is not None and cached[0] >= floor:
-            return True  # versions are monotone: an old "fresh enough" stays true
-        if cached is not None and now - cached[1] < self._probe_ttl:
-            return False
-        version = int(client.info(graph=graph)["head_version"])
-        node.versions[graph] = (version, now)
-        return version >= floor
+        # Versions are monotone: a cached "fresh enough" stays true; a
+        # cached too-stale answer holds until the next health refresh.
+        return cached is not None and cached[0] >= floor
 
     def _note_write(self, graph: str, new_version) -> None:
         if new_version is None:
@@ -289,19 +348,77 @@ class RoutedClient:
     # writes -> primary
     # ------------------------------------------------------------------ #
 
-    def ingest(self, labels=(), edges=(), remove_edges=(), graph=None):
-        """Fold nodes/edges on the primary; advances the read floor."""
-        name = self._graph_name(graph)
-        report = self._write(
-            "ingest", labels=labels, edges=edges, remove_edges=remove_edges, graph=name
+    def _start_trace(self, trace, op: str, graph: str):
+        """Open the client-side root of a traced write.
+
+        Returns ``(child_context, root, request)``: the context the wire
+        call propagates (parented under the router's ``request`` span) and
+        the two router spans to finish when the call returns.  ``trace``
+        may be ``True`` (mint a fresh trace id), a plain id string, or a
+        prepared :class:`~repro.obs.TraceContext`.
+        """
+        if trace is None or trace is False:
+            return None, None, None
+        if isinstance(trace, TraceContext):
+            context = trace
+        elif trace is True:
+            context = TraceContext.new()
+        else:
+            context = TraceContext(str(trace), None, True)
+        root = Span(
+            op,
+            context.trace_id,
+            parent_id=context.span_id,
+            node="router",
+            graph=graph,
         )
+        request = Span(
+            "request", context.trace_id, parent_id=root.span_id, node="router"
+        )
+        self.last_trace_id = context.trace_id
+        return TraceContext(context.trace_id, request.span_id, True), root, request
+
+    def _finish_trace(self, root: Optional[Span], request: Optional[Span]) -> None:
+        if root is None:
+            return
+        self.spans.record(request.finish())
+        self.spans.record(root.finish())
+
+    def ingest(self, labels=(), edges=(), remove_edges=(), graph=None, trace=None):
+        """Fold nodes/edges on the primary; advances the read floor.
+
+        ``trace`` (``True``, a trace id, or a
+        :class:`~repro.obs.TraceContext`) makes this a traced write: the
+        router records the trace's root span, the primary hangs its
+        ingest/fold/journal/publish spans under it, and every replica's
+        apply joins the same trace — fetch the scattered spans with
+        :meth:`trace_spans` and stitch them with
+        :func:`repro.obs.assemble_trace`.
+        """
+        name = self._graph_name(graph)
+        context, root, request = self._start_trace(trace, "write", name)
+        try:
+            report = self._write(
+                "ingest",
+                labels=labels,
+                edges=edges,
+                remove_edges=remove_edges,
+                graph=name,
+                trace=context,
+            )
+        finally:
+            self._finish_trace(root, request)
         self._note_write(name, report.new_version)
         return report
 
-    def apply(self, delta, graph=None):
-        """Fold a prepared delta on the primary; advances the read floor."""
+    def apply(self, delta, graph=None, trace=None):
+        """Fold a prepared delta on the primary (``trace`` as in :meth:`ingest`)."""
         name = self._graph_name(graph)
-        report = self._write("apply", delta, graph=name)
+        context, root, request = self._start_trace(trace, "write", name)
+        try:
+            report = self._write("apply", delta, graph=name, trace=context)
+        finally:
+            self._finish_trace(root, request)
         self._note_write(name, report.new_version)
         return report
 
@@ -410,8 +527,98 @@ class RoutedClient:
                 statuses.append(status)
         return statuses
 
+    def health(self) -> List[Dict[str, object]]:
+        """Probe every configured node's ``health`` op right now.
+
+        Each entry carries the node's ``target`` / ``endpoint`` and its
+        verdict: the server-reported document for nodes that answered,
+        ``status="unreachable"`` for nodes that did not (down, or frozen
+        past ``probe_timeout``).
+        """
+        out: List[Dict[str, object]] = []
+        with self._lock:
+            for node in [self._primary, *self._replicas]:
+                entry: Dict[str, object] = {
+                    "target": node.label,
+                    "endpoint": list(node.endpoint),
+                }
+                client = self._connect(node)
+                document = (
+                    self._probe_health(node, client) if client is not None else None
+                )
+                if document is not None:
+                    entry.update(document)
+                else:
+                    entry["status"] = health_states.UNREACHABLE
+                out.append(entry)
+        return out
+
+    def trace_spans(
+        self, trace_id: Optional[str] = None, graph: Optional[str] = None
+    ) -> List[Dict[str, object]]:
+        """Every span of one trace visible from this router.
+
+        Merges the router's own root spans with the ``spans`` rings of the
+        primary and every reachable replica; feed the result to
+        :func:`repro.obs.assemble_trace` for the cross-node tree.
+        ``trace_id`` defaults to the router's most recent traced write.
+        """
+        name = self._graph_name(graph)
+        trace_id = trace_id or self.last_trace_id
+        collected: List[Dict[str, object]] = [
+            span
+            for span in self.spans.recent()
+            if trace_id is None or span.get("trace_id") == trace_id
+        ]
+        with self._lock:
+            for node in [self._primary, *self._replicas]:
+                client = self._connect(node)
+                if client is None:
+                    continue
+                try:
+                    collected.extend(
+                        client.trace_spans(trace_id=trace_id, graph=name)
+                    )
+                except Exception:
+                    continue  # a node missing from the sweep shows up as orphans
+        return collected
+
+    def stats(self) -> Dict[str, object]:
+        """Routing state at a glance: per-node health, observed lag, counts."""
+        with self._lock:
+            replicas = []
+            for node in self._replicas:
+                replicas.append(
+                    {
+                        "target": node.label,
+                        "endpoint": list(node.endpoint),
+                        "status": node.state,
+                        "connected": node.client is not None,
+                        "lag_versions": dict(node.lag),
+                    }
+                )
+            reads = {
+                key[0]: child.value
+                for key, child in self._m_reads.children()
+                if key
+            }
+            return {
+                "primary": {
+                    "endpoint": list(self._primary.endpoint),
+                    "status": self._primary.state,
+                    "connected": self._primary.client is not None,
+                },
+                "replicas": replicas,
+                "reads_by_target": reads,
+                "writes": self._m_writes.value,
+                "evictions": self._m_evictions.value,
+                "known_heads": dict(self._known_head),
+                "last_written": dict(self._last_written),
+            }
+
     def local_metrics(self) -> Dict[str, object]:
-        """This router's metric families (reads by target, writes, evictions)."""
+        """This router's metric families (reads by target, writes, evictions,
+        per-replica observed lag)."""
         return self.registry.snapshot()
 
     # ------------------------------------------------------------------ #

@@ -21,8 +21,45 @@ surface.  This package is that surface:
   ``GraphDB`` → store → service → WAL as one context object.
 * :func:`percentile` / :class:`Reservoir` — the single shared quantile
   implementation (nearest-rank) and its bounded-memory sampling companion.
+
+The cluster observability plane (PR 10) extends the surface across nodes:
+
+* :class:`TraceContext` / :class:`Span` / :class:`SpanRecorder` /
+  :func:`assemble_trace` — cross-node trace propagation: one trace id
+  follows a write from the routing client through the primary's fold,
+  journal and publish into every replica's apply (see
+  :mod:`repro.obs.context`).
+* :mod:`repro.obs.health` — the shared ``ready`` / ``degraded`` /
+  ``unhealthy`` / ``unreachable`` vocabulary behind the ``health`` wire
+  op and the router's probing.
+* :class:`EventLog` — each server's bounded ring of lifecycle events,
+  queryable over the ``events`` wire op.
+* :class:`ClusterMonitor` — federated scraping: every node's per-tenant
+  registries merged into one cluster snapshot with ``node`` / ``role`` /
+  ``tenant`` labels plus derived fleet gauges, as JSON or Prometheus
+  text (see :mod:`repro.obs.federation`); ``python -m repro.obs.console``
+  renders it as a live dashboard.
 """
 
+from repro.obs.context import (
+    Span,
+    SpanRecorder,
+    TraceContext,
+    assemble_trace,
+    new_span_id,
+    trace_span,
+)
+from repro.obs.events import EventLog
+from repro.obs.health import (
+    DEGRADED,
+    READY,
+    UNHEALTHY,
+    UNREACHABLE,
+    classify_tenant,
+    is_servable,
+    worst,
+)
+from repro.obs.federation import ClusterMonitor
 from repro.obs.log import TenantLoggerAdapter, configure as configure_logging, get_logger
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
@@ -38,19 +75,34 @@ from repro.obs.trace import NULL_TRACE, Trace, Tracer, new_trace_id
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "DEGRADED",
+    "READY",
+    "UNHEALTHY",
+    "UNREACHABLE",
+    "ClusterMonitor",
     "CounterFamily",
+    "EventLog",
     "GaugeFamily",
     "HistogramFamily",
     "MetricsRegistry",
     "NULL_TRACE",
     "Reservoir",
     "SlowQueryLog",
+    "Span",
+    "SpanRecorder",
     "Telemetry",
     "TenantLoggerAdapter",
     "Trace",
+    "TraceContext",
     "Tracer",
+    "assemble_trace",
+    "classify_tenant",
     "configure_logging",
     "get_logger",
+    "is_servable",
+    "new_span_id",
     "new_trace_id",
     "percentile",
+    "trace_span",
+    "worst",
 ]

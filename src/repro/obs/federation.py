@@ -1,0 +1,417 @@
+"""Metrics federation: one scraper over every node's tenant registries.
+
+A cluster is a primary plus N replicas, each serving per-tenant
+:class:`~repro.obs.MetricsRegistry` documents over the ``metrics`` wire
+op and a role/lag summary over ``health``.  :class:`ClusterMonitor`
+scrapes them all — once on demand (:meth:`scrape_once`) or on an
+interval (:meth:`start`) — and merges the per-tenant families into one
+cluster document where every sample carries ``node`` / ``role`` /
+``tenant`` labels, so ``replication_lag_versions{node="replica-0",
+tenant="social"}`` means what it says regardless of which process
+exported it.
+
+On top of the merged families the monitor derives fleet-level gauges:
+
+* ``cluster_replication_lag_max_versions`` — the worst replica lag
+  anywhere (the number a routing SLO cares about);
+* ``cluster_read_requests_total`` / ``cluster_write_requests_total`` —
+  the fleet's read/write split, classified from the per-op request
+  counters;
+* ``cluster_error_rate`` — fleet-wide errored fraction of requests;
+* ``cluster_nodes_reachable`` / ``cluster_nodes_total``.
+
+Both surfaces are exposed as JSON (:meth:`snapshot`) and Prometheus
+text exposition (:meth:`to_prometheus`).  The monitor is thread-safe:
+scrapes build a fresh document and swap it in under a lock, so readers
+never observe a half-merged snapshot.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.obs import health as health_states
+from repro.obs.metrics import (
+    _escape_help,
+    _format_value,
+    _render_labels,
+)
+
+#: A scrape target: ``(host, port)`` or ``(host, port, label)``.
+NodeSpec = Union[Tuple[str, int], Tuple[str, int, str]]
+
+#: Ops counted as writes when deriving the fleet's read/write split.
+WRITE_OPS = frozenset(
+    {
+        "ingest",
+        "apply",
+        "apply_async",
+        "apply_wait",
+        "create_graph",
+        "drop_graph",
+        "checkpoint",
+        "save",
+    }
+)
+
+
+class _Target:
+    """One scrape target's endpoint, label and cached client."""
+
+    def __init__(self, host: str, port: int, label: Optional[str] = None) -> None:
+        self.host = str(host)
+        self.port = int(port)
+        self.label = label or f"{self.host}:{self.port}"
+        self.client = None
+
+    def connect(self, timeout: Optional[float]):
+        """The cached wire client, connecting lazily; raises on failure."""
+        if self.client is None:
+            # Lazy import: repro.client imports obs submodules; importing
+            # it at module scope would cycle through the obs package.
+            from repro.client.client import GraphClient
+
+            self.client = GraphClient(
+                self.host, self.port, timeout=timeout, reconnect=False
+            )
+        return self.client
+
+    def drop(self) -> None:
+        if self.client is not None:
+            try:
+                self.client.close()
+            except Exception:
+                pass
+            self.client = None
+
+
+class ClusterMonitor:
+    """Scrape, merge and derive: the cluster's one observability surface.
+
+    Parameters
+    ----------
+    nodes:
+        Scrape targets, ``(host, port)`` or ``(host, port, label)``.
+        Labels default to ``host:port``; the *server-reported* node name
+        (``health``'s ``node`` field) is used for the ``node`` metric
+        label when available, so federated samples match the names spans
+        carry.
+    interval:
+        Background scrape period for :meth:`start` (seconds).
+    probe_timeout:
+        Socket wait bound per request while scraping — an unresponsive
+        node costs one timeout, not a hung scrape.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[NodeSpec],
+        interval: float = 2.0,
+        probe_timeout: float = 5.0,
+    ) -> None:
+        self._targets = [
+            _Target(*node) if len(node) >= 3 else _Target(node[0], node[1])
+            for node in nodes
+        ]
+        self.interval = float(interval)
+        self.probe_timeout = float(probe_timeout)
+        self._lock = threading.Lock()
+        self._document: Optional[Dict[str, object]] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self.scrapes = 0
+        self.scrape_errors = 0
+
+    # ------------------------------------------------------------------ #
+    # scraping
+    # ------------------------------------------------------------------ #
+
+    def _scrape_node(self, target: _Target) -> Dict[str, object]:
+        """One node's health + per-tenant metric documents (or unreachable)."""
+        try:
+            client = target.connect(self.probe_timeout)
+            health = client.health(timeout=self.probe_timeout)
+        except Exception as exc:
+            target.drop()
+            self.scrape_errors += 1
+            return {
+                "label": target.label,
+                "reachable": False,
+                "status": health_states.UNREACHABLE,
+                "error": str(exc),
+            }
+        node_name = str(health.get("node") or target.label)
+        entry: Dict[str, object] = {
+            "label": target.label,
+            "node": node_name,
+            "reachable": True,
+            "role": str(health.get("role") or "unknown"),
+            "status": str(health.get("status") or "unknown"),
+            "uptime_seconds": health.get("uptime_seconds"),
+            "health": health,
+            "tenants": {},
+        }
+        for tenant in sorted((health.get("tenants") or {})):
+            try:
+                entry["tenants"][tenant] = client.server_metrics(graph=tenant)
+            except Exception:
+                # Telemetry disabled for this tenant (or it was dropped
+                # mid-scrape): its families are simply absent this round.
+                continue
+        return entry
+
+    def scrape_once(self) -> Dict[str, object]:
+        """Scrape every node now; merge, derive, publish and return."""
+        nodes = [self._scrape_node(target) for target in self._targets]
+        document = self._merge(nodes)
+        with self._lock:
+            self._document = document
+            self.scrapes += 1
+        return document
+
+    def _merge(self, nodes: List[Dict[str, object]]) -> Dict[str, object]:
+        families: Dict[str, Dict[str, object]] = {}
+        max_lag = 0.0
+        reads = writes = errors = requests = 0.0
+        for node in nodes:
+            if not node.get("reachable"):
+                continue
+            node_name = str(node["node"])
+            role = str(node["role"])
+            for tenant, snapshot in (node.get("tenants") or {}).items():
+                if not isinstance(snapshot, Mapping):
+                    continue
+                for name, family in sorted(snapshot.items()):
+                    merged = families.setdefault(
+                        name,
+                        {
+                            "type": family.get("type", "untyped"),
+                            "help": family.get("help", ""),
+                            "values": [],
+                        },
+                    )
+                    for value in family.get("values", ()):
+                        labels = dict(value.get("labels") or {})
+                        labels.update(node=node_name, role=role, tenant=tenant)
+                        stamped = dict(value)
+                        stamped["labels"] = labels
+                        merged["values"].append(stamped)
+                        if name == "replication_lag_versions":
+                            max_lag = max(max_lag, float(value.get("value") or 0.0))
+                        elif name == "server_requests_total":
+                            count = float(value.get("value") or 0.0)
+                            requests += count
+                            if labels.get("op") in WRITE_OPS:
+                                writes += count
+                            else:
+                                reads += count
+                        elif name == "server_errors_total":
+                            errors += float(value.get("value") or 0.0)
+        reachable = sum(1 for node in nodes if node.get("reachable"))
+        derived = {
+            "cluster_replication_lag_max_versions": {
+                "type": "gauge",
+                "help": "Worst replica lag (versions) across the fleet",
+                "values": [{"labels": {}, "value": max_lag}],
+            },
+            "cluster_read_requests_total": {
+                "type": "counter",
+                "help": "Fleet-wide wire requests classified as reads",
+                "values": [{"labels": {}, "value": reads}],
+            },
+            "cluster_write_requests_total": {
+                "type": "counter",
+                "help": "Fleet-wide wire requests classified as writes",
+                "values": [{"labels": {}, "value": writes}],
+            },
+            "cluster_error_rate": {
+                "type": "gauge",
+                "help": "Fleet-wide errored fraction of wire requests",
+                "values": [
+                    {"labels": {}, "value": errors / requests if requests else 0.0}
+                ],
+            },
+            "cluster_nodes_reachable": {
+                "type": "gauge",
+                "help": "Scrape targets that answered this round",
+                "values": [{"labels": {}, "value": float(reachable)}],
+            },
+            "cluster_nodes_total": {
+                "type": "gauge",
+                "help": "Scrape targets configured",
+                "values": [{"labels": {}, "value": float(len(nodes))}],
+            },
+        }
+        return {
+            "scraped_at": time.time(),
+            "status": health_states.worst(
+                str(node.get("status", health_states.UNREACHABLE)) for node in nodes
+            ),
+            "nodes": {str(node["label"]): node for node in nodes},
+            "metrics": families,
+            "derived": derived,
+        }
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> Dict[str, object]:
+        """The latest merged cluster document (scraping first if none yet)."""
+        with self._lock:
+            document = self._document
+        if document is None:
+            document = self.scrape_once()
+        return document
+
+    def to_prometheus(self) -> str:
+        """The merged families + derived gauges in text exposition format."""
+        document = self.snapshot()
+        lines: List[str] = []
+        merged: Dict[str, Dict[str, object]] = {}
+        merged.update(document.get("metrics") or {})
+        merged.update(document.get("derived") or {})
+        for name in sorted(merged):
+            family = merged[name]
+            help_text = str(family.get("help") or "")
+            if help_text:
+                lines.append(f"# HELP {name} {_escape_help(help_text)}")
+            lines.append(f"# TYPE {name} {family.get('type', 'untyped')}")
+            for value in family.get("values", ()):
+                labels = dict(value.get("labels") or {})
+                if "buckets" in value:
+                    for bound, count in value["buckets"].items():
+                        bucket_labels = dict(labels, le=str(bound))
+                        lines.append(
+                            f"{name}_bucket{_render_labels(bucket_labels)} {count}"
+                        )
+                    lines.append(
+                        f"{name}_sum{_render_labels(labels)} "
+                        f"{_format_value(float(value.get('sum') or 0.0))}"
+                    )
+                    lines.append(
+                        f"{name}_count{_render_labels(labels)} "
+                        f"{int(value.get('count') or 0)}"
+                    )
+                else:
+                    lines.append(
+                        f"{name}{_render_labels(labels)} "
+                        f"{_format_value(float(value.get('value') or 0.0))}"
+                    )
+        return "\n".join(lines) + "\n"
+
+    def health(self) -> Dict[str, object]:
+        """Per-node health from the latest scrape: ``label -> status``."""
+        document = self.snapshot()
+        return {
+            label: {
+                "status": node.get("status"),
+                "role": node.get("role"),
+                "reachable": bool(node.get("reachable")),
+            }
+            for label, node in (document.get("nodes") or {}).items()
+        }
+
+    def events(self, limit: Optional[int] = None) -> List[Dict[str, object]]:
+        """Live-tail every reachable node's event ring, merged by timestamp."""
+        collected: List[Dict[str, object]] = []
+        for target in self._targets:
+            try:
+                client = target.connect(self.probe_timeout)
+                payload = client.events(limit=limit)
+            except Exception:
+                target.drop()
+                continue
+            for event in payload.get("events", ()):
+                stamped = dict(event)
+                stamped["node"] = target.label
+                collected.append(stamped)
+        collected.sort(key=lambda event: float(event.get("ts") or 0.0))
+        if limit is not None:
+            collected = collected[-max(0, int(limit)):]
+        return collected
+
+    def slow_queries(
+        self, limit: Optional[int] = None
+    ) -> List[Dict[str, object]]:
+        """The fleet's slow-query tail, merged across nodes and tenants."""
+        collected: List[Dict[str, object]] = []
+        for target in self._targets:
+            try:
+                client = target.connect(self.probe_timeout)
+                health = client.health(timeout=self.probe_timeout)
+                for tenant in sorted((health.get("tenants") or {})):
+                    for entry in client.slow_queries(graph=tenant, limit=limit):
+                        stamped = dict(entry)
+                        stamped.update(node=target.label, tenant=tenant)
+                        collected.append(stamped)
+            except Exception:
+                target.drop()
+                continue
+        collected.sort(key=lambda entry: float(entry.get("finished_at") or 0.0))
+        if limit is not None:
+            collected = collected[-max(0, int(limit)):]
+        return collected
+
+    def trace_spans(self, trace_id: str) -> List[Dict[str, object]]:
+        """Every span of one trace across all reachable nodes and tenants."""
+        collected: List[Dict[str, object]] = []
+        for target in self._targets:
+            try:
+                client = target.connect(self.probe_timeout)
+                health = client.health(timeout=self.probe_timeout)
+                for tenant in sorted((health.get("tenants") or {})):
+                    collected.extend(
+                        client.trace_spans(trace_id=trace_id, graph=tenant)
+                    )
+            except Exception:
+                target.drop()
+                continue
+        return collected
+
+    # ------------------------------------------------------------------ #
+    # background scraping
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> "ClusterMonitor":
+        """Scrape on :attr:`interval` until :meth:`stop` (daemon thread)."""
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+
+        def loop() -> None:
+            while not self._stop.is_set():
+                try:
+                    self.scrape_once()
+                except Exception:
+                    self.scrape_errors += 1
+                self._stop.wait(self.interval)
+
+        self._thread = threading.Thread(
+            target=loop, name="cluster-monitor", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the background scraper and drop every cached connection."""
+        self._stop.set()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=10.0)
+        for target in self._targets:
+            target.drop()
+
+    def __enter__(self) -> "ClusterMonitor":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ClusterMonitor({len(self._targets)} node(s), "
+            f"scrapes={self.scrapes}, errors={self.scrape_errors})"
+        )

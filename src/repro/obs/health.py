@@ -1,0 +1,92 @@
+"""Health/readiness classification shared by servers, routers and monitors.
+
+One vocabulary for "can this node serve?":
+
+* ``ready`` — serving at full fidelity (a primary with its WAL healthy,
+  a replica connected and within the lag budget).
+* ``degraded`` — serving, but stale or impaired (a replica disconnected
+  from its primary, or lagging past ``degraded_lag_versions``): reads
+  still answer, a router should prefer healthier peers.
+* ``unhealthy`` — should not serve (lag past ``unhealthy_lag_versions``
+  — the staleness no caller signed up for).
+* ``unreachable`` — a *client-side* verdict: the node did not answer a
+  health probe at all (down, partitioned, or frozen — a SIGSTOP'd
+  process keeps its TCP socket open but answers nothing, which is why
+  probes must time out fast rather than wait).
+
+The server builds its ``health`` op reply from :func:`classify_tenant` /
+:func:`worst`; :class:`~repro.client.RoutedClient` and
+:class:`~repro.obs.federation.ClusterMonitor` consume the same states.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+__all__ = [
+    "DEGRADED",
+    "DEFAULT_DEGRADED_LAG_VERSIONS",
+    "DEFAULT_UNHEALTHY_LAG_VERSIONS",
+    "READY",
+    "UNHEALTHY",
+    "UNREACHABLE",
+    "classify_tenant",
+    "is_servable",
+    "worst",
+]
+
+READY = "ready"
+DEGRADED = "degraded"
+UNHEALTHY = "unhealthy"
+UNREACHABLE = "unreachable"
+
+#: Replica lag (in versions) past which a tenant reports ``degraded``.
+DEFAULT_DEGRADED_LAG_VERSIONS = 16
+
+#: Replica lag (in versions) past which a tenant reports ``unhealthy``.
+DEFAULT_UNHEALTHY_LAG_VERSIONS = 1024
+
+#: Severity order, mildest first (indices compare states).
+_SEVERITY = (READY, DEGRADED, UNHEALTHY, UNREACHABLE)
+
+
+def worst(states: Iterable[str]) -> str:
+    """The most severe of the given states (``ready`` when empty)."""
+    rank = 0
+    for state in states:
+        try:
+            rank = max(rank, _SEVERITY.index(state))
+        except ValueError:
+            rank = max(rank, _SEVERITY.index(UNHEALTHY))  # unknown = bad
+    return _SEVERITY[rank]
+
+
+def is_servable(state: str) -> bool:
+    """Whether a router should keep dispatching reads to this state."""
+    return state in (READY, DEGRADED)
+
+
+def classify_tenant(
+    role: str,
+    tail_status: Optional[Dict[str, object]] = None,
+    degraded_lag_versions: int = DEFAULT_DEGRADED_LAG_VERSIONS,
+    unhealthy_lag_versions: int = DEFAULT_UNHEALTHY_LAG_VERSIONS,
+) -> str:
+    """One tenant's health state on one node.
+
+    A primary tenant is ``ready`` (its write path either works or raises
+    loudly — there is no stale-but-serving middle ground).  A replica
+    tenant is judged by its tail: disconnected → ``degraded`` (it keeps
+    serving its last folded version), lag past the degraded threshold →
+    ``degraded``, lag past the unhealthy threshold → ``unhealthy``.
+    """
+    if role != "replica" or tail_status is None:
+        return READY
+    lag = int(tail_status.get("lag_versions") or 0)
+    if lag > int(unhealthy_lag_versions):
+        return UNHEALTHY
+    if not tail_status.get("connected", False):
+        return DEGRADED
+    if lag > int(degraded_lag_versions):
+        return DEGRADED
+    return READY

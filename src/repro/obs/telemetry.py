@@ -19,17 +19,18 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.obs.context import SpanRecorder
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.slowlog import SlowQueryLog
 from repro.obs.trace import Tracer
 
 
 class Telemetry:
-    """Per-tenant observability bundle: registry + tracer + slow-query log.
+    """Per-tenant observability bundle: registry + tracer + slow log + spans.
 
     Parameters
     ----------
-    registry / tracer / slow_log:
+    registry / tracer / slow_log / spans:
         Pre-built components to adopt; anything omitted is constructed from
         the scalar knobs below.
     sample_rate:
@@ -40,6 +41,11 @@ class Telemetry:
         records every query.
     slow_log_path:
         Optional JSON-lines file the slow log also appends to.
+    span_capacity:
+        Size of the cross-node span ring (see
+        :class:`~repro.obs.context.SpanRecorder`): how many finished
+        distributed-trace spans this tenant retains for the ``spans``
+        wire op and cross-node trace assembly.
     """
 
     def __init__(
@@ -47,10 +53,12 @@ class Telemetry:
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
         slow_log: Optional[SlowQueryLog] = None,
+        spans: Optional[SpanRecorder] = None,
         sample_rate: float = 0.0,
         slow_query_seconds: Optional[float] = None,
         slow_log_path: Optional[str] = None,
         slow_log_capacity: int = 128,
+        span_capacity: int = 512,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer(sample_rate=sample_rate)
@@ -63,6 +71,7 @@ class Telemetry:
                 capacity=slow_log_capacity,
             )
         )
+        self.spans = spans if spans is not None else SpanRecorder(span_capacity)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -37,6 +37,7 @@ import threading
 from typing import Dict, List, Optional, Tuple
 
 from repro.exceptions import ReplicationError
+from repro.obs import context as trace_context
 from repro.wal.durability import KIND_DELTA
 from repro.wal.log import scan_log
 
@@ -162,8 +163,16 @@ class ReplicationHub:
             "delta": delta.to_dict(),
             "published_at": float(published_at),
         }
-        for subscription in subscribers:
-            subscription.offer(frame)
+        # Listeners run on the fold thread: a traced write's context (the
+        # primary's live ``fold`` span) is active here, so the shipped
+        # frame carries it and each replica's apply span hangs under the
+        # fold that produced the version it folds.
+        active = trace_context.current()
+        if active is not None and active.context.sampled:
+            frame["trace"] = active.context.to_wire()
+        with trace_context.trace_span("ship", subscribers=len(subscribers)):
+            for subscription in subscribers:
+                subscription.offer(frame)
         self.frames_fanout += len(subscribers)
         if self._m_fanout is not None:
             self._m_fanout.inc(len(subscribers))

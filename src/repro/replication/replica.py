@@ -53,6 +53,7 @@ from repro.exceptions import (
     ReplicationError,
 )
 from repro.graph.digraph import DataGraph
+from repro.obs import context as trace_context
 from repro.server.protocol import decode_error, encode_frame, read_frame_sync
 from repro.service.service import QueryService, ServiceConfig
 from repro.store.versioned import VersionedGraphStore
@@ -98,11 +99,14 @@ class ReplicaTail:
         backoff_base: float = 0.05,
         backoff_max: float = 2.0,
         subscribe_timeout: float = 60.0,
+        node: Optional[str] = None,
         **open_kwargs,
     ) -> None:
         self.host = host
         self.port = port
         self.graph = graph
+        #: This node's name on cross-node trace spans (``replica_apply``).
+        self.node = node or f"replica:{graph}"
         self._data_dir = os.fspath(data_dir) if data_dir is not None else None
         self._config = config
         self._checkpoint_every = checkpoint_every
@@ -407,7 +411,22 @@ class ReplicaTail:
             raise _Gap(
                 f"frame base v{base_version} is ahead of local head v{head}"
             )
-        report = self.database.store.apply(GraphDelta.from_dict(frame["delta"]))
+        delta = GraphDelta.from_dict(frame["delta"])
+        context = trace_context.TraceContext.from_wire(frame.get("trace"))
+        if context is not None:
+            # A traced fold: activate the shipped context (parented on the
+            # primary's fold span) so this replica's apply — and the
+            # nested fold/journal spans its own store opens — lands in the
+            # replica's span ring under the same trace id.
+            telemetry = getattr(self.database, "telemetry", None)
+            recorder = telemetry.spans if telemetry is not None else None
+            with trace_context.activate(context, recorder=recorder, node=self.node):
+                with trace_context.trace_span(
+                    "replica_apply", version=new_version
+                ):
+                    report = self.database.store.apply(delta)
+        else:
+            report = self.database.store.apply(delta)
         if int(report.new_version) != new_version:
             raise ReplicaDivergedError(new_version, int(report.new_version))
         self.frames_applied += 1
@@ -508,10 +527,14 @@ class ReplicaServer:
         data_dir: Optional[str] = None,
         config: Optional[ServiceConfig] = None,
         checkpoint_every: Optional[int] = None,
+        node: Optional[str] = None,
         **server_kwargs,
     ) -> None:
         self.primary_host = primary_host
         self.primary_port = int(primary_port)
+        #: This node's name on health replies, trace spans and federated
+        #: metrics labels; defaults to ``replica-<pid>``.
+        self.node = node or f"replica-{os.getpid()}"
         self._graphs = list(graphs) if graphs is not None else None
         self._host = host
         self._port = int(port)
@@ -551,6 +574,7 @@ class ReplicaServer:
                     data_dir=tenant_dir,
                     config=self._config,
                     checkpoint_every=self._checkpoint_every,
+                    node=self.node,
                 )
                 database = tail.start()
                 self.tails[name] = tail
@@ -559,6 +583,8 @@ class ReplicaServer:
                 catalog=self.catalog,
                 host=self._host,
                 port=self._port,
+                node=self.node,
+                role="replica",
                 **self._server_kwargs,
             )
             self.address = self.server.start()

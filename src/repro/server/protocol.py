@@ -87,6 +87,7 @@ __all__ = [
     "decode_length",
     "encode_error",
     "encode_frame",
+    "error_code",
     "read_frame",
     "read_frame_sync",
 ]
@@ -231,6 +232,13 @@ def _encode_error_payload(exc: BaseException) -> Dict[str, object]:
         if isinstance(exc, klass):
             return {"code": code, "message": str(exc)}
     return {"code": "internal", "type": type(exc).__name__, "message": str(exc)}
+
+
+def error_code(exc: BaseException) -> str:
+    """The wire code ``exc`` encodes to — the ``kind`` label of
+    ``server_errors_total{op,kind}``, so metrics and error payloads speak
+    the same vocabulary."""
+    return str(_encode_error_payload(exc).get("code", "internal"))
 
 
 def decode_error(payload: Optional[Dict[str, object]]) -> Exception:

@@ -58,11 +58,14 @@ from repro.exceptions import (
 )
 from repro.matching.result import Budget, jsonable
 from repro.matching.stream import encode_page
+from repro.obs import context as trace_context
+from repro.obs import health as health_states
+from repro.obs.events import EventLog
 from repro.obs.log import configure as configure_logging, get_logger
 from repro.query.parser import parse_query
 from repro.query.pattern import PatternQuery
 from repro.server.catalog import GraphCatalog
-from repro.server.protocol import encode_error, encode_frame, read_frame
+from repro.server.protocol import encode_error, error_code, encode_frame, read_frame
 from repro.service.service import ServiceConfig, StreamingResult
 
 
@@ -378,21 +381,35 @@ class _Connection:
             sent = await self._safe_send({"id": ident, "ok": True, "result": result})
             self._note_bytes_for(frame, sent)
         except Exception as exc:
-            if isinstance(exc, ServiceOverloadedError):
-                self.server._log.warning(
-                    "shed %s request for graph %r: %s",
-                    frame.get("op"),
-                    frame.get("graph"),
-                    exc,
-                )
             # A traced request that fails still correlates: the client's
-            # propagated trace id rides on the error payload.
-            trace_value = frame.get("trace")
-            if trace_value is not None and getattr(exc, "trace_id", None) is None:
+            # propagated trace id rides on the error payload (and on the
+            # lifecycle WARNING below).
+            trace_id = None
+            context = trace_context.TraceContext.from_wire(frame.get("trace"))
+            if context is not None:
+                trace_id = context.trace_id
+            if trace_id is not None and getattr(exc, "trace_id", None) is None:
                 try:
-                    exc.trace_id = trace_value
+                    exc.trace_id = trace_id
                 except Exception:  # pragma: no cover - exotic exception types
                     pass
+            kind = error_code(exc)
+            self._note_error(frame, kind)
+            if isinstance(exc, ServiceOverloadedError):
+                self.server._log.warning(
+                    "shed %s request for graph %r (trace_id=%s): %s",
+                    frame.get("op"),
+                    frame.get("graph"),
+                    trace_id or "-",
+                    exc,
+                )
+                self.server.events.emit(
+                    "shed",
+                    f"shed {frame.get('op')} for {frame.get('graph')!r}: {exc}",
+                    op=frame.get("op"),
+                    graph=frame.get("graph"),
+                    trace_id=trace_id,
+                )
             try:
                 sent = await self._safe_send(
                     {
@@ -454,6 +471,38 @@ class _Connection:
                 labelnames=("op",),
             ).labels(str(frame.get("op"))).inc()
         return name, database
+
+    def _note_error(self, frame: Dict[str, object], kind: str) -> None:
+        """Count one failed request in ``server_errors_total{op,kind}``.
+
+        Best-effort: errors raised before (or because) the tenant lookup
+        failed still count when the frame names a live tenant; frames
+        naming none (or a dropped one) have no registry to land in.
+        """
+        name = frame.get("graph")
+        if not isinstance(name, str) or not name:
+            return
+        try:
+            database = self.server.catalog.get(name)
+        except Exception:
+            return
+        telemetry = getattr(database, "telemetry", None)
+        if telemetry is None:
+            return
+        telemetry.registry.counter(
+            "server_errors_total",
+            "Wire requests that answered with an error, by op and error kind",
+            labelnames=("op", "kind"),
+        ).labels(str(frame.get("op")), str(kind)).inc()
+
+    def _trace_scope(self, frame: Dict[str, object], database: GraphDB):
+        """Decode the frame's trace context and find the tenant's span ring."""
+        context = trace_context.TraceContext.from_wire(frame.get("trace"))
+        if context is None:
+            return None, None
+        telemetry = getattr(database, "telemetry", None)
+        recorder = telemetry.spans if telemetry is not None else None
+        return context, recorder
 
     def note_tenant_bytes(self, database: Optional[GraphDB], nbytes: int) -> None:
         """Account response/stream egress against the tenant's registry."""
@@ -565,6 +614,9 @@ class _Connection:
         self.server._log.info(
             "created graph %r (%d node(s))", name, database.num_nodes
         )
+        self.server.events.emit(
+            "create_graph", f"created graph {name!r}", graph=name
+        )
         return self._info(name, database)
 
     async def _op_drop_graph(self, frame):
@@ -579,6 +631,7 @@ class _Connection:
 
         await self._run(drop)
         self.server._log.info("dropped graph %r", name)
+        self.server.events.emit("drop_graph", f"dropped graph {name!r}", graph=name)
         return {"dropped": name}
 
     async def _op_checkpoint(self, frame):
@@ -593,13 +646,24 @@ class _Connection:
     async def _op_ingest(self, frame):
         name, database = self._db(frame)
         self._require_writable(name, database)
+        context, recorder = self._trace_scope(frame, database)
 
         def run():
-            return database.ingest(
-                labels=frame.get("labels") or (),
-                edges=[tuple(edge) for edge in frame.get("edges") or ()],
-                remove_edges=[tuple(edge) for edge in frame.get("remove_edges") or ()],
-            )
+            # The context activates on the executor thread that performs
+            # the fold, so the store's fold/journal/publish spans — and the
+            # replication frames the publish listeners ship — all hang
+            # under this server-side op span.
+            with trace_context.activate(
+                context, recorder=recorder, node=self.server.node
+            ):
+                with trace_context.trace_span("ingest", graph=name):
+                    return database.ingest(
+                        labels=frame.get("labels") or (),
+                        edges=[tuple(edge) for edge in frame.get("edges") or ()],
+                        remove_edges=[
+                            tuple(edge) for edge in frame.get("remove_edges") or ()
+                        ],
+                    )
 
         return encode_apply_report(await self._run(run))
 
@@ -607,7 +671,16 @@ class _Connection:
         name, database = self._db(frame)
         self._require_writable(name, database)
         delta = GraphDelta.from_dict(frame.get("delta") or {})
-        report = await self._run(database.apply, delta)
+        context, recorder = self._trace_scope(frame, database)
+
+        def run():
+            with trace_context.activate(
+                context, recorder=recorder, node=self.server.node
+            ):
+                with trace_context.trace_span("apply", graph=name):
+                    return database.apply(delta)
+
+        report = await self._run(run)
         return encode_apply_report(report)
 
     async def _op_apply_async(self, frame):
@@ -632,6 +705,19 @@ class _Connection:
         name, database = self._db(frame)
         query = _decode_query(frame.get("query"), frame.get("name"))
         snapshot = self._pin_for(frame, name)
+        context, recorder = self._trace_scope(frame, database)
+        # A propagated read context also lands one op span in the tenant's
+        # cross-node ring, so routed reads show up on whichever node
+        # served them when the trace is assembled fleet-wide.
+        span = None
+        if context is not None and context.sampled and recorder is not None:
+            span = trace_context.Span(
+                "query",
+                context.trace_id,
+                parent_id=context.span_id,
+                node=self.server.node,
+                graph=name,
+            )
         ticket = database.service.submit(
             query,
             engine=frame.get("engine"),
@@ -639,10 +725,14 @@ class _Connection:
             deadline_seconds=frame.get("deadline_seconds"),
             snapshot=snapshot,
             name=frame.get("name"),
-            trace_id=frame.get("trace"),
+            trace_id=context.trace_id if context is not None else None,
         )
         self._track_ticket(ticket)
-        report = await self._run(ticket.result, frame.get("timeout"))
+        try:
+            report = await self._run(ticket.result, frame.get("timeout"))
+        finally:
+            if span is not None:
+                recorder.record(span.finish())
         encode_started = time.perf_counter()
         wire = report.to_wire()
         trace = ticket.trace
@@ -784,6 +874,8 @@ class _Connection:
         window = int(frame.get("window") or self.server.stream_window)
         pinned = self._pin_for(frame, name)
         ident = frame["id"]
+        context, _ = self._trace_scope(frame, database)
+        stream_trace_id = context.trace_id if context is not None else None
         telemetry = getattr(database, "telemetry", None)
         if telemetry is not None:
             telemetry.registry.counter(
@@ -806,7 +898,7 @@ class _Connection:
                         snapshot=snapshot,
                         page_size=page_size,
                         keep_occurrences=False,
-                        trace_id=frame.get("trace"),
+                        trace_id=stream_trace_id,
                     )
                 except Exception:
                     snapshot.release()
@@ -819,7 +911,7 @@ class _Connection:
                 page_size=page_size,
                 deadline_seconds=frame.get("deadline_seconds"),
                 keep_occurrences=False,
-                trace_id=frame.get("trace"),
+                trace_id=stream_trace_id,
             )
 
         result = await self._run(open_stream)
@@ -893,6 +985,97 @@ class _Connection:
             status["replica"] = True
         return status
 
+    async def _op_health(self, frame):
+        """Cheap, graph-less readiness probe: role, uptime, per-tenant state.
+
+        Routers poll this with short timeouts instead of per-graph
+        ``info`` probes — one frame answers for every tenant, and a node
+        that cannot answer it *at all* (frozen, partitioned) is the
+        router's cue to mark it unreachable.
+        """
+
+        def collect():
+            server = self.server
+            tenants: Dict[str, object] = {}
+            states = []
+            for name in server.catalog.names():
+                try:
+                    database = server.catalog.get(name)
+                except UnknownGraphError:
+                    continue  # dropped between list and get
+                entry: Dict[str, object] = {
+                    "head_version": int(database.head_version),
+                    "read_only": bool(getattr(database, "read_only", False)),
+                }
+                durability = getattr(database, "durability", None)
+                if durability is not None:
+                    counters = durability.counters()
+                    entry["wal"] = {
+                        "entries_since_checkpoint": counters.get(
+                            "entries_since_checkpoint"
+                        ),
+                        "last_checkpoint_version": counters.get(
+                            "last_checkpoint_version"
+                        ),
+                    }
+                hub = getattr(database, "replication_hub", None)
+                if hub is not None and not hub._closed:
+                    entry["subscribers"] = hub.subscriber_count()
+                tail_status = None
+                reporter = getattr(database, "replication_status", None)
+                if reporter is not None:
+                    tail_status = reporter()
+                    entry["replication"] = {
+                        "connected": tail_status.get("connected"),
+                        "lag_versions": tail_status.get("lag_versions"),
+                        "lag_seconds": tail_status.get("lag_seconds"),
+                    }
+                state = health_states.classify_tenant(
+                    server.role,
+                    tail_status,
+                    degraded_lag_versions=server.degraded_lag_versions,
+                    unhealthy_lag_versions=server.unhealthy_lag_versions,
+                )
+                entry["status"] = state
+                states.append(state)
+                tenants[name] = entry
+            return {
+                "status": health_states.worst(states),
+                "node": server.node,
+                "role": server.role,
+                "uptime_seconds": max(0.0, time.time() - server.started_at),
+                "tenants": tenants,
+            }
+
+        return await self._run(collect)
+
+    async def _op_events(self, frame):
+        """Recent server lifecycle events from the bounded ring, oldest first."""
+        limit = frame.get("limit")
+        kinds = frame.get("kinds")
+        after_seq = frame.get("after_seq")
+        events = self.server.events.recent(
+            limit=int(limit) if limit is not None else None,
+            kinds=kinds,
+            after_seq=int(after_seq) if after_seq is not None else None,
+        )
+        return {"events": events, "last_seq": self.server.events.last_seq}
+
+    async def _op_spans(self, frame):
+        """Finished distributed-trace spans from one tenant's span ring."""
+        _, database = self._db(frame)
+        telemetry = getattr(database, "telemetry", None)
+        recorder = telemetry.spans if telemetry is not None else None
+        if recorder is None:
+            return {"spans": []}
+        trace_id = frame.get("trace_id")
+        if trace_id is not None:
+            spans = recorder.for_trace(str(trace_id))
+        else:
+            limit = frame.get("limit")
+            spans = recorder.recent(int(limit) if limit is not None else None)
+        return {"spans": [dict(span) for span in spans]}
+
     _HANDLERS = {
         "ping": _op_ping,
         "graphs": _op_graphs,
@@ -918,6 +1101,9 @@ class _Connection:
         "stream_open": _op_stream_open,
         "subscribe_log": _op_subscribe_log,
         "replica_status": _op_replica_status,
+        "health": _op_health,
+        "events": _op_events,
+        "spans": _op_spans,
     }
 
     # ------------------------------------------------------------------ #
@@ -1010,12 +1196,26 @@ class GraphServer:
         data_dir: Optional[str] = None,
         checkpoint_every: Optional[int] = None,
         log_level=None,
+        node: Optional[str] = None,
+        role: str = "primary",
+        event_capacity: int = 256,
+        degraded_lag_versions: int = health_states.DEFAULT_DEGRADED_LAG_VERSIONS,
+        unhealthy_lag_versions: int = health_states.DEFAULT_UNHEALTHY_LAG_VERSIONS,
     ) -> None:
         # ``log_level`` ("INFO", logging.DEBUG, ...) attaches the library's
         # managed stream handler; None leaves logging to the application.
         if log_level is not None:
             configure_logging(log_level)
         self._log = get_logger("server")
+        # Node identity: stamped on every distributed-trace span this
+        # server records and reported by the ``health`` op.  ``None``
+        # resolves to ``role@host:port`` once the socket binds.
+        self.node = node
+        self.role = role
+        self.events = EventLog(event_capacity)
+        self.started_at = time.time()
+        self.degraded_lag_versions = degraded_lag_versions
+        self.unhealthy_lag_versions = unhealthy_lag_versions
         if catalog is not None:
             if data_dir is not None:
                 raise StoreError(
@@ -1034,6 +1234,12 @@ class GraphServer:
                         "recovered tenant %r to version %s",
                         name,
                         getattr(recovery, "head_version", "?"),
+                    )
+                    self.events.emit(
+                        "recovery",
+                        f"recovered tenant {name!r}",
+                        graph=name,
+                        head_version=getattr(recovery, "head_version", None),
                     )
         else:
             self.catalog = GraphCatalog(config=service_config)
@@ -1089,8 +1295,18 @@ class GraphServer:
             return
         bound = server.sockets[0].getsockname()
         self.address = (bound[0], bound[1])
+        if self.node is None:
+            self.node = f"{self.role}@{bound[0]}:{bound[1]}"
+        self.started_at = time.time()
         self._log.info(
             "listening on %s:%s (%d tenant(s))", bound[0], bound[1], len(self.catalog)
+        )
+        self.events.emit(
+            "listening",
+            f"{self.node} listening on {bound[0]}:{bound[1]}",
+            node=self.node,
+            role=self.role,
+            tenants=len(self.catalog),
         )
         self._started.set()
         async with server:
@@ -1105,6 +1321,7 @@ class GraphServer:
         connection = _Connection(self, reader, writer)
         peer = writer.get_extra_info("peername")
         self._log.info("client connected from %s", peer)
+        self.events.emit("client_connect", f"client connected from {peer}")
         self._connections.add(connection)
         task = asyncio.current_task()
         if task is not None:
@@ -1115,6 +1332,7 @@ class GraphServer:
         finally:
             self._connections.discard(connection)
             self._log.info("client %s disconnected", peer)
+            self.events.emit("client_disconnect", f"client {peer} disconnected")
 
     def close(self) -> None:
         """Stop serving; tears down live connections and joins the loop thread."""
@@ -1131,6 +1349,7 @@ class GraphServer:
             self._thread.join(timeout=30.0)
         if self._owns_catalog:
             self.catalog.close()
+        self.events.emit("stopped", f"{self.node or 'server'} stopped")
         self._log.info("server stopped")
 
     def __enter__(self) -> "GraphServer":

@@ -44,6 +44,7 @@ from repro.dynamic.maintenance import ApplyReport
 from repro.exceptions import ServiceOverloadedError, StoreError
 from repro.graph.digraph import DataGraph
 from repro.matching.result import Budget, MatchReport, MatchStatus
+from repro.obs.context import TraceContext
 from repro.obs.trace import NULL_TRACE
 from repro.query.pattern import PatternQuery
 from repro.session.batch import BatchReport
@@ -612,6 +613,10 @@ class QueryService:
             keep_occurrences=keep_occurrences,
         )
         if self.telemetry is not None:
+            # Callers inside a distributed trace may hand the whole
+            # context; the service's per-query trace keys on the id alone.
+            if isinstance(trace_id, TraceContext):
+                trace_id = trace_id.trace_id
             ticket.trace = self.telemetry.tracer.trace(
                 "query", trace_id=trace_id
             )

@@ -43,6 +43,7 @@ from repro.dynamic.maintenance import ApplyReport
 from repro.exceptions import StoreError
 from repro.graph.digraph import DataGraph
 from repro.matching.result import Budget, MatchReport
+from repro.obs.context import trace_span
 from repro.query.pattern import PatternQuery
 from repro.session.batch import BatchReport
 from repro.session.session import QuerySession
@@ -574,50 +575,69 @@ class VersionedGraphStore:
                     )
                     self.stats.note_apply(report)
                     return report
-            fork = head.session.fork(copy_rig_caches=False)
-            report = fork.apply(delta, materialize=materialize)
-            if report.new_version == report.old_version:
+            # A traced write (the server activated the client's context on
+            # this thread) records the fold as a span tree: ``fold`` with
+            # ``journal`` and ``publish`` children, and the publish
+            # listeners — the replication hub among them — run while the
+            # fold span is the active context, so shipped delta frames
+            # carry it and every replica's apply links back to this fold.
+            with trace_span("fold") as fold_span:
+                fork = head.session.fork(copy_rig_caches=False)
+                report = fork.apply(delta, materialize=materialize)
+                if report.new_version == report.old_version:
+                    self.stats.note_apply(report)
+                    return report
+                if fold_span is not None:
+                    fold_span.meta.update(
+                        base_version=int(report.old_version),
+                        new_version=int(report.new_version),
+                        num_ops=len(delta),
+                    )
+                # Write-ahead: the delta reaches stable storage before the new
+                # epoch becomes reachable.  A journal failure propagates — the
+                # fork is discarded, the head is untouched, the caller is never
+                # acknowledged for a version that could not survive a crash.
+                if self.durability is not None:
+                    with trace_span("journal"):
+                        self.durability.journal(
+                            delta, report.old_version, report.new_version
+                        )
+                if self.warm_on_publish and report.invalidated:
+                    started = time.perf_counter()
+                    for key in report.invalidated:
+                        builder = self._WARM_BUILDERS.get(key)
+                        if builder is not None:
+                            builder(fork)
+                    report.seconds += time.perf_counter() - started
+                with trace_span("publish"):
+                    fork.freeze()
+                    record = VersionRecord(fork.version, fork.graph, fork)
+                    with self._chain_lock:
+                        self._records[record.version] = record
+                        self._head = record
+                        self._gc_locked()
+                        self.stats.note_versions(len(self._records))
+                        listeners = list(self._publish_listeners)
                 self.stats.note_apply(report)
-                return report
-            # Write-ahead: the delta reaches stable storage before the new
-            # epoch becomes reachable.  A journal failure propagates — the
-            # fork is discarded, the head is untouched, the caller is never
-            # acknowledged for a version that could not survive a crash.
-            if self.durability is not None:
-                self.durability.journal(delta, report.old_version, report.new_version)
-            if self.warm_on_publish and report.invalidated:
-                started = time.perf_counter()
-                for key in report.invalidated:
-                    builder = self._WARM_BUILDERS.get(key)
-                    if builder is not None:
-                        builder(fork)
-                report.seconds += time.perf_counter() - started
-            fork.freeze()
-            record = VersionRecord(fork.version, fork.graph, fork)
-            with self._chain_lock:
-                self._records[record.version] = record
-                self._head = record
-                self._gc_locked()
-                self.stats.note_versions(len(self._records))
-                listeners = list(self._publish_listeners)
-            self.stats.note_apply(report)
-            if listeners:
-                published_at = time.time()
-                for listener in listeners:
+                if listeners:
+                    published_at = time.time()
+                    for listener in listeners:
+                        try:
+                            listener(
+                                delta, report.old_version, report.new_version, published_at
+                            )
+                        except Exception:  # a subscriber must never poison the write path
+                            pass
+                # Auto-checkpoint (still under the writer lock, so the head is
+                # stable).  Failure is non-fatal: the journal still covers every
+                # published version, so durability holds — only the replay tail
+                # stays longer than the policy wanted.  The hook counts it.
+                if self.durability is not None and self.durability.should_checkpoint():
                     try:
-                        listener(delta, report.old_version, report.new_version, published_at)
-                    except Exception:  # a subscriber must never poison the write path
+                        self.durability.checkpoint(record.graph)
+                    except (StoreError, OSError):
                         pass
-            # Auto-checkpoint (still under the writer lock, so the head is
-            # stable).  Failure is non-fatal: the journal still covers every
-            # published version, so durability holds — only the replay tail
-            # stays longer than the policy wanted.  The hook counts it.
-            if self.durability is not None and self.durability.should_checkpoint():
-                try:
-                    self.durability.checkpoint(record.graph)
-                except (StoreError, OSError):
-                    pass
-            return report
+                return report
 
     # ------------------------------------------------------------------ #
     # write side: background writer queue
